@@ -1,0 +1,33 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one figure of the paper at the ``medium``
+scale (h=3, 342 nodes) unless noted, prints the rows it produced (run
+pytest with ``-s`` to see them; they are also attached to the benchmark
+``extra_info``), and asserts the paper's qualitative claims — who wins,
+by roughly what factor, where the crossovers fall.  Absolute numbers
+differ from the paper (different substrate scale; see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.experiments.common import MEDIUM, SMALL, TINY
+
+
+@pytest.fixture(scope="session")
+def medium():
+    return MEDIUM
+
+
+@pytest.fixture(scope="session")
+def small():
+    return SMALL
+
+
+@pytest.fixture(scope="session")
+def tiny():
+    return TINY
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive figure driver exactly once under timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

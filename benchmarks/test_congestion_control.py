@@ -1,0 +1,27 @@
+"""Benchmark: the §VII congestion-management extension.
+
+Closing the paper's future-work loop: without congestion control the
+embedded-ring configurations collapse past saturation under ADV+h
+(Fig. 9's phenomenon); with simple injection restriction they hold
+near-saturation throughput and barely touch the escape ring.
+"""
+
+from conftest import run_once
+
+from repro.experiments import congestion
+
+
+def test_congestion_control_prevents_collapse(benchmark, medium):
+    table = run_once(benchmark, congestion.run, medium, loads=[0.5])
+    print()
+    print(table.to_text())
+    benchmark.extra_info["rows"] = table.rows
+    for row in table.rows:
+        # Without the mechanism: collapse (this IS the Fig. 9 story).
+        assert row["none_thr"] < 0.2, row
+        # With it: an order of magnitude recovered, back near the
+        # saturation region...
+        assert row["cc_thr"] > 10 * row["none_thr"], row
+        assert row["cc_thr"] > 0.2, row
+        # ...and the escape ring returns to last-resort duty.
+        assert row["cc_ring"] < row["none_ring"], row

@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the simulation engine itself.
+
+These are conventional pytest-benchmark timings (multiple rounds) of
+the hot paths, useful to track simulator performance over time; they
+make no claims about the paper.
+"""
+
+import random
+
+from repro.engine.config import SimulationConfig
+from repro.engine.runner import _pattern_rng
+from repro.engine.simulator import Simulator
+from repro.topology.dragonfly import Dragonfly
+from repro.topology.hamiltonian import HamiltonianRing
+from repro.traffic.generators import BernoulliTraffic
+from repro.traffic.patterns import make_pattern
+
+
+def _loaded_sim(routing: str, load: float, pattern: str = "UN") -> Simulator:
+    cfg = SimulationConfig.small(h=2, routing=routing)
+    sim = Simulator(cfg)
+    topo = sim.network.topo
+    p = make_pattern(topo, _pattern_rng(cfg, 2), pattern)
+    sim.generator = BernoulliTraffic(p, load, 8, topo.num_nodes, 5)
+    sim.run(200)  # reach steady occupancy before timing
+    return sim
+
+
+def test_perf_cycles_min_uniform(benchmark):
+    sim = _loaded_sim("min", 0.3)
+    benchmark(sim.run, 100)
+
+
+def test_perf_cycles_ofar_adversarial(benchmark):
+    sim = _loaded_sim("ofar", 0.4, "ADV+2")
+    benchmark(sim.run, 100)
+
+
+def test_perf_topology_construction(benchmark):
+    benchmark(Dragonfly, 16)
+
+
+def test_perf_network_construction(benchmark):
+    cfg = SimulationConfig.small(h=3, routing="ofar")
+    from repro.network.network import Network
+
+    benchmark(Network, cfg)
+
+
+def test_perf_hamiltonian_h8(benchmark):
+    topo = Dragonfly(8)
+    benchmark(HamiltonianRing, topo)
+
+
+def test_perf_min_route_oracle(benchmark):
+    topo = Dragonfly(6)
+    rng = random.Random(1)
+    pairs = [
+        (rng.randrange(topo.num_nodes), rng.randrange(topo.num_nodes))
+        for _ in range(1000)
+    ]
+    pairs = [(s, d) for s, d in pairs if s != d]
+
+    def probe():
+        for s, d in pairs:
+            topo.min_output_port(topo.node_router(s), d)
+
+    benchmark(probe)

@@ -1,0 +1,37 @@
+"""Benchmark: the §III mapping-vs-network argument, quantified.
+
+The paper (discussing Bhatele et al., SC 2011) argues that randomizing
+the task mapping removes dragonfly hotspots but "breaks the benefits of
+locality", and that "a proper solution should be applied at the network
+level".  With a 2-D stencil halo exchange:
+
+- MIN + sequential mapping is throttled by hot local links;
+- MIN + random mapping trades the hotspot for lost locality (more
+  global hops, higher latency at low load);
+- OFAR + sequential mapping must beat both: hotspots routed around,
+  locality preserved.
+"""
+
+from conftest import run_once
+
+from repro.experiments import mapping_study
+
+
+def test_mapping_vs_network_level(benchmark, medium):
+    table = run_once(benchmark, mapping_study.run, medium, load=0.5)
+    print()
+    print(table.to_text())
+    benchmark.extra_info["rows"] = table.rows
+    rows = {(r["routing"], r["mapping"]): r for r in table.rows}
+    min_seq = rows[("min", "sequential")]
+    min_rnd = rows[("min", "random")]
+    ofar_seq = rows[("ofar", "sequential")]
+    ofar_rnd = rows[("ofar", "random")]
+    # Sequential mapping keeps exchanges local (the locality signature).
+    assert min_seq["global_hops"] < 0.7 * min_rnd["global_hops"]
+    # OFAR at the network level beats MIN with either mapping.
+    assert ofar_seq["throughput"] >= min_seq["throughput"]
+    assert ofar_seq["throughput"] >= 0.95 * min_rnd["throughput"]
+    # ...while keeping the locality that random mapping destroys.
+    assert ofar_seq["global_hops"] < 0.8 * ofar_rnd["global_hops"]
+    assert ofar_seq["latency"] < min_seq["latency"]

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""The §III motivation: local links, not global ones, can be the bottleneck.
+
+Scenario: an HPC application with near-neighbour communication mapped
+sequentially onto a dragonfly.  Three workloads of increasing nastiness:
+
+1. ADV+1 — adversarial for *global* links only; Valiant fixes it.
+2. ADV+h — all misrouted traffic funnels through single *local* links
+   in the intermediate groups; Valiant collapses to ~1/h.
+3. ADV-LOCAL — all h nodes of each router target the next router of
+   the group; minimal routing collapses to 1/h without any global
+   traffic at all.
+
+For each workload we compare MIN, VAL, PB and OFAR at a load above the
+1/h bound, next to the closed-form limits of repro.analysis.
+"""
+
+from repro import SimulationConfig, run_steady_state
+from repro.analysis.bounds import (
+    local_link_advh_bound,
+    min_adversarial_bound,
+    valiant_bound,
+)
+from repro.analysis.offsets import valiant_offset_bound
+from repro.topology.dragonfly import Dragonfly
+
+H = 2
+LOAD = 0.45
+ROUTINGS = ("min", "val", "pb", "ofar")
+
+
+def main() -> None:
+    topo = Dragonfly(H)
+    print(f"dragonfly h={H}: {topo.num_nodes} nodes, load {LOAD} phits/(node*cycle)")
+    print(f"analytic limits: MIN@ADV={min_adversarial_bound(H):.3f}  "
+          f"VAL={valiant_bound():.2f}  local-link@ADV+h={local_link_advh_bound(H):.3f}")
+    print()
+    header = f"{'workload':10s}" + "".join(f"{r:>9s}" for r in ROUTINGS) + f"{'val-bound':>11s}"
+    print(header)
+    for pattern in ("ADV+1", f"ADV+{H}", "ADV-LOCAL"):
+        row = f"{pattern:10s}"
+        for routing in ROUTINGS:
+            cfg = SimulationConfig.small(h=H, routing=routing)
+            pt = run_steady_state(cfg, pattern, LOAD, warmup=800, measure=800)
+            row += f"{pt.throughput:9.3f}"
+        if pattern.startswith("ADV+"):
+            bound = valiant_offset_bound(topo, int(pattern[4:]))
+            row += f"{bound:11.3f}"
+        else:
+            row += f"{'-':>11s}"
+        print(row)
+    print()
+    print("reading: VAL fixes ADV+1 but not ADV+h (the local-link funnel);")
+    print("OFAR's in-transit local misrouting is the only mechanism that")
+    print("stays above the 1/h law on every row.")
+
+
+if __name__ == "__main__":
+    main()

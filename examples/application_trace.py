@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Trace-driven evaluation: replay one application trace under several
+routings.
+
+The workflow the paper's motivation (Bhatele et al.) uses: capture an
+application's communication trace once, then replay the *identical*
+packet sequence under each candidate routing.  Here the "application"
+is synthesized — a BSP code alternating 2-D stencil halo exchanges with
+all-to-all-ish collective phases — but the machinery (record → CSV →
+replay) is exactly what a real trace would use.
+"""
+
+import random
+
+from repro import SimulationConfig, Simulator
+from repro.topology.dragonfly import Dragonfly
+from repro.traffic.applications import StencilPattern
+from repro.traffic.patterns import UniformPattern
+from repro.traffic.trace import TraceTraffic, synthesize_phases
+
+H = 2
+ROUTINGS = ("min", "pb", "ofar")
+
+
+def build_trace(topo: Dragonfly) -> list:
+    rng = random.Random(7)
+    stencil = StencilPattern(topo, rng, mapping="sequential")
+    collective = UniformPattern(topo, rng)
+    # Three BSP supersteps: heavy halo exchange, then a collective.
+    phases = []
+    for _ in range(3):
+        phases.append((stencil, 0.7, 400))
+        phases.append((collective, 0.3, 200))
+    return synthesize_phases(phases, packet_size=8, num_nodes=topo.num_nodes, seed=13)
+
+
+def replay(events, routing: str) -> tuple[int, float]:
+    cfg = SimulationConfig.small(h=H, routing=routing)
+    sim = Simulator(cfg)
+    sim.generator = TraceTraffic(events)
+    completion = sim.run_until_drained(5_000_000)
+    n = max(1, sim.metrics.ejected_packets)
+    return completion, sim.metrics.latency_sum / n
+
+
+def main() -> None:
+    topo = Dragonfly(H)
+    events = build_trace(topo)
+    span = events[-1].cycle + 1
+    print(f"synthetic application trace: {len(events)} packets over "
+          f"{span} cycles on {topo}")
+    print(f"(3 supersteps: stencil halo exchange at load 0.5, then a "
+          f"uniform collective at 0.25)")
+    print()
+    print(f"{'routing':8s} {'completion':>11s} {'overrun':>8s} {'avg latency':>12s}")
+    for routing in ROUTINGS:
+        completion, latency = replay(events, routing)
+        overrun = completion / span
+        print(f"{routing:8s} {completion:>11d} {overrun:>7.2f}x {latency:>12.1f}")
+    print()
+    print("'overrun' is completion time over the trace's own span: 1.0x")
+    print("means the network kept pace with the application; MIN falls")
+    print("behind on the sequentially-mapped stencil phases (§III), the")
+    print("adaptive mechanisms keep up.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Anatomy of the escape subnetwork (§IV-C and §VII).
+
+Three short experiments on the Hamiltonian escape ring:
+
+1. its construction — the cycle embeds on real dragonfly links (local
+   descents inside each group, one offset-1 global hop per group);
+2. physical vs embedded implementation — equivalent performance, per
+   Fig. 8, because the ring only breaks deadlocks;
+3. a starved configuration (Fig. 9 style) — with 1 VC everywhere the
+   canonical network clogs and the ring visibly takes over, yet every
+   packet is still delivered: deadlock freedom without VC ordering.
+"""
+
+from repro import Dragonfly, HamiltonianRing, SimulationConfig, Simulator, run_steady_state
+from repro.analysis.bounds import (
+    max_edge_disjoint_rings,
+    ring_added_global_fraction,
+    ring_added_link_fraction,
+)
+from repro.topology.dragonfly import PortKind
+
+H = 2
+
+
+def show_construction() -> None:
+    topo = Dragonfly(H)
+    ring = HamiltonianRing(topo)
+    ring.validate()
+    kinds = [ring.successor_port_kind(r) for r in ring.order]
+    print(f"1. Hamiltonian ring over {len(ring)} routers:")
+    print(f"   local hops: {kinds.count(PortKind.LOCAL)}, "
+          f"global hops: {kinds.count(PortKind.GLOBAL)} "
+          f"(= {topo.num_groups} groups, one crossing each)")
+    print(f"   first 12 routers on the cycle: {ring.order[:12]}")
+    print(f"   cost of a *physical* ring at h=16: "
+          f"{100 * ring_added_link_fraction(16):.1f}% more wires, "
+          f"{100 * ring_added_global_fraction(16):.2f}% more long wires")
+    print(f"   up to {max_edge_disjoint_rings(16)} edge-disjoint rings "
+          f"could be embedded at h=16 (fault tolerance, §VII)")
+    print()
+
+
+def show_equivalence() -> None:
+    print("2. physical vs embedded ring under ADV+2, load 0.4:")
+    for escape in ("physical", "embedded"):
+        cfg = SimulationConfig.small(h=H, routing="ofar", escape=escape)
+        pt = run_steady_state(cfg, "ADV+2", 0.4, warmup=800, measure=800)
+        print(f"   {escape:9s} thr={pt.throughput:.3f} lat={pt.avg_latency:6.1f} "
+              f"ring usage={100 * pt.ring_fraction:.2f}% of packets")
+    print()
+
+
+def show_starved() -> None:
+    print("3. starved resources (1 VC everywhere, 16-phit buffers):")
+    cfg = SimulationConfig.small(
+        h=H, routing="ofar", escape="embedded",
+        local_vcs=1, global_vcs=1, injection_vcs=1,
+        local_buffer=16, global_buffer=16, injection_buffer=16,
+    )
+    sim = Simulator(cfg)
+    rng = __import__("random").Random(1)
+    topo = sim.network.topo
+    npg = topo.p * topo.a
+    for node in range(topo.num_nodes):
+        g = node // npg
+        for _ in range(6):
+            dst = ((g + H) % topo.num_groups) * npg + rng.randrange(npg)
+            sim.create_packet(node, dst)
+    done = sim.run_until_drained(2_000_000)
+    net = sim.network
+    print(f"   burst of {sim.created_packets} ADV+{H} packets drained by "
+          f"cycle {done} — zero deadlocks")
+    print(f"   ring entries: {net.ring_entries} "
+          f"({100 * net.ring_entries / sim.created_packets:.1f}% of packets "
+          f"needed the escape path)")
+    print(f"   local misroutes: {net.local_misroutes}, "
+          f"global misroutes: {net.global_misroutes}")
+
+
+def main() -> None:
+    show_construction()
+    show_equivalence()
+    show_starved()
+
+
+if __name__ == "__main__":
+    main()

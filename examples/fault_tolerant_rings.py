@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Fault tolerance with multiple escape rings (§VII "ongoing work").
+
+A single Hamiltonian escape ring is a single point of failure: lose one
+of its links and OFAR loses its deadlock-freedom guarantee.  §VII
+proposes embedding up to h edge-disjoint Hamiltonian rings so the
+system survives while any one ring is intact.  This example:
+
+1. builds the h edge-disjoint rings (Walecki zigzag decomposition of
+   each group's complete local graph + one coprime group offset per
+   ring) and verifies they share no link;
+2. runs an adversarial burst with two embedded rings while ring 0 is
+   *disabled* (our fault model: a faulted ring stops accepting
+   escapees) — everything still drains;
+3. compares steady-state performance with 1 vs 2 rings: the extra ring
+   costs nothing measurable, exactly like Fig. 8's physical/embedded
+   equivalence, because escape capacity is not the bottleneck.
+"""
+
+import random
+
+from repro import SimulationConfig, Simulator, run_steady_state
+from repro.topology.dragonfly import Dragonfly
+from repro.topology.multiring import MultiRing
+
+H = 2
+
+
+def show_rings() -> None:
+    topo = Dragonfly(H)
+    rings = MultiRing(topo, H)
+    rings.validate()
+    print(f"1. {len(rings)} edge-disjoint Hamiltonian rings on {topo}:")
+    for spec in rings.rings:
+        print(f"   ring {spec.ring_id}: group offset {spec.offset}, "
+              f"first routers {spec.order[:8]} ...")
+    print("   validate(): no shared links, every ring covers every router")
+    print()
+
+
+def survive_fault() -> None:
+    cfg = SimulationConfig.small(
+        h=H, routing="ofar", escape="embedded", escape_rings=2,
+        escape_patience=0,
+        # Starve the canonical network so the escape path really works.
+        local_vcs=1, global_vcs=1, injection_vcs=1,
+        local_buffer=16, global_buffer=16, injection_buffer=16,
+    )
+    sim = Simulator(cfg)
+    sim.network.disable_ring(0)  # the fault
+    topo = sim.network.topo
+    rng = random.Random(3)
+    npg = topo.p * topo.a
+    for node in range(topo.num_nodes):
+        g = node // npg
+        for _ in range(6):
+            sim.create_packet(
+                node, ((g + H) % topo.num_groups) * npg + rng.randrange(npg)
+            )
+    done = sim.run_until_drained(2_000_000)
+    net = sim.network
+    print(f"2. ring 0 disabled, ADV+{H} burst of {sim.created_packets} packets:")
+    print(f"   all delivered by cycle {done}; escapes taken: {net.ring_entries} "
+          f"(all onto ring 1) — deadlock freedom survives the fault")
+    print()
+
+
+def compare_ring_counts() -> None:
+    print("3. steady state ADV+2 at load 0.4, embedded rings:")
+    for rings in (1, 2):
+        cfg = SimulationConfig.small(h=H, routing="ofar", escape="embedded",
+                                     escape_rings=rings)
+        pt = run_steady_state(cfg, "ADV+2", 0.4, warmup=800, measure=800)
+        print(f"   {rings} ring(s): thr={pt.throughput:.3f} "
+              f"lat={pt.avg_latency:6.1f} ring usage={100 * pt.ring_fraction:.2f}%")
+    print("   (the second ring is pure insurance — §VII's point)")
+
+
+def main() -> None:
+    show_rings()
+    survive_fault()
+    compare_ring_counts()
+
+
+if __name__ == "__main__":
+    main()

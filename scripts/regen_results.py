@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Regenerate every figure's data and save CSVs under results/.
+
+This is the long-form companion to the benchmark suite: it runs each
+experiment driver at a chosen scale, writes one CSV per figure plus the
+exact SimulationConfig JSON used, and prints the tables as it goes.
+
+Usage::
+
+    python scripts/regen_results.py --scale medium --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.engine.config import SimulationConfig
+from repro.experiments import (
+    ablations,
+    congestion,
+    fig2_offsets,
+    fig3_uniform,
+    fig4_adv2,
+    fig5_advh,
+    fig6_transient,
+    fig7_bursts,
+    fig8_ring,
+    fig9_reduced_vcs,
+    get_scale,
+    mapping_study,
+)
+
+
+def _router_design(scale):
+    from repro.experiments import router_design
+
+    return router_design.run(scale)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="medium")
+    parser.add_argument("--out", default="results")
+    parser.add_argument(
+        "--only", default=None,
+        help="comma-separated subset, e.g. fig5,fig7,mapping",
+    )
+    args = parser.parse_args()
+    scale = get_scale(args.scale)
+    os.makedirs(args.out, exist_ok=True)
+
+    def save(name: str, table) -> None:
+        path = os.path.join(args.out, f"{name}.csv")
+        table.save_csv(path)
+        print(table.to_text())
+        print(f"[saved {path}]")
+
+    jobs = {
+        "fig2": lambda: save("fig2_offsets", fig2_offsets.run(scale)),
+        "fig3": lambda: save("fig3_uniform", fig3_uniform.run(scale)[0]),
+        "fig4": lambda: save("fig4_adv2", fig4_adv2.run(scale)[0]),
+        "fig5": lambda: save("fig5_advh", fig5_advh.run(scale)[0]),
+        "fig6": lambda: save("fig6_transient", fig6_transient.run(scale)),
+        "fig7": lambda: save("fig7_bursts", fig7_bursts.run(scale)),
+        "fig8": lambda: save("fig8_ring", fig8_ring.run(scale)),
+        "fig9": lambda: save("fig9_reduced_vcs", fig9_reduced_vcs.run(scale)),
+        "thresholds": lambda: save("ablation_thresholds", ablations.run_thresholds(scale)),
+        "iterations": lambda: save(
+            "ablation_iterations", ablations.run_allocator_iterations(scale)
+        ),
+        "family": lambda: save("ablation_family", ablations.run_mechanism_family(scale)),
+        "congestion": lambda: save("ext_congestion", congestion.run(scale)),
+        "mapping": lambda: save("ext_mapping", mapping_study.run(scale)),
+        "design": lambda: save("ext_router_design", _router_design(scale)),
+    }
+    selected = args.only.split(",") if args.only else list(jobs)
+    config_path = os.path.join(args.out, "config.json")
+    with open(config_path, "w") as f:
+        meta = {
+            "scale": scale.name,
+            "base_config": json.loads(scale.config("ofar").to_json()),
+        }
+        json.dump(meta, f, indent=2)
+    print(f"[saved {config_path}]")
+    for name in selected:
+        if name not in jobs:
+            raise SystemExit(f"unknown job {name!r}; choose from {sorted(jobs)}")
+        t0 = time.time()
+        print(f"=== {name} (scale {scale.name}) ===")
+        jobs[name]()
+        print(f"[{name} took {time.time() - t0:.1f}s]\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Closed-form throughput bounds and cost models (§III and §VII).
+
+All throughputs are in phits/(node·cycle), with every link carrying one
+phit per cycle, as in the paper.
+"""
+
+from __future__ import annotations
+
+
+def min_adversarial_bound(h: int) -> float:
+    """Throughput of MIN under ADV+N traffic: ``1 / (2 h^2)``.
+
+    All ``2h^2`` nodes of a group funnel through the single global link
+    to the destination group (§III).  For h=16 this is below 0.2% of
+    capacity.
+    """
+    return 1.0 / (2 * h * h)
+
+
+def valiant_bound() -> float:
+    """Valiant's global-link limit: 0.5 phit/(node·cycle).
+
+    Each packet takes two global hops instead of one, doubling the
+    average global-link utilization (§III).
+    """
+    return 0.5
+
+
+def local_link_advh_bound(h: int) -> float:
+    """The paper's key observation (§III, Fig. 2a): under ``ADV+n*h``
+    all traffic misrouted into an intermediate group arrives on the
+    ``h`` global links of one router and must leave over the ``h``
+    global links of the *next* router, crossing a single local link —
+    limiting Valiant throughput to ``1/h`` even with idle global links.
+    """
+    return 1.0 / h
+
+
+def min_local_neighbor_bound(h: int) -> float:
+    """MIN under ADV-LOCAL (all ``h`` nodes of a router target the next
+    router of the group): the single local link bounds throughput at
+    ``1/h`` (§III)."""
+    return 1.0 / h
+
+
+# ----------------------------------------------------------------------
+# §VII: cost of the physical escape ring
+# ----------------------------------------------------------------------
+def total_links(h: int) -> int:
+    """Links of the maximum-size dragonfly (each counted once)."""
+    groups = 2 * h * h + 1
+    local = groups * (h * (2 * h - 1))  # a(a-1)/2 per group with a = 2h
+    global_ = groups * (groups - 1) // 2
+    return local + global_
+
+
+def ring_added_link_fraction(h: int) -> float:
+    """Fraction of links added by a physical Hamiltonian ring.
+
+    One wire per router (N wires on an N-router network) against the
+    original link count; equals ``2 / (3h - 1)``, i.e. the paper's
+    "order of 2/(3h)" (≈4% at h=16).
+    """
+    groups = 2 * h * h + 1
+    added = groups * 2 * h  # one ring wire per router
+    return added / total_links(h)
+
+
+def original_global_wires(h: int) -> int:
+    """Long (global) wires of the original topology: ``2h^4 + h^2``."""
+    return 2 * h**4 + h**2
+
+
+def ring_added_global_wires(h: int) -> int:
+    """Long wires added by the physical ring: one per group crossing,
+    ``2h^2 + 1`` (the paper: ≈0.3% more global wires at h=16)."""
+    return 2 * h * h + 1
+
+
+def ring_added_global_fraction(h: int) -> float:
+    """``(2h^2+1) / (2h^4+h^2)`` — the §VII long-wire overhead."""
+    return ring_added_global_wires(h) / original_global_wires(h)
+
+
+def max_edge_disjoint_rings(h: int) -> int:
+    """Upper bound on edge-disjoint embedded Hamiltonian rings (§VII).
+
+    Bounded by the local links per group, ``h * (2h - 1)``, divided by
+    the local hops a Hamiltonian path uses per group, ``2h - 1`` — i.e.
+    ``h`` rings.  (Relevant for fault tolerance: the system survives as
+    long as one embedded ring has fewer than two failures.)
+    """
+    return (h * (2 * h - 1)) // (2 * h - 1)

@@ -1,0 +1,109 @@
+"""Closed-form zero-load latency model.
+
+Under the simulator's semantics (store-and-forward at packet
+granularity) an uncontended packet's latency is exactly::
+
+    sum over router-to-router hops (link latency + packet size)
+    + (ejection latency + packet size)
+
+This module computes that number for minimal and Valiant paths, both
+per pair and in expectation over a topology.  Two uses:
+
+- **validation** — the model must match single-packet simulations
+  *exactly* (tests do byte-for-byte comparisons), which pins down the
+  engine's timing semantics against an independent derivation;
+- **interpretation** — the low-load plateau of every latency curve in
+  the figures is this number; deviations above it are pure queueing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.engine.config import SimulationConfig
+from repro.topology.dragonfly import Dragonfly, PortKind
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Zero-load latency calculator for one configuration."""
+
+    config: SimulationConfig
+
+    def _topo(self) -> Dragonfly:
+        return Dragonfly(self.config.h)
+
+    def hop_cost(self, kind: PortKind) -> int:
+        """Cycles one uncontended hop adds (wire latency + tail)."""
+        cfg = self.config
+        if kind is PortKind.LOCAL:
+            return cfg.local_latency + cfg.packet_size
+        if kind is PortKind.GLOBAL:
+            return cfg.global_latency + cfg.packet_size
+        if kind is PortKind.NODE:
+            return cfg.ejection_latency + cfg.packet_size
+        raise ValueError(f"no hop cost for {kind}")
+
+    def minimal(self, src: int, dst: int, topo: Dragonfly | None = None) -> int:
+        """Exact zero-load latency of the minimal path ``src -> dst``."""
+        if topo is None:
+            topo = self._topo()
+        total = 0
+        for _, port in topo.min_route(src, dst):
+            total += self.hop_cost(topo.port_kind(port))
+        return total
+
+    def valiant(self, src: int, dst: int, topo: Dragonfly | None = None) -> float:
+        """Expected zero-load latency of VAL (uniform intermediate group
+        != source, destination; intra-group traffic is minimal)."""
+        if topo is None:
+            topo = self._topo()
+        src_g, dst_g = topo.node_group(src), topo.node_group(dst)
+        if src_g == dst_g:
+            return float(self.minimal(src, dst, topo))
+        total = 0.0
+        count = 0
+        src_router = topo.node_router(src)
+        for mid in range(topo.num_groups):
+            if mid in (src_g, dst_g):
+                continue
+            cost = 0
+            router = src_router
+            while topo.router_group(router) != mid:
+                port = topo.min_output_port_to_group(router, mid)
+                cost += self.hop_cost(topo.port_kind(port))
+                router, _ = topo.neighbor(router, port)
+            cost += self.minimal_from_router(router, dst, topo)
+            total += cost
+            count += 1
+        return total / count
+
+    def minimal_from_router(self, router: int, dst: int, topo: Dragonfly) -> int:
+        """Zero-load latency from a router (not a node) to ``dst``."""
+        total = 0
+        while True:
+            port = topo.min_output_port(router, dst)
+            total += self.hop_cost(topo.port_kind(port))
+            if topo.port_kind(port) is PortKind.NODE:
+                return total
+            router, _ = topo.neighbor(router, port)
+
+    def expected_uniform(self, routing: str = "min", samples: int = 2_000,
+                         seed: int = 1) -> float:
+        """Expected zero-load latency under uniform traffic."""
+        topo = self._topo()
+        rng = random.Random(seed)
+        total = 0.0
+        n = topo.num_nodes
+        for _ in range(samples):
+            src = rng.randrange(n)
+            dst = rng.randrange(n - 1)
+            dst = dst + 1 if dst >= src else dst
+            if routing == "min":
+                total += self.minimal(src, dst, topo)
+            elif routing == "val":
+                total += self.valiant(src, dst, topo)
+            else:
+                raise ValueError("routing must be 'min' or 'val'")
+        return total / samples

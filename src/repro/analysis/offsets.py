@@ -1,0 +1,116 @@
+"""Static analysis of local-link concentration under Valiant + ADV+N.
+
+This module derives, without simulation, the Fig. 2 mechanism: how many
+source groups' misrouted flows share each intermediate-group local link
+as a function of the group offset ``N``.
+
+Model.  Under Valiant, a packet from group ``i`` to group ``i + N``
+transits a uniformly chosen intermediate group ``m``.  It *arrives* in
+``m`` over the global link with offset ``delta = (m - i) mod G``, which
+by the palmtree arrangement lands on in-group router
+``r_in = (2h^2 - delta) // h``; it *leaves* toward ``i + N`` over the
+link with offset ``d2 = (N - delta) mod G``, owned by in-group router
+``r_out = (d2 - 1) // h``.  When ``r_in != r_out`` the packet crosses
+the single local link ``r_in -> r_out``.  The number of distinct
+``delta`` values mapping onto one ordered router pair is the
+*concentration* ``K`` of that link; since every flow has equal rate,
+the most-loaded local link carries ``K`` flows and bounds network
+throughput at roughly ``(G - 2) / (2 h^2 K)`` phits/(node·cycle).
+
+For ``N = n*h`` the arithmetic aligns: all ``h`` offsets of one
+arriving router map to a single departing router, so ``K = h`` and the
+bound collapses to ``~1/h`` — the paper's Fig. 2a.  For most other
+offsets ``K`` is 1 or 2 and the global-link Valiant limit (0.5)
+dominates.
+
+This closed form counts only the ``l2`` (intermediate-group) hops, so
+it is an *upper* bound; the Monte-Carlo analyzer in
+:mod:`repro.analysis.static_load` also accounts for the l1/l3 hops that
+share the same local links and predicts simulator saturation more
+tightly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.dragonfly import Dragonfly
+
+
+def l2_link_concentration(topo: Dragonfly, offset: int) -> dict[tuple[int, int], int]:
+    """Flows per intermediate-group local link for ADV+``offset``.
+
+    Returns a map from ordered in-group router pairs ``(r_in, r_out)``
+    (with ``r_in != r_out``) to the number of source-group offsets whose
+    misrouted traffic crosses that local link.  By symmetry the map is
+    identical for every intermediate group.
+    """
+    if not 1 <= offset < topo.num_groups:
+        raise ValueError(f"offset must be in [1, {topo.num_groups - 1}]")
+    h = topo.h
+    G = topo.num_groups
+    two_h2 = 2 * h * h
+    counts: dict[tuple[int, int], int] = {}
+    for delta in range(1, two_h2 + 1):
+        # delta = (m - i) mod G; skip degenerate cases where the
+        # intermediate group coincides with source or destination.
+        if delta % G == 0 or (offset - delta) % G == 0:
+            continue
+        r_in = (two_h2 - delta) // h
+        d2 = (offset - delta) % G
+        r_out = (d2 - 1) // h
+        if r_in == r_out:
+            continue  # source and destination share the transit router
+        key = (r_in, r_out)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def max_l2_concentration(topo: Dragonfly, offset: int) -> int:
+    """Largest number of flows sharing one intermediate local link."""
+    counts = l2_link_concentration(topo, offset)
+    return max(counts.values(), default=0)
+
+
+def valiant_offset_bound(topo: Dragonfly, offset: int) -> float:
+    """Throughput bound of Valiant routing for ADV+``offset``.
+
+    The minimum of the global-link limit (0.5) and the local-link
+    concentration limit.  Each source group offers ``2h^2 * load`` phits
+    per cycle split over ``G - 2`` intermediate groups; the busiest
+    local link of an intermediate group carries ``K`` such flows from
+    each of the ``G - 2`` usable source offsets... which telescopes to a
+    per-link load of ``load * 2h^2 * K / (G - 2)`` and hence::
+
+        load_max = (G - 2) / (2 h^2 * K)
+    """
+    k = max_l2_concentration(topo, offset)
+    if k == 0:
+        return 0.5
+    local_limit = (topo.num_groups - 2) / (2 * topo.h * topo.h * k)
+    return min(0.5, local_limit)
+
+
+@dataclass
+class OffsetBound:
+    """One row of the Fig. 2b analytic companion table."""
+
+    offset: int
+    concentration: int
+    bound: float
+    is_worst_case: bool  # offset is a multiple of h
+
+
+def offset_bound_table(topo: Dragonfly, offsets: list[int] | None = None) -> list[OffsetBound]:
+    """Analytic throughput bound per ADV offset (Fig. 2b companion)."""
+    if offsets is None:
+        offsets = list(range(1, topo.num_groups))
+    return [
+        OffsetBound(
+            offset=n,
+            concentration=max_l2_concentration(topo, n),
+            bound=valiant_offset_bound(topo, n),
+            is_worst_case=(n % topo.h == 0),
+        )
+        for n in offsets
+    ]

@@ -1,0 +1,119 @@
+"""Terminal (ASCII) charts for experiment output.
+
+The reproduction runs in terminal-only environments, so the figures are
+rendered as text: multi-series line/scatter charts for the
+latency/throughput sweeps, horizontal bars for the burst comparisons,
+and sparklines for transients.  Pure functions over plain data — no
+plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_SPARK = "▁▂▃▄▅▆▇█"
+_MARKERS = "ox+*#@%&"
+
+
+@dataclass(frozen=True)
+class ChartSeries:
+    """One named series of (x, y) points."""
+
+    name: str
+    points: list[tuple[float, float]]
+
+
+def sparkline(values: list[float]) -> str:
+    """One-line intensity strip of a numeric series."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span == 0:
+        return _SPARK[0] * len(values)
+    return "".join(_SPARK[int((v - lo) / span * (len(_SPARK) - 1))] for v in values)
+
+
+def bar_chart(
+    labels: list[str],
+    values: list[float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with aligned labels and values."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return "(empty)"
+    top = max(max(values), 1e-12)
+    label_w = max(len(s) for s in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(width * value / top)) if value > 0 else ""
+        lines.append(f"{label.ljust(label_w)} | {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: list[ChartSeries],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Multi-series scatter chart on a character grid.
+
+    Each series gets a marker from ``o x + * ...``; collisions show the
+    later series' marker.  Axes are annotated with min/max values.
+    """
+    points = [(x, y) for s in series for x, y in s.points]
+    if not points:
+        return "(empty chart)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for idx, s in enumerate(series):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in s.points:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+    lines = []
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={s.name}" for i, s in enumerate(series)
+    )
+    lines.append(f"{y_label}  [{legend}]")
+    lines.append(f"{y_hi:>10.4g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:>10.4g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + " └" + "─" * width)
+    lines.append(
+        " " * 12 + f"{x_lo:<.4g}" + " " * max(1, width - 16) + f"{x_hi:>.4g}  ({x_label})"
+    )
+    return "\n".join(lines)
+
+
+def throughput_chart(series_list, width: int = 64, height: int = 14) -> str:
+    """Offered-load vs accepted-throughput chart for runner Series."""
+    chart = [
+        ChartSeries(s.name, [(p.offered_load, p.throughput) for p in s.points])
+        for s in series_list
+    ]
+    return line_chart(chart, width, height, x_label="offered load", y_label="throughput")
+
+
+def latency_chart(series_list, width: int = 64, height: int = 14, cap: float | None = None) -> str:
+    """Offered-load vs latency chart (optionally capped for readability)."""
+    chart = []
+    for s in series_list:
+        pts = [
+            (p.offered_load, min(p.avg_latency, cap) if cap else p.avg_latency)
+            for p in s.points
+        ]
+        chart.append(ChartSeries(s.name, pts))
+    return line_chart(chart, width, height, x_label="offered load", y_label="latency")

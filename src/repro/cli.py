@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+- ``info``      — topology facts and analytic bounds for a given h;
+- ``sweep``     — latency/throughput load sweep for one routing+pattern;
+- ``transient`` — Fig. 6-style pattern-switch experiment;
+- ``burst``     — Fig. 7-style burst-consumption experiment;
+- ``offsets``   — Fig. 2-style ADV offset study (simulated + analytic);
+- ``figure``    — regenerate a paper figure by name (fig2..fig9, ablations,
+  congestion, mapping).
+
+Examples::
+
+    python -m repro info --h 6
+    python -m repro sweep --routing ofar --pattern ADV+3 --h 3 \
+        --loads 0.1,0.2,0.3,0.4
+    python -m repro figure fig5 --scale medium
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.bounds import (
+    local_link_advh_bound,
+    min_adversarial_bound,
+    ring_added_global_fraction,
+    ring_added_link_fraction,
+    valiant_bound,
+)
+from repro.analysis.results import Table
+from repro.engine.config import SimulationConfig
+from repro.engine.runner import run_burst, run_steady_state, run_transient
+from repro.experiments.common import get_scale
+from repro.topology.dragonfly import Dragonfly
+
+
+def _config(args, routing: str | None = None) -> SimulationConfig:
+    routing = routing or args.routing
+    if getattr(args, "paper", False):
+        return SimulationConfig.paper(routing=routing, seed=args.seed)
+    return SimulationConfig.small(h=args.h, routing=routing, seed=args.seed)
+
+
+def cmd_info(args) -> None:
+    topo = Dragonfly(args.h)
+    print(topo)
+    print(f"  groups            : {topo.num_groups}")
+    print(f"  routers           : {topo.num_routers} ({topo.ports_per_router} ports each)")
+    print(f"  nodes             : {topo.num_nodes}")
+    print(f"  local links       : {topo.num_local_links}")
+    print(f"  global links      : {topo.num_global_links}")
+    print("analytic bounds (phits/node/cycle):")
+    print(f"  MIN under ADV+N   : {min_adversarial_bound(args.h):.5f}  (1/(2h^2))")
+    print(f"  Valiant limit     : {valiant_bound():.3f}")
+    print(f"  ADV+h local funnel: {local_link_advh_bound(args.h):.4f}  (1/h)")
+    print("physical escape-ring cost:")
+    print(f"  extra links       : {100 * ring_added_link_fraction(args.h):.2f}%")
+    print(f"  extra long wires  : {100 * ring_added_global_fraction(args.h):.3f}%")
+
+
+def cmd_sweep(args) -> None:
+    cfg = _config(args)
+    loads = [float(x) for x in args.loads.split(",")]
+    table = Table(f"{args.routing} on {args.pattern} (h={cfg.h})")
+    points = []
+    for load in loads:
+        pt = run_steady_state(cfg, args.pattern, load, args.warmup, args.measure)
+        points.append(pt)
+        table.add_row(pt.as_row())
+    print(table.to_text())
+    if args.chart:
+        from repro.analysis.plots import throughput_chart
+        from repro.analysis.results import Series
+
+        print(throughput_chart([Series(args.routing, points)]))
+
+
+def cmd_transient(args) -> None:
+    cfg = _config(args)
+    result = run_transient(
+        cfg, args.before, args.after, args.load,
+        warmup=args.warmup, post=args.measure, bucket=args.bucket,
+    )
+    table = Table(
+        f"{args.routing}: {args.before} -> {args.after} at load {args.load} "
+        f"(switch at cycle {result.switch_cycle})"
+    )
+    for cyc, lat in result.series:
+        table.add(send_cycle=cyc, avg_latency=round(lat, 1))
+    print(table.to_text())
+
+
+def cmd_burst(args) -> None:
+    cfg = _config(args)
+    res = run_burst(cfg, args.pattern, args.packets)
+    print(f"{args.routing} on {args.pattern}: {res.total_packets} packets "
+          f"consumed by cycle {res.completion_cycle} "
+          f"({res.packets_per_cycle:.2f} pkts/cycle, "
+          f"avg latency {res.avg_latency:.1f}, "
+          f"ring usage {100 * res.ring_fraction:.2f}%)")
+
+
+def cmd_offsets(args) -> None:
+    from repro.experiments import fig2_offsets
+
+    scale = get_scale(args.scale)
+    print(fig2_offsets.run(scale, load=args.load).to_text())
+
+
+def cmd_figure(args) -> None:
+    from repro.experiments import (
+        ablations,
+        congestion,
+        fig2_offsets,
+        fig3_uniform,
+        fig4_adv2,
+        fig5_advh,
+        fig6_transient,
+        fig7_bursts,
+        fig8_ring,
+        fig9_reduced_vcs,
+        mapping_study,
+    )
+
+    scale = get_scale(args.scale)
+    name = args.name.lower()
+    if name == "fig2":
+        print(fig2_offsets.run(scale).to_text())
+    elif name == "fig3":
+        table, series = fig3_uniform.run(scale)
+        print(table.to_text())
+        print(fig3_uniform.summary(series).to_text())
+    elif name == "fig4":
+        table, series = fig4_adv2.run(scale)
+        print(table.to_text())
+        print(fig4_adv2.summary(series).to_text())
+    elif name == "fig5":
+        table, series = fig5_advh.run(scale)
+        print(table.to_text())
+        print(fig5_advh.summary(scale, series).to_text())
+    elif name == "fig6":
+        print(fig6_transient.run(scale).to_text())
+    elif name == "fig7":
+        table = fig7_bursts.run(scale)
+        print(table.to_text())
+        print(f"mean OFAR time vs PB: {fig7_bursts.ofar_speedup(table):.3f} (paper: 0.695)")
+    elif name == "fig8":
+        print(fig8_ring.run(scale).to_text())
+    elif name == "fig9":
+        print(fig9_reduced_vcs.run(scale).to_text())
+    elif name == "ablations":
+        print(ablations.run_thresholds(scale).to_text())
+        print(ablations.run_allocator_iterations(scale).to_text())
+        print(ablations.run_ring_exits(scale).to_text())
+        print(ablations.run_mechanism_family(scale).to_text())
+    elif name == "congestion":
+        print(congestion.run(scale).to_text())
+    elif name == "mapping":
+        print(mapping_study.run(scale).to_text())
+    elif name == "design":
+        from repro.experiments import router_design
+
+        print(router_design.run(scale).to_text())
+    else:
+        raise SystemExit(f"unknown figure {args.name!r} (fig2..fig9, ablations, "
+                         f"congestion, mapping, design)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="OFAR dragonfly reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, routing=True):
+        p.add_argument("--h", type=int, default=2, help="dragonfly h (default 2)")
+        p.add_argument("--paper", action="store_true",
+                       help="use the paper's full h=6 configuration")
+        p.add_argument("--seed", type=int, default=1)
+        if routing:
+            p.add_argument("--routing", default="ofar",
+                           choices=["min", "val", "ugal", "pb", "par", "ofar", "ofar-l"])
+        p.add_argument("--warmup", type=int, default=1000)
+        p.add_argument("--measure", type=int, default=1200)
+
+    p = sub.add_parser("info", help="topology facts and analytic bounds")
+    p.add_argument("--h", type=int, default=6)
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("sweep", help="steady-state load sweep")
+    common(p)
+    p.add_argument("--pattern", default="UN")
+    p.add_argument("--loads", default="0.1,0.2,0.3,0.4,0.5")
+    p.add_argument("--chart", action="store_true",
+                   help="render an ASCII throughput chart after the table")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("transient", help="pattern-switch experiment")
+    common(p)
+    p.add_argument("--before", default="UN")
+    p.add_argument("--after", default="ADV+2")
+    p.add_argument("--load", type=float, default=0.14)
+    p.add_argument("--bucket", type=int, default=50)
+    p.set_defaults(func=cmd_transient)
+
+    p = sub.add_parser("burst", help="burst-consumption experiment")
+    common(p)
+    p.add_argument("--pattern", default="MIX1")
+    p.add_argument("--packets", type=int, default=20,
+                   help="packets per node in the burst")
+    p.set_defaults(func=cmd_burst)
+
+    p = sub.add_parser("offsets", help="ADV offset study (Fig. 2)")
+    p.add_argument("--scale", default="small")
+    p.add_argument("--load", type=float, default=0.5)
+    p.set_defaults(func=cmd_offsets)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("name", help="fig2..fig9, ablations, congestion, mapping")
+    p.add_argument("--scale", default="medium",
+                   choices=["tiny", "small", "medium", "large", "paper"])
+    p.set_defaults(func=cmd_figure)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> None:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

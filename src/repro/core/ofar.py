@@ -1,0 +1,259 @@
+"""OFAR: On-the-Fly Adaptive Routing (the paper's contribution, §IV).
+
+OFAR decouples routing freedom from deadlock avoidance:
+
+**Dynamic in-transit misrouting (§IV-A).**  Every router may divert a
+head packet away from its minimal output when that output is
+unavailable.  Misrouting is bounded by two header flags — at most one
+nonminimal *global* hop per packet and one nonminimal *local* hop per
+group — limiting paths to ``l-l-g-l-l-g-l-l`` (6 local + 2 global hops)
+in the paper's template.  One documented divergence: the paper counts 8
+hops, but its own per-hop rule ("each packet always has a minimal
+output; misroute when it is unavailable") admits one extra *minimal*
+local hop per group after a local misroute (e.g. owner -> neighbour
+(misroute) -> owner (minimal retry)), so the strict bound here is 3
+local hops per group and 10 hops total off the ring.  Such bounces are
+rare and useful (they retry the congested port after a detour), and the
+flags still guarantee livelock-free forward progress.
+The misroute *type* follows the starvation-avoiding policy of §IV-A:
+
+====================  =======================================
+packet sits in        allowed misroute
+====================  =======================================
+injection queue       global (saves the first local Valiant
+                      hop); local only for intra-group traffic
+local/global queue    local first, then (source group only,
+                      once the local hop of that group is
+                      spent) global
+====================  =======================================
+
+Global misrouting is only meaningful in the source group (elsewhere the
+packet already crossed toward its destination group), and the
+intermediate group is *implicitly* chosen by whichever global port the
+packet wins — "determined by credits of the global ports of the current
+router", not by remote state.
+
+**Contention-aware thresholds (§IV-B).**  Misrouting is considered only
+when the minimal output is unavailable (busy, claimed this cycle, or
+out of credits) and its estimated occupancy ``Q_min`` is at least
+``Th_min``; a nonminimal output is eligible iff its occupancy does not
+exceed ``Th_non-min`` (by default ``0.9 * Q_min``).  Among eligible
+outputs one is requested *uniformly at random* — always chasing the
+least-congested port would stampede all inputs onto it.
+
+**Escape subnetwork (§IV-C).**  When a packet can neither advance
+minimally nor misroute, it requests the Hamiltonian escape ring (bubble
+flow control: *entering* requires space for two packets, riding the
+ring requires one).  A packet on the ring leaves it as soon as a
+minimal output is available, at most ``max_ring_exits`` times (livelock
+bound); afterwards it rides the ring, which passes every router, until
+it reaches its destination.  No VC ordering is imposed anywhere, which
+is exactly what permits in-transit re-routing with the same VC count as
+previous proposals.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.network.router import (
+    KIND_MIN,
+    KIND_MIS_GLOBAL,
+    KIND_MIS_LOCAL,
+    KIND_RING_ENTER,
+    KIND_RING_EXIT,
+    KIND_RING_MOVE,
+    OutputChannel,
+    Router,
+)
+from repro.routing.base import RoutingAlgorithm
+from repro.topology.dragonfly import PortKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.network import Network
+    from repro.network.packet import Packet
+
+
+class OFARRouting(RoutingAlgorithm):
+    """OFAR (and, with ``allow_local_misroute=False``, OFAR-L)."""
+
+    def __init__(
+        self,
+        network: "Network",
+        rng: random.Random,
+        allow_local_misroute: bool = True,
+    ) -> None:
+        super().__init__(network, rng)
+        if network.config.escape == "none":
+            raise ValueError("OFAR requires an escape subnetwork")
+        self.allow_local_misroute = allow_local_misroute
+        self.name = "ofar" if allow_local_misroute else "ofar-l"
+        topo = self.topo
+        self._local_port_range = range(topo.node_ports, topo.node_ports + topo.local_ports)
+        self._global_port_range = range(
+            topo.node_ports + topo.local_ports, topo.ports_per_router
+        )
+
+    # ------------------------------------------------------------------
+    def route(self, rt: Router, in_port: int, in_vc: int, pkt: "Packet", cycle: int):
+        size = pkt.size
+        if pkt.head_cycle < 0:
+            pkt.head_cycle = cycle  # first evaluation at this buffer head
+        if pkt.on_ring:
+            return self._route_on_ring(rt, pkt, cycle, size)
+        mp = self.min_output(rt, pkt)
+        ch = rt.out[mp]
+        if ch.kind is PortKind.NODE:
+            # Ejection has no alternative (and cannot deadlock).
+            if rt.min_available(mp, cycle, 0, size):
+                return (mp, 0, KIND_MIN)
+            return None
+        if rt.out_port_free(mp, cycle):
+            vc = ch.best_data_vc(size)
+            if vc >= 0:
+                return (mp, vc, KIND_MIN)
+        # Minimal output unavailable: consider misrouting (§IV-B).
+        q_min = ch.occupancy_fraction()
+        thresholds = self.config.thresholds
+        if q_min >= thresholds.th_min:
+            req = self._misroute(rt, in_port, pkt, mp, q_min, cycle, size)
+            if req is not None:
+                return req
+        # Last resort: the escape ring (§IV-C) — only when the packet
+        # truly cannot advance (the minimal output is out of credits,
+        # not merely lost to arbitration or serialization this cycle)
+        # and has been blocked past the escape patience.
+        if (
+            ch.best_data_vc(size) < 0
+            and cycle - pkt.head_cycle >= self.config.escape_patience
+        ):
+            return self._enter_ring(rt, cycle, size)
+        return None
+
+    # ------------------------------------------------------------------
+    # Misrouting
+    # ------------------------------------------------------------------
+    def _misroute(
+        self,
+        rt: Router,
+        in_port: int,
+        pkt: "Packet",
+        min_port: int,
+        q_min: float,
+        cycle: int,
+        size: int,
+    ):
+        group = rt.group
+        may_global = (
+            not pkt.global_misrouted
+            and group == pkt.src_group
+            and pkt.dst_group != group
+        )
+        may_local = self.allow_local_misroute and pkt.local_misroute_group != group
+        in_kind = rt.in_kind[in_port]
+        if in_kind is PortKind.NODE:
+            # Injection-queue packets misroute globally (for inter-group
+            # traffic); intra-group traffic may only divert locally.
+            if may_global:
+                ports, kind, exclude_in = self._global_port_range, KIND_MIS_GLOBAL, -1
+            elif may_local and pkt.dst_group == group:
+                ports, kind, exclude_in = self._local_port_range, KIND_MIS_LOCAL, -1
+            else:
+                return None
+        else:
+            # In-transit packets: locally first, then (source group only)
+            # globally once this group's local misroute is spent — the
+            # paper's starvation-avoiding policy.  The "global-first"
+            # ablation reverses the preference (see config).
+            local_first = self.config.ofar_transit_misroute == "local-first"
+            if may_global and (not local_first or not may_local):
+                ports, kind, exclude_in = self._global_port_range, KIND_MIS_GLOBAL, -1
+            elif may_local:
+                ports, kind = self._local_port_range, KIND_MIS_LOCAL
+                # Don't bounce straight back over the link we came from.
+                exclude_in = in_port if in_kind is PortKind.LOCAL else -1
+            else:
+                return None
+        candidates = []
+        out = rt.out
+        thresholds = self.config.thresholds
+        for port in ports:
+            if port == min_port or port == exclude_in:
+                continue
+            if not rt.out_port_free(port, cycle):
+                continue
+            ch = out[port]
+            if not thresholds.eligible(ch.occupancy_fraction(), q_min):
+                continue
+            vc = ch.best_data_vc(size)
+            if vc >= 0:
+                candidates.append((port, vc))
+        if not candidates:
+            return None
+        port, vc = candidates[self.rng.randrange(len(candidates))] if len(candidates) > 1 else candidates[0]
+        return (port, vc, kind)
+
+    # ------------------------------------------------------------------
+    # Escape ring
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _best_ring_vc(ch: OutputChannel, needed: int) -> int:
+        """Ring VC with the most credits, requiring at least ``needed``.
+
+        On the physical ring every VC is a ring VC; on an embedded-ring
+        channel only the extra VC is.
+        """
+        if ch.kind is PortKind.RING:
+            best, best_credits = -1, needed - 1
+            for v in range(ch.num_vcs):
+                c = ch.credits[v]
+                if c > best_credits:
+                    best_credits = c
+                    best = v
+            return best
+        v = ch.ring_vc
+        return v if v >= 0 and ch.credits[v] >= needed else -1
+
+    def _enter_ring(self, rt: Router, cycle: int, size: int):
+        # Among the usable escape rings (alive, port free, bubble space
+        # for TWO packets so ring movement can never stall globally),
+        # request the one with the most ring credits.
+        disabled = self.network.disabled_rings
+        best = None
+        best_credits = -1
+        for ring_id, (port, _) in enumerate(self.network.escape_hops[rt.rid]):
+            if ring_id in disabled or not rt.out_port_free(port, cycle):
+                continue
+            ch = rt.out[port]
+            vc = self._best_ring_vc(ch, 2 * size)
+            if vc < 0:
+                continue
+            if ch.credits[vc] > best_credits:
+                best_credits = ch.credits[vc]
+                best = (port, vc, KIND_RING_ENTER)
+        return best
+
+    def _route_on_ring(self, rt: Router, pkt: "Packet", cycle: int, size: int):
+        mp = self.min_output(rt, pkt)
+        ch = rt.out[mp]
+        if ch.kind is PortKind.NODE:
+            # Destination router reached: eject (always permitted).
+            if rt.min_available(mp, cycle, 0, size):
+                return (mp, 0, KIND_RING_EXIT)
+        elif pkt.ring_exits < self.config.max_ring_exits:
+            # Abandon the ring as soon as a minimal output is available.
+            if rt.out_port_free(mp, cycle):
+                vc = ch.best_data_vc(size)
+                if vc >= 0:
+                    return (mp, vc, KIND_RING_EXIT)
+        # Ride the ring the packet entered: a packet already on a ring
+        # only needs space for itself (the bubble was paid on entry).
+        hops = self.network.escape_hops[rt.rid]
+        ring_id = pkt.ring_id if 0 <= pkt.ring_id < len(hops) else 0
+        port, _ = hops[ring_id]
+        if rt.out_port_free(port, cycle):
+            vc = self._best_ring_vc(rt.out[port], size)
+            if vc >= 0:
+                return (port, vc, KIND_RING_MOVE)
+        return None

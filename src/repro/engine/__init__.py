@@ -1,0 +1,25 @@
+"""Simulation engine: configuration, the single-cycle loop, metrics and
+experiment runners (steady-state load sweeps, transients, bursts)."""
+
+from repro.engine.config import SimulationConfig, ThresholdConfig
+from repro.engine.metrics import Metrics, LoadPoint
+from repro.engine.simulator import Simulator, DeadlockError
+from repro.engine.runner import (
+    run_steady_state,
+    run_load_sweep,
+    run_transient,
+    run_burst,
+)
+
+__all__ = [
+    "SimulationConfig",
+    "ThresholdConfig",
+    "Metrics",
+    "LoadPoint",
+    "Simulator",
+    "DeadlockError",
+    "run_steady_state",
+    "run_load_sweep",
+    "run_transient",
+    "run_burst",
+]

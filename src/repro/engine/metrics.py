@@ -1,0 +1,223 @@
+"""Measurement machinery.
+
+The paper reports three kinds of numbers, all supported here:
+
+- **steady state** (Figs. 3-5, 8, 9): average packet latency and
+  accepted throughput in phits/(node·cycle) over a measurement window
+  that starts after warm-up (``Metrics.reset``);
+- **transients** (Fig. 6): the average latency of the packets *sent*
+  in each cycle — a received packet's latency is accounted to the cycle
+  it was created in (enable with ``record_send_latency``);
+- **bursts** (Fig. 7): the cycle at which the last packet of a fixed
+  backlog is consumed (tracked by the runner via
+  ``ejected_packets``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.network.packet import Packet
+
+
+@dataclass
+class LoadPoint:
+    """One point of a latency/throughput-vs-load curve."""
+
+    offered_load: float  # phits/(node*cycle) requested from the generator
+    throughput: float  # accepted phits/(node*cycle) in the window
+    avg_latency: float  # cycles, generation -> complete ejection
+    avg_network_latency: float  # cycles, injection -> complete ejection
+    avg_hops: float
+    avg_local_hops: float
+    avg_global_hops: float
+    p50_latency: float  # median latency (histogram estimate)
+    p99_latency: float  # tail latency (histogram estimate)
+    ejected_packets: int
+    window_cycles: int
+    ring_fraction: float  # fraction of ejected packets that used the ring
+    local_misroute_rate: float  # nonminimal local hops per ejected packet
+    global_misroute_rate: float  # nonminimal global hops per ejected packet
+
+    def as_row(self) -> dict:
+        """Flat dict for CSV/markdown emission."""
+        return {
+            "load": round(self.offered_load, 4),
+            "throughput": round(self.throughput, 4),
+            "latency": round(self.avg_latency, 1),
+            "net_latency": round(self.avg_network_latency, 1),
+            "hops": round(self.avg_hops, 2),
+            "p50": round(self.p50_latency, 1),
+            "p99": round(self.p99_latency, 1),
+            "ring_frac": round(self.ring_fraction, 4),
+            "mis_local": round(self.local_misroute_rate, 3),
+            "mis_global": round(self.global_misroute_rate, 3),
+            "packets": self.ejected_packets,
+        }
+
+
+@dataclass
+class Metrics:
+    """Windowed counters, fed by the simulator's ejection hook."""
+
+    num_nodes: int
+    packet_size: int
+    record_send_latency: bool = False
+    send_bucket: int = 1  # cycles per send-latency bucket
+    histogram_bucket: int = 4  # cycles per latency-histogram bucket
+    record_per_source: bool = False  # per-source-node ejected counts
+
+    window_start: int = 0
+    generated_packets: int = 0
+    injected_packets: int = 0
+    ejected_packets: int = 0
+    ejected_phits: int = 0
+    latency_sum: int = 0
+    network_latency_sum: int = 0
+    hops_sum: int = 0
+    local_hops_sum: int = 0
+    global_hops_sum: int = 0
+    ring_hops_sum: int = 0
+    ring_packets: int = 0
+    local_misroutes: int = 0
+    global_misroutes: int = 0
+    max_latency: int = 0
+    send_latency: dict[int, list[int]] = field(default_factory=dict)
+    latency_histogram: dict[int, int] = field(default_factory=dict)
+    source_counts: dict[int, int] = field(default_factory=dict)
+
+    def reset(self, cycle: int) -> None:
+        """Start a fresh measurement window at ``cycle``."""
+        self.window_start = cycle
+        self.generated_packets = 0
+        self.injected_packets = 0
+        self.ejected_packets = 0
+        self.ejected_phits = 0
+        self.latency_sum = 0
+        self.network_latency_sum = 0
+        self.hops_sum = 0
+        self.local_hops_sum = 0
+        self.global_hops_sum = 0
+        self.ring_hops_sum = 0
+        self.ring_packets = 0
+        self.local_misroutes = 0
+        self.global_misroutes = 0
+        self.max_latency = 0
+        self.send_latency = {}
+        self.latency_histogram = {}
+        self.source_counts = {}
+
+    # ------------------------------------------------------------------
+    def on_generate(self, count: int = 1) -> None:
+        self.generated_packets += count
+
+    def on_inject(self, pkt: Packet) -> None:
+        self.injected_packets += 1
+
+    def on_eject(self, pkt: Packet, cycle: int) -> None:
+        self.ejected_packets += 1
+        self.ejected_phits += pkt.size
+        lat = cycle - pkt.created_cycle
+        self.latency_sum += lat
+        self.network_latency_sum += cycle - pkt.injected_cycle
+        if lat > self.max_latency:
+            self.max_latency = lat
+        bucket = lat // self.histogram_bucket
+        self.latency_histogram[bucket] = self.latency_histogram.get(bucket, 0) + 1
+        if self.record_per_source:
+            self.source_counts[pkt.src] = self.source_counts.get(pkt.src, 0) + 1
+        self.hops_sum += pkt.hops
+        self.local_hops_sum += pkt.local_hops
+        self.global_hops_sum += pkt.global_hops
+        self.ring_hops_sum += pkt.ring_hops
+        if pkt.used_ring:
+            self.ring_packets += 1
+        self.local_misroutes += pkt.misroutes_local
+        self.global_misroutes += pkt.misroutes_global
+        if self.record_send_latency:
+            bucket = pkt.created_cycle - pkt.created_cycle % self.send_bucket
+            cell = self.send_latency.get(bucket)
+            if cell is None:
+                self.send_latency[bucket] = [lat, 1]
+            else:
+                cell[0] += lat
+                cell[1] += 1
+
+    # ------------------------------------------------------------------
+    def latency_percentile(self, fraction: float) -> float:
+        """Latency percentile estimated from the bucketed histogram.
+
+        Returns the upper edge of the bucket containing the requested
+        fraction of ejected packets; 0.0 when nothing was measured.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        total = sum(self.latency_histogram.values())
+        if total == 0:
+            return 0.0
+        need = fraction * total
+        seen = 0
+        for bucket in sorted(self.latency_histogram):
+            seen += self.latency_histogram[bucket]
+            if seen >= need:
+                return (bucket + 1) * self.histogram_bucket
+        return (max(self.latency_histogram) + 1) * self.histogram_bucket
+
+    def load_point(self, offered_load: float, cycle: int) -> LoadPoint:
+        """Summarize the window that started at the last reset."""
+        window = max(1, cycle - self.window_start)
+        n = max(1, self.ejected_packets)
+        return LoadPoint(
+            offered_load=offered_load,
+            throughput=self.ejected_phits / (self.num_nodes * window),
+            avg_latency=self.latency_sum / n,
+            avg_network_latency=self.network_latency_sum / n,
+            avg_hops=self.hops_sum / n,
+            avg_local_hops=self.local_hops_sum / n,
+            avg_global_hops=self.global_hops_sum / n,
+            p50_latency=self.latency_percentile(0.5),
+            p99_latency=self.latency_percentile(0.99),
+            ejected_packets=self.ejected_packets,
+            window_cycles=window,
+            ring_fraction=self.ring_packets / n,
+            local_misroute_rate=self.local_misroutes / n,
+            global_misroute_rate=self.global_misroutes / n,
+        )
+
+    def jain_index(self, num_nodes: int | None = None) -> float:
+        """Jain's fairness index over per-source ejected counts.
+
+        1.0 = perfectly fair; 1/n = one node gets everything.  Nodes
+        that ejected nothing count as zero when ``num_nodes`` is given
+        (starvation shows up only if silent nodes are included).
+        """
+        if not self.record_per_source:
+            raise ValueError("enable record_per_source to measure fairness")
+        counts = list(self.source_counts.values())
+        if num_nodes is not None:
+            counts += [0] * (num_nodes - len(counts))
+        if not counts or sum(counts) == 0:
+            return 1.0
+        total = sum(counts)
+        squares = sum(c * c for c in counts)
+        return (total * total) / (len(counts) * squares)
+
+    def worst_source_share(self, num_nodes: int) -> float:
+        """Worst node's share of the ideal equal share (0 = starved)."""
+        if not self.record_per_source:
+            raise ValueError("enable record_per_source to measure fairness")
+        total = sum(self.source_counts.values())
+        if total == 0:
+            return 1.0
+        worst = min(
+            (self.source_counts.get(node, 0) for node in range(num_nodes)),
+            default=0,
+        )
+        return worst * num_nodes / total
+
+    def send_latency_series(self) -> list[tuple[int, float]]:
+        """(send-cycle bucket, average latency) sorted by bucket."""
+        return [
+            (bucket, total / count)
+            for bucket, (total, count) in sorted(self.send_latency.items())
+        ]

@@ -1,0 +1,72 @@
+"""Parallel execution of independent simulation points.
+
+Every steady-state point is an independent single-threaded simulation,
+so load sweeps and figure grids parallelize embarrassingly across
+processes.  This module wraps :func:`concurrent.futures` with the
+pickle-friendly plumbing (configs are frozen dataclasses; the worker is
+a module-level function), preserving the exact same results as the
+sequential runner — determinism comes from the per-point seed, not from
+execution order.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.engine.config import SimulationConfig
+from repro.engine.metrics import LoadPoint
+from repro.engine.runner import run_steady_state
+
+
+def _point(task: tuple[SimulationConfig, str, float, int, int]) -> LoadPoint:
+    config, pattern, load, warmup, measure = task
+    return run_steady_state(config, pattern, load, warmup, measure)
+
+
+def default_workers() -> int:
+    """Half the CPUs, at least 1 — simulations are memory-light but the
+    harness usually runs other things too."""
+    return max(1, (os.cpu_count() or 2) // 2)
+
+
+def run_load_sweep_parallel(
+    config: SimulationConfig,
+    pattern_spec: str,
+    loads: list[float],
+    warmup: int = 2_000,
+    measure: int = 2_000,
+    workers: int | None = None,
+) -> list[LoadPoint]:
+    """Parallel equivalent of :func:`repro.engine.runner.run_load_sweep`.
+
+    Results are returned in ``loads`` order and are identical to the
+    sequential runner's (same seeds, same simulations).
+    """
+    tasks = [(config, pattern_spec, load, warmup, measure) for load in loads]
+    if workers is None:
+        workers = default_workers()
+    if workers <= 1 or len(tasks) <= 1:
+        return [_point(t) for t in tasks]
+    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+        return list(pool.map(_point, tasks))
+
+
+def run_grid_parallel(
+    tasks: list[tuple[SimulationConfig, str, float]],
+    warmup: int = 2_000,
+    measure: int = 2_000,
+    workers: int | None = None,
+) -> list[LoadPoint]:
+    """Run an arbitrary (config, pattern, load) grid in parallel.
+
+    Useful for figure drivers that sweep routings x loads; results come
+    back in task order.
+    """
+    full = [(cfg, pattern, load, warmup, measure) for cfg, pattern, load in tasks]
+    if workers is None:
+        workers = default_workers()
+    if workers <= 1 or len(full) <= 1:
+        return [_point(t) for t in full]
+    with ProcessPoolExecutor(max_workers=min(workers, len(full))) as pool:
+        return list(pool.map(_point, full))

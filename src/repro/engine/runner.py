@@ -1,0 +1,156 @@
+"""Experiment runners: steady state, load sweeps, transients, bursts.
+
+These wrap :class:`~repro.engine.simulator.Simulator` with the paper's
+measurement protocols so experiment drivers and benchmarks stay
+declarative.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.engine.config import SimulationConfig
+from repro.engine.metrics import LoadPoint
+from repro.engine.simulator import Simulator
+from repro.traffic.generators import BernoulliTraffic, BurstTraffic, TransientTraffic
+from repro.traffic.patterns import make_pattern
+
+
+def _pattern_rng(config: SimulationConfig, salt: int) -> random.Random:
+    """Dedicated RNG for destination choices, decoupled from the
+    router-level RNG so routing decisions don't perturb the workload."""
+    return random.Random((config.seed << 16) ^ salt)
+
+
+def run_steady_state(
+    config: SimulationConfig,
+    pattern_spec: str,
+    load: float,
+    warmup: int = 2_000,
+    measure: int = 2_000,
+) -> LoadPoint:
+    """Warm up, measure, and summarize one (config, pattern, load) point."""
+    sim = Simulator(config)
+    pattern = make_pattern(sim.network.topo, _pattern_rng(config, 0xA5), pattern_spec)
+    sim.generator = BernoulliTraffic(
+        pattern, load, config.packet_size, sim.network.topo.num_nodes, config.seed ^ 0x5A5A
+    )
+    sim.warm_up(warmup)
+    sim.run(measure)
+    return sim.metrics.load_point(load, sim.cycle)
+
+
+def run_load_sweep(
+    config: SimulationConfig,
+    pattern_spec: str,
+    loads: list[float],
+    warmup: int = 2_000,
+    measure: int = 2_000,
+) -> list[LoadPoint]:
+    """One steady-state point per offered load (fresh simulator each)."""
+    return [
+        run_steady_state(config, pattern_spec, load, warmup, measure) for load in loads
+    ]
+
+
+@dataclass
+class TransientResult:
+    """Latency-vs-send-cycle series around a traffic pattern switch."""
+
+    switch_cycle: int
+    series: list[tuple[int, float]]  # (send cycle bucket, avg latency)
+
+    def average_latency(self, start: int, end: int) -> float:
+        """Mean of the series over send cycles in [start, end)."""
+        vals = [lat for cyc, lat in self.series if start <= cyc < end]
+        if not vals:
+            raise ValueError(f"no samples in [{start}, {end})")
+        return sum(vals) / len(vals)
+
+    def settle_cycle(self, target: float, after: int) -> int | None:
+        """First send-cycle >= ``after`` from which latency stays <= target.
+
+        Returns None when the series never settles.  This quantifies the
+        'adaptation period' visible in Fig. 6.
+        """
+        settled_from = None
+        for cyc, lat in self.series:
+            if cyc < after:
+                continue
+            if lat <= target:
+                if settled_from is None:
+                    settled_from = cyc
+            else:
+                settled_from = None
+        return settled_from
+
+
+def run_transient(
+    config: SimulationConfig,
+    before_spec: str,
+    after_spec: str,
+    load: float,
+    warmup: int = 3_000,
+    post: int = 3_000,
+    drain_margin: int = 4_000,
+    bucket: int = 20,
+) -> TransientResult:
+    """Fig. 6 protocol: warm up with one pattern, switch, watch latency.
+
+    The returned series covers send cycles in [0, warmup + post); the
+    simulation continues ``drain_margin`` extra cycles so late packets
+    from the reported range are (almost) all accounted.
+    """
+    sim = Simulator(config, record_send_latency=True, send_bucket=bucket)
+    topo = sim.network.topo
+    phases = [
+        (0, make_pattern(topo, _pattern_rng(config, 0xB0), before_spec)),
+        (warmup, make_pattern(topo, _pattern_rng(config, 0xB1), after_spec)),
+    ]
+    sim.generator = TransientTraffic(
+        phases, load, config.packet_size, topo.num_nodes, config.seed ^ 0x7171
+    )
+    sim.run(warmup + post + drain_margin)
+    series = [
+        (cyc, lat) for cyc, lat in sim.metrics.send_latency_series() if cyc < warmup + post
+    ]
+    return TransientResult(switch_cycle=warmup, series=series)
+
+
+@dataclass
+class BurstResult:
+    """Fig. 7 protocol result: time to consume a fixed backlog."""
+
+    completion_cycle: int
+    total_packets: int
+    avg_latency: float
+    avg_hops: float
+    ring_fraction: float
+
+    @property
+    def packets_per_cycle(self) -> float:
+        return self.total_packets / self.completion_cycle
+
+
+def run_burst(
+    config: SimulationConfig,
+    pattern_spec: str,
+    packets_per_node: int,
+    max_cycles: int = 2_000_000,
+) -> BurstResult:
+    """Inject a fixed per-node backlog and time its full consumption."""
+    sim = Simulator(config)
+    topo = sim.network.topo
+    pattern = make_pattern(topo, _pattern_rng(config, 0xC2), pattern_spec)
+    sim.generator = BurstTraffic(pattern, packets_per_node, topo.num_nodes)
+    completion = sim.run_until_drained(max_cycles)
+    m = sim.metrics
+    n = max(1, m.ejected_packets)
+    return BurstResult(
+        completion_cycle=completion,
+        total_packets=m.ejected_packets,
+        avg_latency=m.latency_sum / n,
+        avg_hops=m.hops_sum / n,
+        ring_fraction=m.ring_packets / n,
+    )

@@ -1,0 +1,105 @@
+"""Saturation analysis utilities.
+
+The paper reports saturation throughputs ("OFAR saturates at 0.45, PB
+around 0.38").  Reading them off a coarse load sweep is noisy, so this
+module provides:
+
+- :func:`accepted_ratio` — one steady-state probe returning
+  accepted/offered;
+- :func:`find_saturation` — bisection for the highest offered load the
+  network still accepts (within a tolerance), the standard definition
+  of the saturation point;
+- :func:`run_until_stable` — a steady-state run that extends its
+  measurement window until the throughput of consecutive windows agrees,
+  instead of trusting a fixed warm-up.
+"""
+
+from __future__ import annotations
+
+from repro.engine.config import SimulationConfig
+from repro.engine.metrics import LoadPoint
+from repro.engine.runner import _pattern_rng, run_steady_state
+from repro.engine.simulator import Simulator
+from repro.traffic.generators import BernoulliTraffic
+from repro.traffic.patterns import make_pattern
+
+
+def accepted_ratio(
+    config: SimulationConfig,
+    pattern_spec: str,
+    load: float,
+    warmup: int = 1_000,
+    measure: int = 1_000,
+) -> float:
+    """Accepted/offered throughput ratio at one load (1.0 = keeping up)."""
+    if load <= 0.0:
+        raise ValueError("load must be positive")
+    point = run_steady_state(config, pattern_spec, load, warmup, measure)
+    return point.throughput / load
+
+
+def find_saturation(
+    config: SimulationConfig,
+    pattern_spec: str,
+    lo: float = 0.05,
+    hi: float = 1.0,
+    tolerance: float = 0.02,
+    acceptance: float = 0.95,
+    warmup: int = 1_000,
+    measure: int = 1_000,
+) -> float:
+    """Bisect for the saturation load of (config, pattern).
+
+    Returns the highest offered load (within ``tolerance``) at which the
+    network still accepts at least ``acceptance`` of it.  If even ``lo``
+    saturates, returns ``lo``; if ``hi`` does not, returns ``hi``.
+    """
+    if not 0 < lo < hi <= 1.0:
+        raise ValueError("need 0 < lo < hi <= 1.0")
+    if accepted_ratio(config, pattern_spec, lo, warmup, measure) < acceptance:
+        return lo
+    if accepted_ratio(config, pattern_spec, hi, warmup, measure) >= acceptance:
+        return hi
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2
+        if accepted_ratio(config, pattern_spec, mid, warmup, measure) >= acceptance:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def run_until_stable(
+    config: SimulationConfig,
+    pattern_spec: str,
+    load: float,
+    window: int = 1_000,
+    rel_tol: float = 0.03,
+    max_windows: int = 12,
+) -> LoadPoint:
+    """Steady-state measurement with automatic convergence detection.
+
+    Runs one warm-up window, then measures in ``window``-cycle chunks
+    until two consecutive windows' throughputs agree within ``rel_tol``
+    (or ``max_windows`` elapse); returns the final window's LoadPoint.
+    """
+    sim = Simulator(config)
+    topo = sim.network.topo
+    pattern = make_pattern(topo, _pattern_rng(config, 0xE7), pattern_spec)
+    sim.generator = BernoulliTraffic(
+        pattern, load, config.packet_size, topo.num_nodes, config.seed ^ 0x3C3C
+    )
+    sim.warm_up(window)
+    previous: float | None = None
+    point = None
+    for _ in range(max_windows):
+        sim.metrics.reset(sim.cycle)
+        sim.run(window)
+        point = sim.metrics.load_point(load, sim.cycle)
+        if previous is not None:
+            scale = max(previous, point.throughput, 1e-9)
+            if abs(point.throughput - previous) / scale <= rel_tol:
+                return point
+        previous = point.throughput
+    assert point is not None
+    return point

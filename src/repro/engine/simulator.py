@@ -1,0 +1,202 @@
+"""The single-cycle simulation loop.
+
+Per-cycle order of operations (matching the paper's single-cycle
+simulator):
+
+1. deliver due events — packet arrivals, credit returns, ejections;
+2. routing algorithm tick (PB refreshes its broadcast flags here);
+3. traffic generation — new packets join their node's source queue;
+4. injection — every free node moves the head of its source queue into
+   the router's injection buffer (the injection wire serializes one
+   phit per cycle, so a node injects at most one packet every
+   ``packet_size`` cycles);
+5. allocation — every router with waiting head packets runs the
+   iterative separable allocator; grants execute immediately;
+6. progress watchdog — if packets exist but nothing has moved for
+   ``deadlock_cycles``, a :class:`DeadlockError` is raised (the
+   baselines' VC order and OFAR's escape ring must prevent this; the
+   Fig. 9 reduced-resource study disables neither but shows throughput
+   collapse *before* deadlock).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.engine.config import SimulationConfig
+from repro.engine.metrics import Metrics
+from repro.network.network import Network
+from repro.network.packet import Packet
+from repro.routing import make_routing
+from repro.traffic.generators import TrafficGenerator
+
+
+class DeadlockError(RuntimeError):
+    """No packet moved for ``deadlock_cycles`` while traffic was pending."""
+
+    def __init__(self, cycle: int, outstanding: int) -> None:
+        super().__init__(
+            f"no movement since cycle {cycle}: {outstanding} packets stuck in the network"
+        )
+        self.cycle = cycle
+        self.outstanding = outstanding
+
+
+class Simulator:
+    """Drives one :class:`~repro.network.network.Network` instance."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        generator: TrafficGenerator | None = None,
+        record_send_latency: bool = False,
+        send_bucket: int = 1,
+    ) -> None:
+        self.config = config
+        self.network = Network(config)
+        self.rng = random.Random(config.seed)
+        self.routing = make_routing(self.network, self.rng)
+        self.metrics = Metrics(
+            num_nodes=self.network.topo.num_nodes,
+            packet_size=config.packet_size,
+            record_send_latency=record_send_latency,
+            send_bucket=send_bucket,
+        )
+        self.network.on_eject = self.metrics.on_eject
+        self.generator = generator
+        self.cycle = 0
+        self._pid = 0
+        num_nodes = self.network.topo.num_nodes
+        self._source_queues: list[deque[Packet]] = [deque() for _ in range(num_nodes)]
+        self._node_busy = [0] * num_nodes
+        self._active_nodes: set[int] = set()
+        self._progress_marker = -1
+        self._progress_cycle = 0
+        # Total packets created (≥ injected: source queues buffer excess).
+        self.created_packets = 0
+
+    # ------------------------------------------------------------------
+    # Packet creation / injection
+    # ------------------------------------------------------------------
+    def create_packet(self, src: int, dst: int, cycle: int | None = None) -> Packet:
+        """Queue a new packet at node ``src`` (used by generators and tests)."""
+        if src == dst:
+            raise ValueError("source and destination nodes must differ")
+        topo = self.network.topo
+        if cycle is None:
+            cycle = self.cycle
+        pkt = Packet(
+            pid=self._pid,
+            src=src,
+            dst=dst,
+            size=self.config.packet_size,
+            created_cycle=cycle,
+            dst_router=topo.node_router(dst),
+            dst_group=topo.node_group(dst),
+            src_group=topo.node_group(src),
+        )
+        self._pid += 1
+        self._source_queues[src].append(pkt)
+        self._active_nodes.add(src)
+        self.created_packets += 1
+        self.metrics.on_generate()
+        return pkt
+
+    def _inject(self, cycle: int) -> None:
+        """Move source-queue heads into router injection buffers."""
+        done: list[int] = []
+        busy = self._node_busy
+        queues = self._source_queues
+        network = self.network
+        routing = self.routing
+        size = self.config.packet_size
+        for node in sorted(self._active_nodes):
+            if busy[node] > cycle:
+                continue
+            queue = queues[node]
+            pkt = queue[0]
+            # The injection-time decision (VAL/UGAL/PB) is re-taken on
+            # every attempt so it sees current queue state.
+            routing.on_inject(pkt)
+            if network.try_inject(pkt, cycle):
+                queue.popleft()
+                busy[node] = cycle + size
+                self.metrics.on_inject(pkt)
+                if not queue:
+                    done.append(node)
+        for node in done:
+            self._active_nodes.discard(node)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the simulation by one cycle."""
+        cycle = self.cycle
+        network = self.network
+        network.process_events(cycle)
+        routing = self.routing
+        routing.tick(cycle)
+        if self.generator is not None:
+            for src, dst in self.generator.packets_for_cycle(cycle):
+                self.create_packet(src, dst, cycle)
+        if self._active_nodes:
+            self._inject(cycle)
+        for rt in network.routers:
+            if rt.pending:
+                rt.allocate(cycle, routing, network)
+        # Progress watchdog.
+        marker = network.movements + network.injected_packets + network.ejected_packets
+        if marker != self._progress_marker:
+            self._progress_marker = marker
+            self._progress_cycle = cycle
+        elif (
+            self.outstanding_packets() > 0
+            and cycle - self._progress_cycle > self.config.deadlock_cycles
+        ):
+            raise DeadlockError(self._progress_cycle, self.outstanding_packets())
+        self.cycle = cycle + 1
+
+    def run(self, cycles: int) -> None:
+        """Advance ``cycles`` cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    def outstanding_packets(self) -> int:
+        """Packets created but not yet fully ejected."""
+        return self.created_packets - self.network.ejected_packets
+
+    def run_until_drained(self, max_cycles: int) -> int:
+        """Run until the generator (if any) finishes and every created
+        packet is ejected; returns the cycle of the last ejection.
+
+        Endless generators (steady Bernoulli) never finish: the run hits
+        ``max_cycles`` and raises :class:`TimeoutError`.
+        """
+        deadline = self.cycle + max_cycles
+
+        def active() -> bool:
+            if self.generator is not None and not self.generator.finished(self.cycle):
+                return True
+            return self.outstanding_packets() > 0
+
+        while active():
+            if self.cycle >= deadline:
+                raise TimeoutError(
+                    f"{self.outstanding_packets()} packets still outstanding "
+                    f"after {max_cycles} cycles"
+                )
+            self.step()
+        completion = self.cycle - 1
+        # Flush in-flight credit returns so the network is fully settled
+        # (every credit counter back at capacity).
+        while self.network.has_pending_events() and self.cycle < deadline:
+            self.step()
+        return completion
+
+    # ------------------------------------------------------------------
+    def warm_up(self, cycles: int) -> None:
+        """Run ``cycles`` and then reset the measurement window."""
+        self.run(cycles)
+        self.metrics.reset(self.cycle)

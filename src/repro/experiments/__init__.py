@@ -1,0 +1,16 @@
+"""Experiment drivers: one module per figure of the paper's evaluation.
+
+Every module exposes ``run(scale) -> Table`` (or a list of tables) and a
+``__main__`` entry point, so each figure can be regenerated with e.g.::
+
+    python -m repro.experiments.fig5_advh --scale medium
+
+Scales (see :mod:`repro.experiments.common`): ``tiny`` (h=2, seconds,
+used by the test suite), ``small`` (h=2), ``medium`` (h=3, the default
+for benchmarks), ``paper`` (h=6 with the exact §V parameters — slow in
+pure Python; provided for offline full-scale runs).
+"""
+
+from repro.experiments.common import Scale, TINY, SMALL, MEDIUM, PAPER, get_scale
+
+__all__ = ["Scale", "TINY", "SMALL", "MEDIUM", "PAPER", "get_scale"]

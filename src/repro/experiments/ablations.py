@@ -1,0 +1,116 @@
+"""Ablations of OFAR's design choices (§IV-B, §IV-C, §V).
+
+The paper tuned several knobs empirically; these sweeps regenerate the
+trade-offs so the chosen defaults can be audited:
+
+- **threshold policy** (§IV-B): the variable policy
+  ``Th_non-min = f * Q_min`` for several factors ``f`` against the
+  static policy ``Th_min=100%, Th_non-min=40%``, under both uniform and
+  adversarial traffic — the paper picked ``f = 0.9`` as "a reasonable
+  trade-off between the performance in adversarial and uniform
+  patterns";
+- **allocator iterations** (§V): the 3-iteration separable allocator
+  against 1 and 2 iterations;
+- **ring-exit bound** (§IV-C): the livelock limit on abandoning the
+  escape ring;
+- **misroute-type policy** (§IV-A): full OFAR vs OFAR-L (no local
+  misroute) vs a variant where *injection-queue* packets also misroute
+  locally first, quantifying the starvation argument of §IV-A.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.results import Table
+from repro.engine.config import ThresholdConfig
+from repro.engine.runner import run_steady_state
+from repro.experiments.common import Scale, cli_scale
+
+
+def threshold_policies() -> list[tuple[str, ThresholdConfig]]:
+    return [
+        ("var-0.5", ThresholdConfig.variable(0.5)),
+        ("var-0.75", ThresholdConfig.variable(0.75)),
+        ("var-0.9", ThresholdConfig.variable(0.9)),  # paper default
+        ("var-1.0", ThresholdConfig.variable(1.0)),
+        ("static-40", ThresholdConfig.static(th_min=1.0, th_nonmin=0.4)),
+    ]
+
+
+def run_thresholds(scale: Scale, loads: list[float] | None = None) -> Table:
+    """§IV-B: threshold policy vs throughput/latency on UN and ADV+h."""
+    if loads is None:
+        loads = [0.25, 0.45]
+    table = Table(f"Ablation — misroute thresholds (h={scale.h})")
+    for name, th in threshold_policies():
+        for pattern in ("UN", f"ADV+{scale.h}"):
+            for load in loads:
+                cfg = scale.config("ofar", thresholds=th)
+                pt = run_steady_state(cfg, pattern, load, scale.warmup, scale.measure)
+                table.add(
+                    policy=name,
+                    pattern=pattern,
+                    load=load,
+                    throughput=round(pt.throughput, 4),
+                    latency=round(pt.avg_latency, 1),
+                    mis_rate=round(pt.local_misroute_rate + pt.global_misroute_rate, 3),
+                )
+    return table
+
+
+def run_allocator_iterations(scale: Scale, load: float = 0.45) -> Table:
+    """§V: iterations of the separable allocator."""
+    table = Table(f"Ablation — allocator iterations (h={scale.h}, load={load})")
+    for iters in (1, 2, 3, 4):
+        for pattern in ("UN", f"ADV+{scale.h}"):
+            cfg = scale.config("ofar", allocator_iterations=iters)
+            pt = run_steady_state(cfg, pattern, load, scale.warmup, scale.measure)
+            table.add(
+                iterations=iters,
+                pattern=pattern,
+                throughput=round(pt.throughput, 4),
+                latency=round(pt.avg_latency, 1),
+            )
+    return table
+
+
+def run_ring_exits(scale: Scale, load: float = 0.5) -> Table:
+    """§IV-C: the livelock bound on abandoning the escape ring."""
+    table = Table(f"Ablation — max ring exits (h={scale.h}, load={load})")
+    pattern = f"ADV+{scale.h}"
+    for exits in (0, 1, 4, 16):
+        cfg = scale.config("ofar", max_ring_exits=exits)
+        pt = run_steady_state(cfg, pattern, load, scale.warmup, scale.measure)
+        table.add(
+            max_exits=exits,
+            throughput=round(pt.throughput, 4),
+            latency=round(pt.avg_latency, 1),
+            ring_frac=round(pt.ring_fraction, 4),
+        )
+    return table
+
+
+def run_mechanism_family(scale: Scale, loads: list[float] | None = None) -> Table:
+    """All implemented mechanisms side by side on the worst pattern,
+    including the extension baselines UGAL-L and PAR."""
+    if loads is None:
+        loads = [0.2, 0.4]
+    pattern = f"ADV+{scale.h}"
+    table = Table(f"Ablation — mechanism family on {pattern} (h={scale.h})")
+    for routing in ("min", "val", "ugal", "par", "pb", "ofar-l", "ofar"):
+        overrides = {"local_vcs": 4} if routing == "par" else {}
+        cfg = scale.config(routing, **overrides)
+        row: dict = {"routing": routing}
+        for load in loads:
+            pt = run_steady_state(cfg, pattern, load, scale.warmup, scale.measure)
+            row[f"thr@{load}"] = round(pt.throughput, 4)
+            row[f"lat@{load}"] = round(pt.avg_latency, 1)
+        table.add_row(row)
+    return table
+
+
+if __name__ == "__main__":
+    scale = cli_scale(__doc__)
+    print(run_thresholds(scale).to_text())
+    print(run_allocator_iterations(scale).to_text())
+    print(run_ring_exits(scale).to_text())
+    print(run_mechanism_family(scale).to_text())

@@ -1,0 +1,45 @@
+"""Fig. 3: latency and throughput under uniform random traffic (UN).
+
+Paper observations to reproduce (§VI-A):
+
+- OFAR models match MIN's low-load latency and saturate *later*;
+- PB's latency is noticeably higher at low load (it misroutes packets
+  it need not);
+- local misrouting (OFAR vs OFAR-L) makes no significant difference
+  under UN;
+- VAL is omitted, as in the paper (it halves UN throughput by design).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.results import Series, Table, series_table
+from repro.experiments.common import Scale, cli_scale, sweep
+
+ROUTINGS = ("min", "pb", "ofar", "ofar-l")
+
+
+def run(scale: Scale, loads: list[float] | None = None) -> tuple[Table, list[Series]]:
+    """Regenerate Fig. 3a (latency) and Fig. 3b (throughput)."""
+    if loads is None:
+        loads = scale.loads()
+    series = [sweep(scale, routing, "UN", loads) for routing in ROUTINGS]
+    table = series_table(f"Fig 3 — uniform traffic (h={scale.h})", series)
+    return table, series
+
+
+def summary(series: list[Series]) -> Table:
+    """Saturation summary: max throughput and low-load latency."""
+    table = Table("Fig 3 — summary")
+    for s in series:
+        table.add(
+            routing=s.name,
+            saturation_thr=round(s.saturation_throughput(), 3),
+            low_load_latency=round(s.points[0].avg_latency, 1),
+        )
+    return table
+
+
+if __name__ == "__main__":
+    table, series = run(cli_scale(__doc__))
+    print(table.to_text())
+    print(summary(series).to_text())

@@ -1,0 +1,48 @@
+"""Fig. 5: latency and throughput under the worst pattern, ADV+h.
+
+This is the paper's centrepiece (§VI-A): under ADV+h, misrouted traffic
+saturates intermediate-group *local* links, so every mechanism without
+local misrouting — VAL, PB, and OFAR-L — collapses toward the
+``1/h`` bound, while full OFAR (which diverts around hot local links)
+clearly exceeds it, approaching the 0.5 global-link limit (0.36 vs
+0.166 at h=6 in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bounds import local_link_advh_bound, valiant_bound
+from repro.analysis.results import Series, Table, series_table
+from repro.experiments.common import Scale, cli_scale, sweep
+
+ROUTINGS = ("val", "pb", "ofar", "ofar-l")
+
+
+def run(scale: Scale, loads: list[float] | None = None) -> tuple[Table, list[Series]]:
+    """Regenerate Fig. 5a/5b (pattern ADV+h)."""
+    if loads is None:
+        loads = scale.loads(saturating=0.5)
+    pattern = f"ADV+{scale.h}"
+    series = [sweep(scale, routing, pattern, loads) for routing in ROUTINGS]
+    table = series_table(f"Fig 5 — {pattern} traffic (h={scale.h})", series)
+    return table, series
+
+
+def summary(scale: Scale, series: list[Series]) -> Table:
+    """Saturation vs the 1/h local-link bound and the 0.5 Valiant limit."""
+    table = Table("Fig 5 — summary (local-link bound = "
+                  f"{local_link_advh_bound(scale.h):.3f}, global limit = {valiant_bound()})")
+    for s in series:
+        thr = s.saturation_throughput()
+        table.add(
+            routing=s.name,
+            saturation_thr=round(thr, 3),
+            above_local_bound="yes" if thr > local_link_advh_bound(scale.h) * 1.05 else "no",
+        )
+    return table
+
+
+if __name__ == "__main__":
+    scale = cli_scale(__doc__)
+    table, series = run(scale)
+    print(table.to_text())
+    print(summary(scale, series).to_text())

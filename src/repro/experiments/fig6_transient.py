@@ -1,0 +1,84 @@
+"""Fig. 6: latency evolution under transient traffic.
+
+Protocol (§VI-B): warm up with one pattern at a fixed load, switch the
+pattern, and track the average latency of the packets *sent* in each
+cycle.  Three transitions, as in the paper:
+
+- UN -> ADV+2 at load 0.14 — OFAR adapts almost instantly, PB shows an
+  adaptation period;
+- ADV+2 -> UN at load 0.14 — everyone converges fast (links suddenly
+  uncongested);
+- ADV+2 -> ADV+h at load 0.12 (lower, since PB saturates otherwise) —
+  OFAR's in-transit misrouting shines.
+
+The summary table reports the settled latency before the switch, the
+post-switch latency spike, and the settle time back to within 1.5x of
+the new steady level.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.results import Table
+from repro.engine.runner import TransientResult, run_transient
+from repro.experiments.common import Scale, cli_scale
+
+ROUTINGS = ("pb", "ofar", "ofar-l")
+
+
+def transitions(h: int) -> list[tuple[str, str, float]]:
+    """(before, after, load) triples of Fig. 6."""
+    return [
+        ("UN", "ADV+2", 0.14),
+        ("ADV+2", "UN", 0.14),
+        ("ADV+2", f"ADV+{h}", 0.12),
+    ]
+
+
+def run_one(
+    scale: Scale, routing: str, before: str, after: str, load: float
+) -> TransientResult:
+    cfg = scale.config(routing)
+    return run_transient(
+        cfg,
+        before,
+        after,
+        load,
+        warmup=scale.transient_warmup,
+        post=scale.transient_post,
+        bucket=max(10, scale.transient_post // 100),
+    )
+
+
+def summarize(result: TransientResult, tail: int = 500) -> dict:
+    """Pre-switch level, post-switch spike, and settle time."""
+    switch = result.switch_cycle
+    pre = result.average_latency(max(0, switch - tail), switch)
+    spike = max(
+        (lat for cyc, lat in result.series if cyc >= switch),
+        default=float("nan"),
+    )
+    series_end = result.series[-1][0] if result.series else switch
+    settled_level = result.average_latency(max(switch, series_end - tail), series_end + 1)
+    settle = result.settle_cycle(target=1.5 * settled_level, after=switch)
+    return {
+        "pre_latency": round(pre, 1),
+        "spike_latency": round(spike, 1),
+        "settled_latency": round(settled_level, 1),
+        "settle_cycles": (settle - switch) if settle is not None else None,
+    }
+
+
+def run(scale: Scale) -> Table:
+    """Regenerate Fig. 6 (summary form; use run_one for full series)."""
+    table = Table(f"Fig 6 — transient adaptation (h={scale.h})")
+    for before, after, load in transitions(scale.h):
+        for routing in ROUTINGS:
+            result = run_one(scale, routing, before, after, load)
+            row = {"transition": f"{before}->{after}", "load": load, "routing": routing}
+            row.update(summarize(result))
+            table.add_row(row)
+    return table
+
+
+if __name__ == "__main__":
+    print(run(cli_scale(__doc__)).to_text())

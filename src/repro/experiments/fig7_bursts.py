@@ -1,0 +1,59 @@
+"""Fig. 7: burst consumption time, normalized to PB (lower is better).
+
+Protocol (§VI-C): every node injects a fixed backlog as fast as it can
+(the paper uses 2,000 packets/node at h=6; the smaller scales keep the
+normalized metric meaningful with proportionally smaller backlogs), and
+the figure of merit is the cycle at which the last packet is consumed.
+
+Patterns: UN, ADV+2, ADV+h, and the three mixes MIX1 (80% UN / 10%
+ADV+1 / 10% ADV+h), MIX2 (60/20/20), MIX3 (20/40/40).
+
+Paper numbers to reproduce: OFAR's time is 0.43-0.82x PB's (mean
+~0.70), and full OFAR always beats OFAR-L.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.results import Table
+from repro.engine.runner import run_burst
+from repro.experiments.common import Scale, cli_scale
+
+ROUTINGS = ("val", "pb", "ofar", "ofar-l")
+
+
+def patterns(h: int) -> list[str]:
+    # dict.fromkeys dedupes while keeping order (ADV+2 == ADV+h at h=2).
+    return list(dict.fromkeys(["UN", "ADV+2", f"ADV+{h}", "MIX1", "MIX2", "MIX3"]))
+
+
+def run(scale: Scale, packets_per_node: int | None = None) -> Table:
+    """Regenerate Fig. 7."""
+    if packets_per_node is None:
+        packets_per_node = scale.burst_packets_per_node
+    table = Table(
+        f"Fig 7 — burst consumption time normalized to PB "
+        f"(h={scale.h}, {packets_per_node} pkts/node)"
+    )
+    for pattern in patterns(scale.h):
+        completions: dict[str, int] = {}
+        for routing in ROUTINGS:
+            cfg = scale.config(routing)
+            completions[routing] = run_burst(cfg, pattern, packets_per_node).completion_cycle
+        pb = completions["pb"]
+        row: dict = {"pattern": pattern, "pb_cycles": pb}
+        for routing in ROUTINGS:
+            row[f"{routing}_norm"] = round(completions[routing] / pb, 3)
+        table.add_row(row)
+    return table
+
+
+def ofar_speedup(table: Table) -> float:
+    """Mean normalized OFAR time across patterns (paper: ~0.695)."""
+    vals = [row["ofar_norm"] for row in table.rows]
+    return sum(vals) / len(vals)
+
+
+if __name__ == "__main__":
+    t = run(cli_scale(__doc__))
+    print(t.to_text())
+    print(f"mean OFAR time vs PB: {ofar_speedup(t):.3f} (paper: 0.695)")

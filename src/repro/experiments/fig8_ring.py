@@ -1,0 +1,40 @@
+"""Fig. 8: physical vs. embedded escape ring.
+
+§VII: the escape subnetwork exists to break deadlocks, not to carry
+traffic, so replacing the dedicated physical ring (two extra ports and
+one wire per router) with a ring *embedded* as an extra VC over
+existing links should not change performance measurably.  This driver
+sweeps OFAR with both implementations under UN and ADV+2 and reports
+the per-load deltas plus how often the ring was actually used.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.results import Table
+from repro.engine.runner import run_steady_state
+from repro.experiments.common import Scale, cli_scale
+
+VARIANTS = ("physical", "embedded")
+
+
+def run(scale: Scale, loads: list[float] | None = None,
+        patterns: tuple[str, ...] = ("UN", "ADV+2")) -> Table:
+    """Regenerate Fig. 8."""
+    if loads is None:
+        loads = scale.loads(saturating=0.5, points=5)
+    table = Table(f"Fig 8 — OFAR with physical vs embedded escape ring (h={scale.h})")
+    for pattern in patterns:
+        for load in loads:
+            row: dict = {"pattern": pattern, "load": load}
+            for variant in VARIANTS:
+                cfg = scale.config("ofar", escape=variant)
+                pt = run_steady_state(cfg, pattern, load, scale.warmup, scale.measure)
+                row[f"{variant}_thr"] = round(pt.throughput, 4)
+                row[f"{variant}_lat"] = round(pt.avg_latency, 1)
+                row[f"{variant}_ring"] = round(pt.ring_fraction, 4)
+            table.add_row(row)
+    return table
+
+
+if __name__ == "__main__":
+    print(run(cli_scale(__doc__)).to_text())

@@ -1,0 +1,59 @@
+"""Fig. 9: congestion with a reduced number of VCs.
+
+§VII stress test: OFAR with starved resources — an *embedded* ring,
+only 2 VCs on local links and 1 VC on global links, and no congestion
+management.  With so little buffering the canonical network can
+congest completely, leaving only the escape ring making progress;
+Fig. 9 shows average throughput degrading at high load for some
+patterns/runs.  (The baselines could not even run: their VC-ordered
+deadlock avoidance *requires* 3 local / 2 global VCs.)
+
+The driver also reports the escape-ring usage, which rises sharply in
+congested runs — the smoking gun that the canonical network stalled.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.results import Table
+from repro.engine.runner import run_steady_state
+from repro.experiments.common import Scale, cli_scale
+
+
+def reduced_config(scale: Scale, routing: str = "ofar"):
+    """The §VII reduced-resource configuration."""
+    return scale.config(
+        routing,
+        escape="embedded",
+        local_vcs=2,
+        global_vcs=1,
+        injection_vcs=2,
+    )
+
+
+def run(scale: Scale, loads: list[float] | None = None,
+        patterns: tuple[str, ...] | None = None) -> Table:
+    """Regenerate Fig. 9 (OFAR, reduced VCs, three patterns)."""
+    if loads is None:
+        loads = scale.loads(saturating=0.5, points=5)
+    if patterns is None:
+        patterns = tuple(dict.fromkeys(("UN", "ADV+2", f"ADV+{scale.h}")))
+    table = Table(f"Fig 9 — OFAR with reduced VCs (2 local / 1 global, embedded ring, h={scale.h})")
+    cfg = reduced_config(scale)
+    full_cfg = scale.config("ofar", escape="embedded")
+    for pattern in patterns:
+        for load in loads:
+            reduced = run_steady_state(cfg, pattern, load, scale.warmup, scale.measure)
+            full = run_steady_state(full_cfg, pattern, load, scale.warmup, scale.measure)
+            table.add(
+                pattern=pattern,
+                load=load,
+                reduced_thr=round(reduced.throughput, 4),
+                full_thr=round(full.throughput, 4),
+                reduced_ring=round(reduced.ring_fraction, 4),
+                full_ring=round(full.ring_fraction, 4),
+            )
+    return table
+
+
+if __name__ == "__main__":
+    print(run(cli_scale(__doc__)).to_text())

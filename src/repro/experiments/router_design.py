@@ -1,0 +1,69 @@
+"""Extension experiment: the §VIII router-design conjecture.
+
+§VIII: "As OFAR does not rely on VCs to avoid deadlock, input buffers
+with 2 or 3 read ports could provide a more scalable and efficient
+design."  The point is that VCs exist in OFAR purely to fight
+head-of-line blocking, and multiple read ports fight the same enemy
+with simpler buffers.
+
+We compare, at equal total buffering per input port:
+
+- **classic** — 3 local / 2 global VCs, 1 read port (the evaluated
+  configuration);
+- **lean-2R** — a single VC per port with the consolidated capacity and
+  2 read ports;
+- **lean-3R** — the same with 3 read ports;
+- **lean-1R** — the single-VC buffer with a single read port, as the
+  degenerate control showing HOL blocking without either remedy.
+
+Note that only OFAR can run the lean designs at all: every baseline
+*needs* the VCs for deadlock freedom — which is exactly the §VIII
+argument for decoupling.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.results import Table
+from repro.engine.config import SimulationConfig
+from repro.engine.runner import run_steady_state
+from repro.experiments.common import Scale, cli_scale
+
+
+def designs(scale: Scale) -> list[tuple[str, SimulationConfig]]:
+    base = scale.config("ofar")
+    lean_common = dict(
+        local_vcs=1,
+        local_buffer=base.local_vcs * base.local_buffer,
+        global_vcs=1,
+        global_buffer=base.global_vcs * base.global_buffer,
+        injection_vcs=1,
+        injection_buffer=base.injection_vcs * base.injection_buffer,
+    )
+    return [
+        ("classic-3vc", base),
+        ("lean-1R", scale.config("ofar", **lean_common)),
+        ("lean-2R", scale.config("ofar", input_read_ports=2, **lean_common)),
+        ("lean-3R", scale.config("ofar", input_read_ports=3, **lean_common)),
+    ]
+
+
+def run(scale: Scale, loads: list[float] | None = None) -> Table:
+    if loads is None:
+        loads = [0.25, 0.45]
+    table = Table(f"Extension — §VIII router designs, equal total buffering (h={scale.h})")
+    for name, cfg in designs(scale):
+        for pattern in ("UN", f"ADV+{scale.h}"):
+            for load in loads:
+                pt = run_steady_state(cfg, pattern, load, scale.warmup, scale.measure)
+                table.add(
+                    design=name,
+                    pattern=pattern,
+                    load=load,
+                    throughput=round(pt.throughput, 4),
+                    latency=round(pt.avg_latency, 1),
+                )
+    return table
+
+
+if __name__ == "__main__":
+    print(run(cli_scale(__doc__)).to_text())

@@ -1,0 +1,56 @@
+"""Least-recently-served (LRS) arbiters.
+
+The paper's router (§V) uses an iterative separable batch allocator in
+the style of Gupta & McKeown, with an LRS policy in every arbiter.  An
+LRS arbiter grants, among the current requesters, the one that was
+granted longest ago; requesters that have never been granted win over
+all that have, breaking ties by request key order (deterministic so that
+simulations reproduce exactly for a given seed).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+
+class LRSArbiter:
+    """Least-recently-served arbiter over hashable request keys."""
+
+    __slots__ = ("_last_grant", "_clock")
+
+    def __init__(self) -> None:
+        self._last_grant: dict[Hashable, int] = {}
+        self._clock = 0
+
+    def grant(self, requests: Iterable[Hashable]) -> Hashable | None:
+        """Pick the least recently served request and record the grant.
+
+        Returns None when ``requests`` is empty.  Ties (same last-grant
+        time, including "never granted") are broken by the natural order
+        of the keys, so callers should pass comparable keys (tuples of
+        ints throughout this code base).
+        """
+        last = self._last_grant
+        best = None
+        best_rank = None
+        for req in requests:
+            rank = (last.get(req, -1), req)
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
+                best = req
+        if best is not None:
+            self._clock += 1
+            last[best] = self._clock
+        return best
+
+    def peek(self, requests: Iterable[Hashable]) -> Hashable | None:
+        """Like :meth:`grant` but without recording the decision."""
+        last = self._last_grant
+        best = None
+        best_rank = None
+        for req in requests:
+            rank = (last.get(req, -1), req)
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
+                best = req
+        return best

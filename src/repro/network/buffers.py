@@ -1,0 +1,78 @@
+"""Input FIFO buffers with phit-granularity occupancy accounting.
+
+Each (input port, virtual channel) pair owns one :class:`Buffer`.  The
+buffer stores whole packets (virtual cut-through requires space for the
+complete packet before a transfer starts) but accounts for occupancy in
+phits so that the misrouting thresholds of §IV-B — which compare
+*percentages* of buffer occupancy across differently sized local and
+global FIFOs — are meaningful.
+
+Space for an in-flight packet is reserved at the *sender* through
+credits, so the invariant maintained network-wide is::
+
+    credits(upstream) + occupancy(buffer) + in_flight_phits == capacity
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.network.packet import Packet
+
+
+class Buffer:
+    """A FIFO of whole packets with phit occupancy tracking."""
+
+    __slots__ = ("capacity", "occupancy", "_fifo")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"buffer capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.occupancy = 0
+        self._fifo: deque[Packet] = deque()
+
+    def push(self, packet: Packet) -> None:
+        """Enqueue a fully received packet.
+
+        Overflow is an assertion failure, not flow control: the sender's
+        credit accounting must have reserved this space already.
+        """
+        occ = self.occupancy + packet.size
+        if occ > self.capacity:
+            raise AssertionError(
+                f"buffer overflow: {occ}/{self.capacity} phits — credit accounting broke"
+            )
+        self.occupancy = occ
+        self._fifo.append(packet)
+
+    def pop(self) -> Packet:
+        """Dequeue the head packet."""
+        packet = self._fifo.popleft()
+        self.occupancy -= packet.size
+        return packet
+
+    def head(self) -> Packet | None:
+        """Head packet without dequeuing, or None when empty."""
+        return self._fifo[0] if self._fifo else None
+
+    def free_phits(self) -> int:
+        """Free space in phits."""
+        return self.capacity - self.occupancy
+
+    def fill_fraction(self) -> float:
+        """Occupancy as a fraction of capacity in [0, 1]."""
+        return self.occupancy / self.capacity
+
+    def __len__(self) -> int:
+        """Number of queued packets."""
+        return len(self._fifo)
+
+    def __bool__(self) -> bool:
+        return bool(self._fifo)
+
+    def __iter__(self):
+        return iter(self._fifo)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Buffer({self.occupancy}/{self.capacity} phits, {len(self._fifo)} pkts)"

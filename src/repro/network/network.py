@@ -1,0 +1,518 @@
+"""Assembly of routers, links, nodes and the escape ring.
+
+The :class:`Network` owns:
+
+- every :class:`~repro.network.router.Router` with its input buffers and
+  output channels (wired per the dragonfly topology);
+- the escape subnetwork (physical ring ports or embedded ring VCs);
+- the event wheel (packet arrivals, credit returns, ejections);
+- the grant executor that moves packets between routers while keeping
+  the credit/occupancy invariants.
+
+It is driven by the :class:`~repro.engine.simulator.Simulator`, which
+adds traffic injection, metrics and the warm-up/measurement protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.engine.config import (
+    ESCAPE_EMBEDDED,
+    ESCAPE_NONE,
+    ESCAPE_PHYSICAL,
+    SimulationConfig,
+)
+from repro.network.packet import Packet
+from repro.network.router import (
+    KIND_MIS_GLOBAL,
+    KIND_MIS_LOCAL,
+    KIND_RING_ENTER,
+    KIND_RING_EXIT,
+    KIND_RING_MOVE,
+    OutputChannel,
+    Router,
+)
+from repro.topology.dragonfly import Dragonfly, PortKind
+from repro.topology.hamiltonian import HamiltonianRing
+
+# A node always sinks its traffic; model the ejection channel with a
+# practically infinite buffer so credits never block ejection.
+_EJECT_CAPACITY = 1 << 40
+
+_EV_ARRIVAL = 0
+_EV_CREDIT = 1
+_EV_EJECT = 2
+
+
+class Network:
+    """A simulable dragonfly network instance."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        self.topo = Dragonfly(config.h)
+        # Escape subnetwork: one or more (§VII) Hamiltonian rings.  Each
+        # spec answers successor(rid) / successor_port(rid).
+        self.ring: HamiltonianRing | None = None
+        self.ring_specs: list = []
+        if config.escape != ESCAPE_NONE:
+            if config.escape_rings == 1:
+                self.ring = HamiltonianRing(self.topo)
+                self.ring_specs = [self.ring]
+            else:
+                from repro.topology.multiring import MultiRing
+
+                self.ring_specs = MultiRing(self.topo, config.escape_rings).rings
+        self.routers: list[Router] = []
+        # Escape-hop lookup: escape_hops[rid][ring_id] = (out_port, vc).
+        self.escape_hops: list[list[tuple[int, int]]] = [
+            [] for _ in range(self.topo.num_routers)
+        ]
+        # Which ring a ring-carrying output channel belongs to.
+        self.ring_of_channel: dict[tuple[int, int], int] = {}
+        # Rings currently refusing new entries (fault-tolerance demos).
+        self.disabled_rings: set[int] = set()
+        self._events: dict[int, list[tuple]] = {}
+        # Conservation / progress counters.
+        self.injected_packets = 0
+        self.ejected_packets = 0
+        self.injected_phits = 0
+        self.ejected_phits = 0
+        self.in_flight_packets = 0  # scheduled arrivals not yet delivered
+        self.movements = 0  # grants executed (progress watchdog)
+        self.ring_entries = 0
+        self.ring_moves = 0
+        self.local_misroutes = 0
+        self.global_misroutes = 0
+        # Hook invoked as on_eject(packet, eject_cycle).
+        self.on_eject: Callable[[Packet, int], None] | None = None
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        cfg = self.config
+        topo = self.topo
+        # Which directed channels carry an embedded ring: (rid, port) ->
+        # ring id.  Rings are edge-disjoint, so at most one per channel.
+        embedded_ring_out: dict[tuple[int, int], int] = {}
+        if cfg.escape == ESCAPE_EMBEDDED:
+            for ring_id, spec in enumerate(self.ring_specs):
+                for rid in topo.routers():
+                    key = (rid, spec.successor_port(rid))
+                    assert key not in embedded_ring_out, "rings share a channel"
+                    embedded_ring_out[key] = ring_id
+
+        def vcs_and_capacity(kind: PortKind, ring_extra: bool) -> tuple[int, int, int]:
+            """(num_vcs, capacity, ring_vc) for a channel of ``kind``."""
+            if kind is PortKind.NODE:
+                return cfg.injection_vcs, cfg.injection_buffer, -1
+            if kind is PortKind.LOCAL:
+                base, capacity = cfg.local_vcs, cfg.local_buffer
+            elif kind is PortKind.GLOBAL:
+                base, capacity = cfg.global_vcs, cfg.global_buffer
+            else:  # RING (physical)
+                return cfg.ring_vcs, cfg.ring_buffer, 0
+            if ring_extra:
+                return base + 1, capacity, base
+            return base, capacity, -1
+
+        for rid in topo.routers():
+            self.routers.append(
+                Router(
+                    rid,
+                    topo.router_group(rid),
+                    topo.router_index(rid),
+                    cfg.packet_size,
+                    cfg.allocator_iterations,
+                    read_ports=cfg.input_read_ports,
+                )
+            )
+
+        for rid in topo.routers():
+            rt = self.routers[rid]
+            g, r = rt.group, rt.index
+            # Node ports: injection input (from the node), ejection output.
+            for c in range(topo.p):
+                port = rt.add_input_port(
+                    PortKind.NODE, cfg.injection_vcs, cfg.injection_buffer, None
+                )
+                assert port == c
+                rt.add_output_channel(
+                    OutputChannel(
+                        port=c,
+                        kind=PortKind.NODE,
+                        latency=cfg.ejection_latency,
+                        num_vcs=1,
+                        capacity=_EJECT_CAPACITY,
+                        dest_node=rid * topo.p + c,
+                    )
+                )
+            # Local ports.
+            for j in range(topo.local_ports):
+                port = topo.node_ports + j
+                peer_idx = topo.local_peer(r, port)
+                peer_rid = topo.router_id(g, peer_idx)
+                peer_port = topo.local_port(peer_idx, r)
+                # The input side mirrors the *peer's* outgoing channel
+                # toward us (ring VC presence is per direction).
+                in_ring = (peer_rid, peer_port) in embedded_ring_out
+                in_vcs, in_cap, _ = vcs_and_capacity(PortKind.LOCAL, in_ring)
+                got = rt.add_input_port(PortKind.LOCAL, in_vcs, in_cap, (peer_rid, peer_port))
+                assert got == port
+                out_ring = (rid, port) in embedded_ring_out
+                out_vcs, out_cap, ring_vc = vcs_and_capacity(PortKind.LOCAL, out_ring)
+                rt.add_output_channel(
+                    OutputChannel(
+                        port=port,
+                        kind=PortKind.LOCAL,
+                        latency=cfg.local_latency,
+                        num_vcs=out_vcs,
+                        capacity=out_cap,
+                        dest_router=peer_rid,
+                        dest_port=peer_port,
+                        ring_vc=ring_vc,
+                    )
+                )
+            # Global ports.
+            for k in range(topo.h):
+                port = topo.global_port(k)
+                ep = topo.global_link_endpoint(g, r, k)
+                peer_rid = topo.router_id(ep.group, ep.router)
+                peer_port = topo.global_port(ep.port)
+                in_ring = (peer_rid, peer_port) in embedded_ring_out
+                in_vcs, in_cap, _ = vcs_and_capacity(PortKind.GLOBAL, in_ring)
+                got = rt.add_input_port(PortKind.GLOBAL, in_vcs, in_cap, (peer_rid, peer_port))
+                assert got == port
+                out_ring = (rid, port) in embedded_ring_out
+                out_vcs, out_cap, ring_vc = vcs_and_capacity(PortKind.GLOBAL, out_ring)
+                rt.add_output_channel(
+                    OutputChannel(
+                        port=port,
+                        kind=PortKind.GLOBAL,
+                        latency=cfg.global_latency,
+                        num_vcs=out_vcs,
+                        capacity=out_cap,
+                        dest_router=peer_rid,
+                        dest_port=peer_port,
+                        ring_vc=ring_vc,
+                    )
+                )
+
+        # Escape subnetwork.
+        if cfg.escape == ESCAPE_PHYSICAL:
+            # Each ring gets its own dedicated port pair per router:
+            # ring j lives on port ports_per_router + j.
+            preds: list[dict[int, int]] = []
+            for spec in self.ring_specs:
+                preds.append({spec.successor(rid): rid for rid in topo.routers()})
+            for rid in topo.routers():
+                rt = self.routers[rid]
+                for j, spec in enumerate(self.ring_specs):
+                    ring_port = topo.ports_per_router + j
+                    succ = spec.successor(rid)
+                    pred = preds[j][rid]
+                    # Wire latency: local within a group, global across.
+                    succ_latency = (
+                        cfg.local_latency
+                        if topo.router_group(succ) == rt.group
+                        else cfg.global_latency
+                    )
+                    got = rt.add_input_port(
+                        PortKind.RING, cfg.ring_vcs, cfg.ring_buffer, (pred, ring_port)
+                    )
+                    assert got == ring_port
+                    rt.add_output_channel(
+                        OutputChannel(
+                            port=ring_port,
+                            kind=PortKind.RING,
+                            latency=succ_latency,
+                            num_vcs=cfg.ring_vcs,
+                            capacity=cfg.ring_buffer,
+                            dest_router=succ,
+                            dest_port=ring_port,
+                            ring_vc=0,
+                        )
+                    )
+                    self.escape_hops[rid].append((ring_port, 0))
+                    self.ring_of_channel[(rid, ring_port)] = j
+        elif cfg.escape == ESCAPE_EMBEDDED:
+            for rid in topo.routers():
+                for j, spec in enumerate(self.ring_specs):
+                    port = spec.successor_port(rid)
+                    ch = self.routers[rid].out[port]
+                    assert ch is not None and ch.ring_vc >= 0
+                    self.escape_hops[rid].append((port, ch.ring_vc))
+                    self.ring_of_channel[(rid, port)] = j
+
+    # ------------------------------------------------------------------
+    @property
+    def escape_hop(self) -> list[tuple[int, int] | None]:
+        """Legacy single-ring view: first escape hop per router."""
+        return [hops[0] if hops else None for hops in self.escape_hops]
+
+    def disable_ring(self, ring_id: int) -> None:
+        """Stop admitting new packets onto ``ring_id`` (fault model).
+
+        Packets already riding the ring keep moving (its links are
+        still usable); the ring merely stops serving as an escape
+        target.  With ``escape_rings >= 2`` the network keeps its
+        deadlock-freedom guarantee through the remaining rings.
+        """
+        if not 0 <= ring_id < len(self.ring_specs):
+            raise ValueError(f"no ring {ring_id}")
+        self.disabled_rings.add(ring_id)
+
+    def enable_ring(self, ring_id: int) -> None:
+        """Re-admit packets onto ``ring_id``."""
+        self.disabled_rings.discard(ring_id)
+
+    # ------------------------------------------------------------------
+    # Fault injection (§VII reliability)
+    # ------------------------------------------------------------------
+    def fail_link(self, router: int, port: int) -> None:
+        """Fail the bidirectional link on ``(router, port)``.
+
+        Both directions stop accepting transfers and report full
+        occupancy, so adaptive mechanisms (OFAR) misroute around the
+        fault while oblivious ones (MIN) stall on it.  Packets already
+        in flight on the link are delivered (a fail-stop link model at
+        transfer granularity).  If the link carries an escape ring, that
+        ring is disabled as a whole — a broken ring cannot guarantee
+        deadlock freedom.
+        """
+        ch = self.routers[router].out[port]
+        if ch is None or ch.kind is PortKind.NODE:
+            raise ValueError(f"router {router} port {port} is not a router link")
+        ch.failed = True
+        if ch.kind is not PortKind.RING:
+            peer, peer_port = self.topo.neighbor(router, port)
+            self.routers[peer].out[peer_port].failed = True
+            peer_ring = self.ring_of_channel.get((peer, peer_port))
+        else:
+            peer_ring = None
+        ring = self.ring_of_channel.get((router, port))
+        for rid in (ring, peer_ring):
+            if rid is not None:
+                self.disabled_rings.add(rid)
+
+    def failed_links(self) -> list[tuple[int, int]]:
+        """(router, port) pairs whose outgoing channel has failed."""
+        return [
+            (rt.rid, ch.port)
+            for rt in self.routers
+            for ch in rt.out
+            if ch is not None and ch.failed
+        ]
+
+    # ------------------------------------------------------------------
+    # Event wheel
+    # ------------------------------------------------------------------
+    def schedule(self, cycle: int, event: tuple) -> None:
+        """Queue an event for processing at ``cycle``."""
+        self._events.setdefault(cycle, []).append(event)
+
+    def process_events(self, cycle: int) -> None:
+        """Deliver all events due this cycle (arrivals, credits, ejections)."""
+        events = self._events.pop(cycle, None)
+        if not events:
+            return
+        routers = self.routers
+        for ev in events:
+            tag = ev[0]
+            if tag == _EV_ARRIVAL:
+                _, rid, port, vc, pkt = ev
+                rt = routers[rid]
+                if pkt.intermediate_group == rt.group:
+                    pkt.intermediate_group = -1  # Valiant phase complete
+                rt.in_bufs[port][vc].push(pkt)
+                rt.pending.add((port, vc))
+                self.in_flight_packets -= 1
+            elif tag == _EV_CREDIT:
+                _, rid, port, vc, amount = ev
+                ch = routers[rid].out[port]
+                ch.credits[vc] += amount
+                if ch.credits[vc] > ch.capacity:
+                    raise AssertionError(
+                        f"credit overflow on router {rid} port {port} vc {vc}"
+                    )
+            else:  # _EV_EJECT
+                _, pkt, eject_cycle = ev
+                pkt.ejected_cycle = eject_cycle
+                self.ejected_packets += 1
+                self.ejected_phits += pkt.size
+                if self.on_eject is not None:
+                    self.on_eject(pkt, eject_cycle)
+
+    def pending_event_cycles(self) -> list[int]:
+        """Cycles that still have scheduled events (diagnostics/tests)."""
+        return sorted(self._events)
+
+    def has_pending_events(self) -> bool:
+        """Whether any arrivals/credits/ejections are still scheduled."""
+        return bool(self._events)
+
+    # ------------------------------------------------------------------
+    # Grant execution
+    # ------------------------------------------------------------------
+    def execute_grant(
+        self,
+        rt: Router,
+        in_port: int,
+        in_vc: int,
+        out_port: int,
+        out_vc: int,
+        kind: int,
+        cycle: int,
+    ) -> Packet:
+        """Move the head packet of (in_port, in_vc) through the crossbar."""
+        size = self.config.packet_size
+        buf = rt.in_bufs[in_port][in_vc]
+        pkt = buf.pop()
+        pkt.head_cycle = -1  # head-wait clock restarts at the next buffer
+        if not buf:
+            rt.pending.discard((in_port, in_vc))
+        # Return credits upstream once the tail leaves this buffer and
+        # the credit signal crosses the reverse channel.
+        up = rt.upstream[in_port]
+        if up is not None:
+            urid, uport = up
+            latency = self.routers[urid].out[uport].latency
+            self.schedule(cycle + size + latency, (_EV_CREDIT, urid, uport, in_vc, size))
+        ch = rt.out[out_port]
+        ch.busy_until = cycle + size
+        rt.occupy_read_slot(in_port, cycle)
+        ch.credits[out_vc] -= size
+        if ch.credits[out_vc] < 0:
+            raise AssertionError(
+                f"credit underflow on router {rt.rid} port {out_port} vc {out_vc}"
+            )
+        ch.sent_phits += size
+        # Header/state updates.
+        if kind == KIND_MIS_LOCAL:
+            pkt.local_misroute_group = rt.group
+            pkt.misroutes_local += 1
+            self.local_misroutes += 1
+        elif kind == KIND_MIS_GLOBAL:
+            pkt.global_misrouted = True
+            pkt.misroutes_global += 1
+            self.global_misroutes += 1
+        elif kind == KIND_RING_ENTER:
+            pkt.on_ring = True
+            pkt.used_ring = True
+            pkt.ring_id = self.ring_of_channel[(rt.rid, out_port)]
+            self.ring_entries += 1
+        elif kind == KIND_RING_MOVE:
+            self.ring_moves += 1
+        elif kind == KIND_RING_EXIT:
+            pkt.on_ring = False
+            pkt.ring_id = -1
+            pkt.ring_exits += 1
+        # Hop accounting.
+        pkt.hops += 1
+        if kind in (KIND_RING_ENTER, KIND_RING_MOVE):
+            pkt.ring_hops += 1
+        elif ch.kind is PortKind.LOCAL:
+            pkt.local_hops += 1
+        elif ch.kind is PortKind.GLOBAL:
+            pkt.global_hops += 1
+        elif ch.kind is PortKind.RING:
+            pkt.ring_hops += 1
+        # Departure.
+        if ch.kind is PortKind.NODE:
+            pkt.hops -= 1  # ejection is not a router-to-router hop
+            if pkt.on_ring:
+                pkt.on_ring = False  # final ring exit at the destination
+                pkt.ring_id = -1
+            eject_cycle = cycle + ch.latency + size
+            self.schedule(eject_cycle, (_EV_EJECT, pkt, eject_cycle))
+        else:
+            self.in_flight_packets += 1
+            self.schedule(
+                cycle + ch.latency + size,
+                (_EV_ARRIVAL, ch.dest_router, ch.dest_port, out_vc, pkt),
+            )
+        self.movements += 1
+        return pkt
+
+    # ------------------------------------------------------------------
+    # Injection (called by the simulator's node model)
+    # ------------------------------------------------------------------
+    def try_inject(self, pkt: Packet, cycle: int) -> bool:
+        """Move ``pkt`` from its node into the router injection buffer.
+
+        Chooses the injection VC with the most free space; returns False
+        when no VC can hold the whole packet (the node retries later).
+        """
+        topo = self.topo
+        rid = topo.node_router(pkt.src)
+        port = topo.node_port(pkt.src)
+        rt = self.routers[rid]
+        if self.config.congestion_control and self.router_occupancy(rt, cycle) > (
+            self.config.congestion_threshold
+        ):
+            return False  # injection restriction (§VII extension)
+        bufs = rt.in_bufs[port]
+        best_vc = -1
+        best_free = pkt.size - 1
+        for vc, buf in enumerate(bufs):
+            free = buf.free_phits()
+            if free > best_free:
+                best_free = free
+                best_vc = vc
+        if best_vc < 0:
+            return False
+        bufs[best_vc].push(pkt)
+        rt.pending.add((port, best_vc))
+        pkt.injected_cycle = cycle
+        self.injected_packets += 1
+        self.injected_phits += pkt.size
+        return True
+
+    def router_occupancy(self, rt: Router, cycle: int) -> float:
+        """Mean estimated occupancy of a router's local+global channels
+        (memoized per cycle; the congestion-control signal)."""
+        cached_cycle, value = rt.congestion_cache
+        if cached_cycle == cycle:
+            return value
+        total = 0.0
+        count = 0
+        for ch in rt.out:
+            if ch is None or ch.kind is PortKind.NODE:
+                continue
+            total += ch.occupancy_fraction()
+            count += 1
+        value = total / count if count else 0.0
+        rt.congestion_cache = (cycle, value)
+        return value
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (tests, metrics, PB)
+    # ------------------------------------------------------------------
+    def buffered_packets(self) -> int:
+        """Total packets currently sitting in any input buffer."""
+        total = 0
+        for rt in self.routers:
+            for bufs in rt.in_bufs:
+                for buf in bufs:
+                    total += len(buf)
+        return total
+
+    def check_conservation(self) -> None:
+        """Assert the packet conservation invariant (tests/debug)."""
+        pending_ejects = sum(
+            1 for evs in self._events.values() for ev in evs if ev[0] == _EV_EJECT
+        )
+        accounted = (
+            self.ejected_packets
+            + self.buffered_packets()
+            + self.in_flight_packets
+            + pending_ejects
+        )
+        if accounted != self.injected_packets:
+            raise AssertionError(
+                f"packet conservation broken: injected={self.injected_packets} "
+                f"ejected={self.ejected_packets} buffered={self.buffered_packets()} "
+                f"in_flight={self.in_flight_packets} pending_ejects={pending_ejects}"
+            )

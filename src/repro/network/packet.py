@@ -1,0 +1,125 @@
+"""Packets: the unit of routing, with OFAR header flags.
+
+The simulator works at packet granularity with phit-accurate accounting:
+a packet of ``size`` phits occupies ``size`` phits of buffer space,
+``size`` cycles of crossbar/link serialization time, and ``size``
+credits.
+
+Header state carried for routing:
+
+- ``intermediate_group`` — Valiant-style intermediate group for
+  VAL/UGAL/PB (cleared once reached); unused (-1) by MIN and OFAR;
+- ``global_misrouted`` — OFAR flag: at most one nonminimal global hop
+  per packet (paper §IV-A);
+- ``local_misroute_group`` — group id in which the (single allowed)
+  nonminimal local hop of that group was taken; a packet never revisits
+  a group, so remembering the latest group suffices;
+- ``on_ring`` / ``ring_exits`` — escape-ring state; ``ring_exits`` is
+  bounded to prevent livelock (paper §IV-C).
+"""
+
+from __future__ import annotations
+
+
+class Packet:
+    """A fixed-size packet traversing the network."""
+
+    __slots__ = (
+        "pid",
+        "src",
+        "src_group",
+        "dst",
+        "dst_router",
+        "dst_group",
+        "size",
+        "created_cycle",
+        "injected_cycle",
+        "ejected_cycle",
+        "intermediate_group",
+        "global_misrouted",
+        "local_misroute_group",
+        "on_ring",
+        "ring_exits",
+        "hops",
+        "local_hops",
+        "global_hops",
+        "ring_hops",
+        "misroutes_global",
+        "misroutes_local",
+        "used_ring",
+        # Minimal-output memoization: valid while (router, intermediate
+        # group) are unchanged, i.e. while the packet waits at one router.
+        "cache_rid",
+        "cache_ig",
+        "cache_port",
+        # Cycle at which the packet was first evaluated at the head of
+        # its current buffer; -1 while not at a head.  Used by OFAR's
+        # escape patience (see SimulationConfig.escape_patience).
+        "head_cycle",
+        # Escape ring the packet is riding (multi-ring support); -1 off.
+        "ring_id",
+    )
+
+    def __init__(
+        self,
+        pid: int,
+        src: int,
+        dst: int,
+        size: int,
+        created_cycle: int,
+        dst_router: int,
+        dst_group: int,
+        src_group: int,
+    ) -> None:
+        self.pid = pid
+        self.src = src
+        self.src_group = src_group
+        self.dst = dst
+        self.dst_router = dst_router
+        self.dst_group = dst_group
+        self.size = size
+        self.created_cycle = created_cycle
+        self.injected_cycle = -1
+        self.ejected_cycle = -1
+        self.intermediate_group = -1
+        self.global_misrouted = False
+        self.local_misroute_group = -1
+        self.on_ring = False
+        self.ring_exits = 0
+        self.hops = 0
+        self.local_hops = 0
+        self.global_hops = 0
+        self.ring_hops = 0
+        self.misroutes_global = 0
+        self.misroutes_local = 0
+        self.used_ring = False
+        self.cache_rid = -1
+        self.cache_ig = -2
+        self.cache_port = -1
+        self.head_cycle = -1
+        self.ring_id = -1
+
+    @property
+    def latency(self) -> int:
+        """End-to-end latency in cycles (generation to complete ejection).
+
+        Only meaningful once the packet has been ejected.
+        """
+        if self.ejected_cycle < 0:
+            raise ValueError(f"packet {self.pid} has not been ejected yet")
+        return self.ejected_cycle - self.created_cycle
+
+    @property
+    def network_latency(self) -> int:
+        """Latency excluding the time spent waiting in the source queue."""
+        if self.ejected_cycle < 0:
+            raise ValueError(f"packet {self.pid} has not been ejected yet")
+        if self.injected_cycle < 0:
+            raise ValueError(f"packet {self.pid} was never injected")
+        return self.ejected_cycle - self.injected_cycle
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(pid={self.pid}, {self.src}->{self.dst}, hops={self.hops}, "
+            f"gmis={self.global_misrouted}, ring={self.on_ring})"
+        )

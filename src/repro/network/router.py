@@ -1,0 +1,351 @@
+"""The input-buffered virtual cut-through router of §V.
+
+Model summary (all paper defaults):
+
+- input FIFO buffers per (port, VC); 3 VCs on local and injection ports,
+  2 on global ports;
+- credit-based flow control: the sender tracks free space of the
+  downstream buffer per VC; credits are debited at grant time and
+  returned (with the link's latency) when the packet later leaves the
+  downstream buffer;
+- no internal speedup: one packet transfer may start per input port and
+  per output port per cycle, and a transfer of an ``s``-phit packet
+  keeps both ports and the link busy for ``s`` cycles;
+- an iterative separable batch allocator (default 3 iterations) with
+  least-recently-served arbiters at the input stage (VC selection per
+  input port) and the output stage (input selection per output port);
+- the routing decision of a head packet is (re-)evaluated on every
+  allocation iteration of every cycle while the packet waits, which is
+  what enables OFAR's on-the-fly adaptivity.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.network.arbiter import LRSArbiter
+from repro.network.buffers import Buffer
+from repro.topology.dragonfly import PortKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.routing.base import RoutingAlgorithm
+
+# Request kinds: what a grant means for the packet's header state.
+KIND_MIN = 0  # minimal (or Valiant-phase minimal) hop
+KIND_MIS_LOCAL = 1  # OFAR nonminimal local hop
+KIND_MIS_GLOBAL = 2  # OFAR nonminimal global hop
+KIND_RING_ENTER = 3  # deflection into the escape ring (needs a bubble)
+KIND_RING_MOVE = 4  # advance along the escape ring
+KIND_RING_EXIT = 5  # leave the escape ring through a minimal output
+
+KIND_NAMES = {
+    KIND_MIN: "min",
+    KIND_MIS_LOCAL: "misroute-local",
+    KIND_MIS_GLOBAL: "misroute-global",
+    KIND_RING_ENTER: "ring-enter",
+    KIND_RING_MOVE: "ring-move",
+    KIND_RING_EXIT: "ring-exit",
+}
+
+
+class OutputChannel:
+    """Sender-side view of one outgoing channel of a router.
+
+    Tracks the credit count per downstream VC, the serialization state
+    of the physical channel and, for channels that carry the embedded
+    escape ring, which VC index is the ring VC.
+    """
+
+    __slots__ = (
+        "port",
+        "kind",
+        "latency",
+        "dest_router",
+        "dest_port",
+        "dest_node",
+        "num_vcs",
+        "capacity",
+        "credits",
+        "busy_until",
+        "ring_vc",
+        "data_vcs",
+        "data_capacity",
+        "sent_phits",
+        "failed",
+    )
+
+    def __init__(
+        self,
+        port: int,
+        kind: PortKind,
+        latency: int,
+        num_vcs: int,
+        capacity: int,
+        dest_router: int = -1,
+        dest_port: int = -1,
+        dest_node: int = -1,
+        ring_vc: int = -1,
+    ) -> None:
+        self.port = port
+        self.kind = kind
+        self.latency = latency
+        self.dest_router = dest_router
+        self.dest_port = dest_port
+        self.dest_node = dest_node
+        self.num_vcs = num_vcs
+        self.capacity = capacity  # phits per VC
+        self.credits = [capacity] * num_vcs
+        self.busy_until = 0
+        self.ring_vc = ring_vc
+        # Data VCs exclude the embedded ring VC (if any): misrouting
+        # thresholds and VC selection must not consume escape resources.
+        self.data_vcs = [v for v in range(num_vcs) if v != ring_vc]
+        self.data_capacity = capacity * len(self.data_vcs)
+        self.sent_phits = 0
+        # Fault injection (§VII reliability): a failed channel accepts
+        # no transfers and reports full occupancy, so adaptive routing
+        # steers around it.
+        self.failed = False
+
+    def occupancy_fraction(self) -> float:
+        """Estimated downstream occupancy of the *data* VCs, as a
+        fraction in [0, 1], derived from outstanding credits.
+
+        This is the Q value used by the misrouting thresholds of §IV-B;
+        using a fraction makes local (32-phit) and global (256-phit)
+        FIFOs comparable, as the paper prescribes.
+        """
+        if self.failed or self.data_capacity == 0:
+            return 1.0
+        free = 0
+        credits = self.credits
+        for v in self.data_vcs:
+            free += credits[v]
+        return 1.0 - free / self.data_capacity
+
+    def best_data_vc(self, size: int) -> int:
+        """Data VC with the most credits, requiring at least ``size``.
+
+        Returns -1 when no data VC can hold a whole packet (VCT) or the
+        channel has failed (a failed link can never accept a packet, so
+        it must count as hard-blocked for escape-ring purposes).
+        Ties break toward the lowest VC index for determinism.
+        """
+        if self.failed:
+            return -1
+        best = -1
+        best_credits = size - 1
+        credits = self.credits
+        for v in self.data_vcs:
+            c = credits[v]
+            if c > best_credits:
+                best_credits = c
+                best = v
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OutputChannel(port={self.port}, {self.kind.value}, "
+            f"credits={self.credits}, busy_until={self.busy_until})"
+        )
+
+
+class Router:
+    """One dragonfly router: input buffers, credits and the allocator."""
+
+    __slots__ = (
+        "rid",
+        "group",
+        "index",
+        "in_bufs",
+        "in_kind",
+        "in_busy",
+        "upstream",
+        "out",
+        "pending",
+        "_in_arbiters",
+        "_out_arbiters",
+        "iterations",
+        "packet_size",
+        "read_ports",
+        "_claimed_out",
+        "_matched_in",
+        "congestion_cache",
+    )
+
+    def __init__(
+        self,
+        rid: int,
+        group: int,
+        index: int,
+        packet_size: int,
+        iterations: int,
+        read_ports: int = 1,
+    ) -> None:
+        self.rid = rid
+        self.group = group
+        self.index = index
+        self.packet_size = packet_size
+        self.iterations = iterations
+        self.read_ports = read_ports
+        self.in_bufs: list[list[Buffer]] = []
+        self.in_kind: list[PortKind] = []
+        # Per input port: busy-until time of each read slot.  A port can
+        # start one transfer per free slot per cycle (§VIII multi-read-
+        # port extension; the classic router has one slot).
+        self.in_busy: list[list[int]] = []
+        # (upstream router id, upstream output port) per input port, or
+        # None for injection and physical-ring-head ports handled elsewhere.
+        self.upstream: list[tuple[int, int] | None] = []
+        self.out: list[OutputChannel | None] = []
+        self.pending: set[tuple[int, int]] = set()
+        self._in_arbiters: dict[int, LRSArbiter] = {}
+        self._out_arbiters: dict[int, LRSArbiter] = {}
+        self._claimed_out: set[int] = set()
+        self._matched_in: set[int] = set()
+        # (cycle, mean occupancy) memo for congestion-controlled injection.
+        self.congestion_cache: tuple[int, float] = (-1, 0.0)
+
+    # ------------------------------------------------------------------
+    # Wiring (done once by Network)
+    # ------------------------------------------------------------------
+    def add_input_port(
+        self,
+        kind: PortKind,
+        num_vcs: int,
+        capacity: int,
+        upstream: tuple[int, int] | None,
+    ) -> int:
+        """Append an input port; returns its index."""
+        port = len(self.in_bufs)
+        self.in_bufs.append([Buffer(capacity) for _ in range(num_vcs)])
+        self.in_kind.append(kind)
+        self.in_busy.append([0] * self.read_ports)
+        self.upstream.append(upstream)
+        return port
+
+    def add_output_channel(self, channel: OutputChannel) -> None:
+        """Register the output channel for ``channel.port`` (ports must be
+        added in index order, possibly with None gaps filled first)."""
+        while len(self.out) <= channel.port:
+            self.out.append(None)
+        self.out[channel.port] = channel
+
+    # ------------------------------------------------------------------
+    # Allocation-time predicates used by routing algorithms
+    # ------------------------------------------------------------------
+    def free_read_slots(self, port: int, cycle: int) -> int:
+        """Read slots of an input port that can start a transfer now."""
+        count = 0
+        for t in self.in_busy[port]:
+            if t <= cycle:
+                count += 1
+        return count
+
+    def occupy_read_slot(self, port: int, cycle: int) -> None:
+        """Claim one free read slot for a transfer starting this cycle."""
+        slots = self.in_busy[port]
+        for i, t in enumerate(slots):
+            if t <= cycle:
+                slots[i] = cycle + self.packet_size
+                return
+        raise AssertionError(f"no free read slot on router {self.rid} port {port}")
+
+    def out_port_free(self, port: int, cycle: int) -> bool:
+        """Output port can start a new transfer this cycle."""
+        ch = self.out[port]
+        return (
+            ch is not None
+            and not ch.failed
+            and ch.busy_until <= cycle
+            and port not in self._claimed_out
+        )
+
+    def min_available(self, port: int, cycle: int, vc: int, size: int) -> bool:
+        """Port free and the given VC has room for a whole packet."""
+        if not self.out_port_free(port, cycle):
+            return False
+        return self.out[port].credits[vc] >= size
+
+    # ------------------------------------------------------------------
+    # The separable iterative batch allocator
+    # ------------------------------------------------------------------
+    def allocate(self, cycle: int, routing: "RoutingAlgorithm", network) -> int:
+        """Run one cycle of allocation; returns the number of grants.
+
+        ``network.execute_grant(router, in_port, in_vc, out_port,
+        out_vc, kind, cycle)`` is invoked for every grant; the network
+        layer executes the transfer (credit bookkeeping, event
+        scheduling, metric updates).
+        """
+        if not self.pending:
+            return 0
+        claimed_out = self._claimed_out
+        matched_vc = self._matched_in  # (port, vc) pairs granted this cycle
+        claimed_out.clear()
+        matched_vc.clear()
+        in_bufs = self.in_bufs
+        grants = 0
+        # Per-port read budget this cycle (multi-read-port extension:
+        # a port may launch one transfer per free read slot).
+        reads_left: dict[int, int] = {}
+        for _ in range(self.iterations):
+            # Stage 1 — input arbitration: each input port with a free
+            # read slot proposes at most one (vc, request) among its
+            # head packets that found a usable output this iteration.
+            proposals: dict[int, list[tuple[int, int, int, int]]] = {}
+            any_request = False
+            for in_port, in_vc in self.pending:
+                if (in_port, in_vc) in matched_vc:
+                    continue
+                left = reads_left.get(in_port)
+                if left is None:
+                    left = reads_left[in_port] = self.free_read_slots(in_port, cycle)
+                if left <= 0:
+                    continue
+                buf = in_bufs[in_port][in_vc]
+                pkt = buf.head()
+                if pkt is None:
+                    continue
+                req = routing.route(self, in_port, in_vc, pkt, cycle)
+                if req is None:
+                    continue
+                any_request = True
+                proposals.setdefault(in_port, []).append((in_vc, req[0], req[1], req[2]))
+            if not any_request:
+                break
+            # Input stage: LRS among the requesting VCs of each port.
+            winners: dict[int, list[tuple[int, int, int, int]]] = {}
+            for in_port, reqs in proposals.items():
+                if len(reqs) == 1:
+                    pick = reqs[0]
+                else:
+                    arb = self._in_arbiters.get(in_port)
+                    if arb is None:
+                        arb = self._in_arbiters[in_port] = LRSArbiter()
+                    vc_pick = arb.grant([r[0] for r in reqs])
+                    pick = next(r for r in reqs if r[0] == vc_pick)
+                winners.setdefault(pick[1], []).append((in_port, pick[0], pick[2], pick[3]))
+            # Stage 2 — output arbitration: LRS among proposing inputs.
+            for out_port, cands in winners.items():
+                if out_port in claimed_out:
+                    continue
+                if len(cands) == 1:
+                    in_port, in_vc, out_vc, kind = cands[0]
+                else:
+                    arb = self._out_arbiters.get(out_port)
+                    if arb is None:
+                        arb = self._out_arbiters[out_port] = LRSArbiter()
+                    key = arb.grant([c[0] for c in cands])
+                    in_port, in_vc, out_vc, kind = next(c for c in cands if c[0] == key)
+                claimed_out.add(out_port)
+                matched_vc.add((in_port, in_vc))
+                reads_left[in_port] -= 1
+                grants += 1
+                network.execute_grant(self, in_port, in_vc, out_port, out_vc, kind, cycle)
+        claimed_out.clear()
+        matched_vc.clear()
+        return grants
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Router(rid={self.rid}, g={self.group}, r={self.index})"

@@ -1,0 +1,337 @@
+"""The dragonfly topology with the palmtree global-link arrangement.
+
+Terminology and parameters follow Kim et al. (ISCA 2008) and the OFAR
+paper (Garcia et al., ICPP 2012):
+
+- ``h``  — global links per router,
+- ``p``  — processing nodes per router (balanced network: ``p = h``),
+- ``a``  — routers per group (balanced network: ``a = 2h``),
+- ``G``  — number of groups; a maximum-size network has ``G = a*h + 1 =
+  2h^2 + 1`` so that every pair of groups is joined by exactly one
+  global link.
+
+Routers inside a group are fully connected by local links; groups are
+fully connected by global links.  The network diameter is 3 (local,
+global, local).
+
+Identifier conventions used across the whole code base:
+
+- *router id* ``R`` in ``[0, num_routers)``; group ``g = R // a`` and
+  in-group index ``r = R % a``.
+- *node id* ``n`` in ``[0, num_nodes)``; attached router ``R = n // p``.
+- *port index* within a router, laid out as::
+
+      [0, p)                  node ports (injection in / ejection out)
+      [p, p + a - 1)          local ports
+      [p + a - 1, p + a - 1 + h)   global ports
+      p + a - 1 + h           ring port (only when a physical escape
+                              ring is attached)
+
+Global-link arrangement ("palmtree"): global port ``k`` of router ``r``
+in group ``g`` connects to group ``(g + r*h + k + 1) mod G``.  Each group
+therefore reaches every offset ``d`` in ``[1, 2h^2]`` exactly once, and
+consecutive offsets are wired to consecutive ports of consecutive
+routers.  This consecutive wiring is what concentrates misrouted
+``ADV+n*h`` traffic on single local links in the intermediate group
+(paper, Fig. 2a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator
+
+
+class PortKind(Enum):
+    """Classification of a router port."""
+
+    NODE = "node"
+    LOCAL = "local"
+    GLOBAL = "global"
+    RING = "ring"
+
+
+@dataclass(frozen=True)
+class GlobalEndpoint:
+    """One end of a global link: group, in-group router index and port."""
+
+    group: int
+    router: int
+    port: int  # global port index k in [0, h)
+
+
+class Dragonfly:
+    """A maximum-size balanced dragonfly parametrized by ``h``.
+
+    Parameters
+    ----------
+    h:
+        Number of global links per router.  Must be >= 1.  The balanced
+        relations ``p = h``, ``a = 2h`` and ``G = 2h^2 + 1`` are applied.
+    num_groups:
+        Optional; if given it must equal the maximum ``2h^2 + 1`` (the
+        only configuration the paper uses).  The parameter exists so
+        configs can state the group count explicitly and have it
+        validated.
+
+    Notes
+    -----
+    All of the accessors are O(1) closed forms; nothing is tabulated,
+    so even an ``h = 16`` (256K-node) instance is cheap to create.  The
+    network *simulator* tabulates what it needs for speed.
+    """
+
+    def __init__(self, h: int, num_groups: int | None = None) -> None:
+        if h < 1:
+            raise ValueError(f"h must be >= 1, got {h}")
+        self.h = h
+        self.p = h
+        self.a = 2 * h
+        max_groups = 2 * h * h + 1
+        if num_groups is None:
+            num_groups = max_groups
+        if num_groups != max_groups:
+            raise ValueError(
+                f"only maximum-size dragonflies are supported: "
+                f"num_groups must be {max_groups} for h={h}, got {num_groups}"
+            )
+        self.num_groups = num_groups
+        self.num_routers = self.num_groups * self.a
+        self.num_nodes = self.num_routers * self.p
+        # Port layout.
+        self.node_ports = self.p
+        self.local_ports = self.a - 1
+        self.global_ports = self.h
+        self.ports_per_router = self.node_ports + self.local_ports + self.global_ports
+        # Link counts (each undirected link counted once).
+        self.num_local_links = self.num_groups * (self.a * (self.a - 1) // 2)
+        self.num_global_links = self.num_groups * (self.num_groups - 1) // 2
+
+    # ------------------------------------------------------------------
+    # Identity helpers
+    # ------------------------------------------------------------------
+    def router_group(self, router: int) -> int:
+        """Group id of router ``router``."""
+        return router // self.a
+
+    def router_index(self, router: int) -> int:
+        """In-group index of router ``router``."""
+        return router % self.a
+
+    def router_id(self, group: int, index: int) -> int:
+        """Global router id for (group, in-group index)."""
+        return group * self.a + index
+
+    def node_router(self, node: int) -> int:
+        """Router that node ``node`` is attached to."""
+        return node // self.p
+
+    def node_group(self, node: int) -> int:
+        """Group that node ``node`` belongs to."""
+        return node // (self.p * self.a)
+
+    def node_port(self, node: int) -> int:
+        """Port index on the attached router serving node ``node``."""
+        return node % self.p
+
+    def router_nodes(self, router: int) -> range:
+        """Node ids attached to ``router``."""
+        return range(router * self.p, (router + 1) * self.p)
+
+    def group_nodes(self, group: int) -> range:
+        """Node ids belonging to ``group``."""
+        per_group = self.p * self.a
+        return range(group * per_group, (group + 1) * per_group)
+
+    def group_routers(self, group: int) -> range:
+        """Router ids belonging to ``group``."""
+        return range(group * self.a, (group + 1) * self.a)
+
+    # ------------------------------------------------------------------
+    # Port layout
+    # ------------------------------------------------------------------
+    def port_kind(self, port: int) -> PortKind:
+        """Kind of a port index (ring ports are outside ``ports_per_router``)."""
+        if port < 0:
+            raise ValueError(f"negative port {port}")
+        if port < self.node_ports:
+            return PortKind.NODE
+        if port < self.node_ports + self.local_ports:
+            return PortKind.LOCAL
+        if port < self.ports_per_router:
+            return PortKind.GLOBAL
+        if port == self.ports_per_router:
+            return PortKind.RING
+        raise ValueError(f"port {port} out of range")
+
+    def local_port(self, from_index: int, to_index: int) -> int:
+        """Port on router ``from_index`` (in-group) toward ``to_index``.
+
+        The complete local graph is wired so that router ``r`` uses local
+        slot ``j`` for peer ``j`` if ``j < r`` else peer ``j + 1``.
+        """
+        if from_index == to_index:
+            raise ValueError("no local link from a router to itself")
+        j = to_index if to_index < from_index else to_index - 1
+        return self.node_ports + j
+
+    def local_peer(self, from_index: int, port: int) -> int:
+        """In-group index of the peer on local port ``port`` of ``from_index``."""
+        j = port - self.node_ports
+        if not 0 <= j < self.local_ports:
+            raise ValueError(f"port {port} is not a local port")
+        return j if j < from_index else j + 1
+
+    def global_port(self, k: int) -> int:
+        """Port index for global slot ``k`` in ``[0, h)``."""
+        if not 0 <= k < self.h:
+            raise ValueError(f"global slot {k} out of range [0, {self.h})")
+        return self.node_ports + self.local_ports + k
+
+    def global_slot(self, port: int) -> int:
+        """Global slot ``k`` for a global port index."""
+        k = port - self.node_ports - self.local_ports
+        if not 0 <= k < self.h:
+            raise ValueError(f"port {port} is not a global port")
+        return k
+
+    @property
+    def ring_port(self) -> int:
+        """Port index used for a physically attached escape ring."""
+        return self.ports_per_router
+
+    # ------------------------------------------------------------------
+    # Palmtree global arrangement
+    # ------------------------------------------------------------------
+    def global_offset(self, router_index: int, k: int) -> int:
+        """Group offset reached by global slot ``k`` of in-group router
+        ``router_index``: ``d = r*h + k + 1``."""
+        return router_index * self.h + k + 1
+
+    def global_link_endpoint(self, group: int, router_index: int, k: int) -> GlobalEndpoint:
+        """Far end of the global link on (group, router_index, slot k).
+
+        Raises :class:`ValueError` when the port is unwired (only possible
+        in a smaller-than-maximum network).
+        """
+        d = self.global_offset(router_index, k)
+        dest_group = (group + d) % self.num_groups
+        back = 2 * self.h * self.h - d  # r'*h + k' at the destination side
+        return GlobalEndpoint(dest_group, back // self.h, back % self.h)
+
+    def group_route(self, src_group: int, dst_group: int) -> tuple[int, int]:
+        """(in-group router index, global slot) owning the link
+        ``src_group -> dst_group``."""
+        if src_group == dst_group:
+            raise ValueError("groups are identical; no global link needed")
+        d = (dst_group - src_group) % self.num_groups
+        return (d - 1) // self.h, (d - 1) % self.h
+
+    # ------------------------------------------------------------------
+    # Minimal routing oracle
+    # ------------------------------------------------------------------
+    def min_output_port(self, router: int, dst_node: int) -> int:
+        """First-hop output port of the minimal route from ``router`` to
+        ``dst_node``.
+
+        Minimal routes have at most 3 hops: local (to the router owning
+        the right global link), global, local (to the destination
+        router), then ejection.
+        """
+        dst_router = self.node_router(dst_node)
+        if router == dst_router:
+            return self.node_port(dst_node)
+        g, r = self.router_group(router), self.router_index(router)
+        dst_g = self.router_group(dst_router)
+        if dst_g == g:
+            return self.local_port(r, self.router_index(dst_router))
+        owner_r, k = self.group_route(g, dst_g)
+        if r == owner_r:
+            return self.global_port(k)
+        return self.local_port(r, owner_r)
+
+    def min_output_port_to_group(self, router: int, dst_group: int) -> int:
+        """Output port of the minimal route from ``router`` toward any
+        router of ``dst_group`` (which must differ from the router's
+        group)."""
+        g, r = self.router_group(router), self.router_index(router)
+        if dst_group == g:
+            raise ValueError("router is already in the destination group")
+        owner_r, k = self.group_route(g, dst_group)
+        if r == owner_r:
+            return self.global_port(k)
+        return self.local_port(r, owner_r)
+
+    def neighbor(self, router: int, port: int) -> tuple[int, int]:
+        """(peer router id, peer input port index) across ``port``.
+
+        Only valid for local and global ports; node ports do not lead to
+        a router and ring ports are resolved by the escape-ring wiring.
+        """
+        kind = self.port_kind(port)
+        g, r = self.router_group(router), self.router_index(router)
+        if kind is PortKind.LOCAL:
+            peer_idx = self.local_peer(r, port)
+            return self.router_id(g, peer_idx), self.local_port(peer_idx, r)
+        if kind is PortKind.GLOBAL:
+            ep = self.global_link_endpoint(g, r, self.global_slot(port))
+            return self.router_id(ep.group, ep.router), self.global_port(ep.port)
+        raise ValueError(f"port {port} ({kind}) has no router neighbor")
+
+    def min_route(self, src_node: int, dst_node: int) -> list[tuple[int, int]]:
+        """Full minimal route as ``[(router, output port), ...]``.
+
+        The final element ejects to the destination node.  Useful for
+        tests and static analysis; the simulator routes hop by hop.
+        """
+        if src_node == dst_node:
+            raise ValueError("source and destination nodes are identical")
+        route: list[tuple[int, int]] = []
+        router = self.node_router(src_node)
+        for _ in range(5):  # diameter 3 + ejection, with margin
+            port = self.min_output_port(router, dst_node)
+            route.append((router, port))
+            if self.port_kind(port) is PortKind.NODE:
+                return route
+            router, _in_port = self.neighbor(router, port)
+        raise AssertionError("minimal route exceeded the topology diameter")
+
+    def min_distance(self, src_node: int, dst_node: int) -> int:
+        """Number of router-to-router hops on the minimal route."""
+        return len(self.min_route(src_node, dst_node)) - 1
+
+    # ------------------------------------------------------------------
+    # Iteration helpers
+    # ------------------------------------------------------------------
+    def routers(self) -> range:
+        """All router ids."""
+        return range(self.num_routers)
+
+    def nodes(self) -> range:
+        """All node ids."""
+        return range(self.num_nodes)
+
+    def global_links(self) -> Iterator[tuple[int, int, int, int]]:
+        """Yield each global link once as (router_a, port_a, router_b, port_b)."""
+        for g in range(self.num_groups):
+            for r in range(self.a):
+                for k in range(self.h):
+                    d = self.global_offset(r, k)
+                    # Count each link once from the lower-offset side
+                    # (offsets d and 2h^2+1-d denote the same link; they
+                    # are never equal because their sum is odd).
+                    if d <= self.h * self.h:
+                        ep = self.global_link_endpoint(g, r, k)
+                        yield (
+                            self.router_id(g, r),
+                            self.global_port(k),
+                            self.router_id(ep.group, ep.router),
+                            self.global_port(ep.port),
+                        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Dragonfly(h={self.h}, groups={self.num_groups}, "
+            f"routers={self.num_routers}, nodes={self.num_nodes})"
+        )

@@ -1,0 +1,106 @@
+"""A Hamiltonian cycle over all dragonfly routers.
+
+The OFAR escape subnetwork is a Hamiltonian ring with bubble flow
+control.  The paper considers two implementations:
+
+- a **physical** ring: one extra input and one extra output port per
+  router, plus one dedicated wire per router (N wires total);
+- an **embedded** ring: the same cycle realized over *existing* links of
+  the dragonfly, using one extra virtual channel on exactly the links
+  the cycle traverses.
+
+For the embedded variant the cycle must use only real dragonfly links.
+The construction here exploits the palmtree arrangement: the global link
+from group ``g`` to group ``g + 1`` (offset 1) is owned by in-group
+router 0, slot 0, and lands on in-group router ``2h - 1`` of group
+``g + 1``.  The cycle therefore descends through each group's routers
+``2h-1, 2h-2, ..., 1, 0`` over local links (the local graph is complete,
+so consecutive routers are adjacent) and hops to the next group over the
+offset-1 global link.  Concatenating over all groups yields a single
+Hamiltonian cycle through every router of the network.
+"""
+
+from __future__ import annotations
+
+from repro.topology.dragonfly import Dragonfly, PortKind
+
+
+class HamiltonianRing:
+    """Hamiltonian cycle over the routers of a :class:`Dragonfly`.
+
+    Attributes
+    ----------
+    order:
+        Router ids in cycle order; ``order[0]`` is the router of group 0
+        with in-group index ``a - 1`` and the successor of ``order[-1]``
+        is ``order[0]``.
+    """
+
+    def __init__(self, topo: Dragonfly) -> None:
+        self.topo = topo
+        order: list[int] = []
+        for g in range(topo.num_groups):
+            for r in range(topo.a - 1, -1, -1):
+                order.append(topo.router_id(g, r))
+        self.order = order
+        self._position = {router: i for i, router in enumerate(order)}
+        # Precompute successor router and, for the embedded variant, the
+        # dragonfly output port that realizes each ring hop.
+        n = len(order)
+        self._succ = [0] * topo.num_routers
+        self._succ_port = [0] * topo.num_routers
+        for i, router in enumerate(order):
+            nxt = order[(i + 1) % n]
+            self._succ[router] = nxt
+            g, r = topo.router_group(router), topo.router_index(router)
+            ng, nr = topo.router_group(nxt), topo.router_index(nxt)
+            if g == ng:
+                port = topo.local_port(r, nr)
+            else:
+                # Offset-1 global hop: owned by in-group router 0, slot 0.
+                if r != 0 or (ng - g) % topo.num_groups != 1:
+                    raise AssertionError("ring construction broke the palmtree invariant")
+                port = topo.global_port(0)
+            self._succ_port[router] = port
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def position(self, router: int) -> int:
+        """Index of ``router`` along the cycle."""
+        return self._position[router]
+
+    def successor(self, router: int) -> int:
+        """Next router along the (unidirectional) ring."""
+        return self._succ[router]
+
+    def successor_port(self, router: int) -> int:
+        """Dragonfly output port that the embedded ring uses at ``router``."""
+        return self._succ_port[router]
+
+    def successor_port_kind(self, router: int) -> PortKind:
+        """Kind (LOCAL or GLOBAL) of the embedded ring hop at ``router``."""
+        return self.topo.port_kind(self._succ_port[router])
+
+    def distance(self, src_router: int, dst_router: int) -> int:
+        """Ring hops from ``src_router`` to ``dst_router`` going forward."""
+        n = len(self.order)
+        return (self._position[dst_router] - self._position[src_router]) % n
+
+    def validate(self) -> None:
+        """Check that the cycle visits every router once over real links.
+
+        Raises :class:`AssertionError` on any violation.  Used by tests;
+        cheap enough to call on construction in debugging sessions.
+        """
+        topo = self.topo
+        seen = set(self.order)
+        assert len(self.order) == topo.num_routers, "cycle misses routers"
+        assert len(seen) == topo.num_routers, "cycle repeats a router"
+        for router in self.order:
+            port = self._succ_port[router]
+            peer, _ = topo.neighbor(router, port)
+            assert peer == self._succ[router], (
+                f"ring hop at router {router} via port {port} lands on "
+                f"{peer}, expected {self._succ[router]}"
+            )

@@ -1,0 +1,170 @@
+"""Edge-disjoint Hamiltonian escape rings (§VII, "ongoing work").
+
+The paper bounds the number of edge-disjoint embedded Hamiltonian rings
+by ``h`` and proposes them for fault tolerance: the escape subnetwork
+stays functional as long as one ring is intact.  This module constructs
+up to ``h`` such rings over real dragonfly links.
+
+Construction
+------------
+Ring ``j`` crosses groups with a fixed offset ``d_j`` chosen in
+``[j*h + 1, (j+1)*h]`` with ``gcd(d_j, G) = 1`` (so the group sequence
+``g, g+d_j, g+2*d_j, ...`` visits every group).  By the palmtree
+arithmetic, *any* offset in that window enters each group at in-group
+router ``2h - 1 - j`` and leaves from router ``j`` — the endpoints
+depend only on ``j`` — so within every group, ring ``j`` needs a
+Hamiltonian path from ``2h - 1 - j`` to ``j`` over local links, and the
+``h`` rings need ``h`` pairwise edge-disjoint such paths.
+
+That is exactly the classical decomposition of ``K_{2h}`` into ``h``
+Hamiltonian paths (Walecki): the zigzag path
+``B = [0, 1, 2h-1, 2, 2h-2, ...]`` and its translates ``B + j`` are
+edge-disjoint, with endpoints ``j`` and ``j + h``.  Relabelling
+vertices by ``sigma(v) = v`` for ``v < h`` and ``sigma(v) = 3h - 1 - v``
+otherwise maps the endpoint pair ``{j, j+h}`` to ``{j, 2h-1-j}`` while
+preserving edge-disjointness.  Global links are trivially disjoint
+across rings (each ring uses a distinct offset window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import gcd
+
+from repro.topology.dragonfly import Dragonfly, PortKind
+
+
+def zigzag_paths(h: int) -> list[list[int]]:
+    """``h`` pairwise edge-disjoint Hamiltonian paths of ``K_{2h}``.
+
+    Path ``j`` runs from vertex ``2h - 1 - j`` to vertex ``j`` (the
+    entry/exit routers ring ``j`` needs inside every group).
+    """
+    if h < 1:
+        raise ValueError("h must be >= 1")
+    n = 2 * h
+    base = [0]
+    for step in range(1, h + 1):
+        base.append((base[-1] + (2 * step - 1)) % n if step else 0)
+        if len(base) < n:
+            base.append((base[-1] - 2 * step) % n)
+    # The loop above builds [0, 1, 2h-1, 2, 2h-2, ...]; verify shape.
+    assert len(base) == n and len(set(base)) == n
+
+    def sigma(v: int) -> int:
+        return v if v < h else 3 * h - 1 - v
+
+    paths = []
+    for j in range(h):
+        translated = [(v + j) % n for v in base]
+        relabeled = [sigma(v) for v in translated]
+        # Orient from the entry router (2h-1-j) to the exit router (j).
+        if relabeled[0] != 2 * h - 1 - j:
+            relabeled.reverse()
+        assert relabeled[0] == 2 * h - 1 - j and relabeled[-1] == j
+        paths.append(relabeled)
+    return paths
+
+
+@dataclass
+class RingSpec:
+    """One Hamiltonian ring: cycle order and per-router successor."""
+
+    ring_id: int
+    offset: int  # group offset of its global hops
+    order: list[int]
+    succ: dict[int, int] = field(default_factory=dict)
+    succ_port: dict[int, int] = field(default_factory=dict)
+
+    def successor(self, router: int) -> int:
+        return self.succ[router]
+
+    def successor_port(self, router: int) -> int:
+        return self.succ_port[router]
+
+
+class MultiRing:
+    """Up to ``h`` edge-disjoint Hamiltonian rings over a dragonfly."""
+
+    def __init__(self, topo: Dragonfly, num_rings: int) -> None:
+        if not 1 <= num_rings <= topo.h:
+            raise ValueError(
+                f"num_rings must be in [1, h={topo.h}], got {num_rings}"
+            )
+        self.topo = topo
+        self.rings: list[RingSpec] = []
+        paths = zigzag_paths(topo.h)
+        for j in range(num_rings):
+            self.rings.append(self._build_ring(j, paths[j]))
+        self._check_edge_disjoint()
+
+    # ------------------------------------------------------------------
+    def _pick_offset(self, j: int) -> int:
+        """Group offset for ring ``j``: q = j window, coprime with G."""
+        topo = self.topo
+        for s in range(topo.h):
+            d = j * topo.h + s + 1
+            if gcd(d, topo.num_groups) == 1:
+                return d
+        raise ValueError(
+            f"no usable group offset for ring {j} "
+            f"(h={topo.h}, G={topo.num_groups})"
+        )
+
+    def _build_ring(self, j: int, path: list[int]) -> RingSpec:
+        topo = self.topo
+        d = self._pick_offset(j)
+        order: list[int] = []
+        g = 0
+        for _ in range(topo.num_groups):
+            order.extend(topo.router_id(g, r) for r in path)
+            g = (g + d) % topo.num_groups
+        assert g == 0, "offset does not return to group 0"
+        spec = RingSpec(ring_id=j, offset=d, order=order)
+        n = len(order)
+        for i, rid in enumerate(order):
+            nxt = order[(i + 1) % n]
+            spec.succ[rid] = nxt
+            rg, rr = topo.router_group(rid), topo.router_index(rid)
+            ng, nr = topo.router_group(nxt), topo.router_index(nxt)
+            if rg == ng:
+                port = topo.local_port(rr, nr)
+            else:
+                # Exit router j, global slot (d-1) % h.
+                assert rr == j and (ng - rg) % topo.num_groups == d
+                port = topo.global_port((d - 1) % topo.h)
+                ep = topo.global_link_endpoint(rg, rr, (d - 1) % topo.h)
+                assert (ep.group, ep.router) == (ng, nr)
+            spec.succ_port[rid] = port
+        return spec
+
+    def _check_edge_disjoint(self) -> None:
+        """No undirected link may carry more than one ring."""
+        seen: set[frozenset] = set()
+        for spec in self.rings:
+            for rid, port in spec.succ_port.items():
+                peer, peer_port = self.topo.neighbor(rid, port)
+                key = frozenset(((rid, port), (peer, peer_port)))
+                if key in seen:
+                    raise AssertionError(
+                        f"rings share link {rid}:{port} <-> {peer}:{peer_port}"
+                    )
+                seen.add(key)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rings)
+
+    def validate(self) -> None:
+        """Every ring visits every router exactly once over real links."""
+        topo = self.topo
+        for spec in self.rings:
+            assert sorted(spec.order) == list(topo.routers()), (
+                f"ring {spec.ring_id} does not cover all routers"
+            )
+            for rid in spec.order:
+                port = spec.succ_port[rid]
+                assert topo.port_kind(port) in (PortKind.LOCAL, PortKind.GLOBAL)
+                peer, _ = topo.neighbor(rid, port)
+                assert peer == spec.succ[rid]
+        self._check_edge_disjoint()

@@ -1,0 +1,62 @@
+"""Synthetic traffic: destination patterns and injection processes.
+
+Patterns (§V): uniform random (*UN*), adversarial (*ADV+N*: every node
+of group ``i`` targets a random node of group ``i+N``), the local
+adversarial pattern of §III (every node targets the next router of its
+own group), and weighted mixes (*MIX1/2/3* of the burst study).
+
+Injection processes: Bernoulli steady traffic at a controlled load,
+transient pattern switches, and fixed-size bursts.
+"""
+
+from repro.traffic.patterns import (
+    TrafficPattern,
+    UniformPattern,
+    AdversarialPattern,
+    AdversarialLocalPattern,
+    MixPattern,
+    make_pattern,
+)
+from repro.traffic.generators import (
+    TrafficGenerator,
+    BernoulliTraffic,
+    TransientTraffic,
+    BurstTraffic,
+)
+from repro.traffic.applications import (
+    StencilPattern,
+    ShiftPattern,
+    PermutationPattern,
+    near_square_dims,
+)
+from repro.traffic.trace import (
+    TraceEvent,
+    TraceRecorder,
+    TraceTraffic,
+    load_trace,
+    save_trace,
+    synthesize_phases,
+)
+
+__all__ = [
+    "StencilPattern",
+    "ShiftPattern",
+    "PermutationPattern",
+    "near_square_dims",
+    "TraceEvent",
+    "TraceRecorder",
+    "TraceTraffic",
+    "load_trace",
+    "save_trace",
+    "synthesize_phases",
+    "TrafficPattern",
+    "UniformPattern",
+    "AdversarialPattern",
+    "AdversarialLocalPattern",
+    "MixPattern",
+    "make_pattern",
+    "TrafficGenerator",
+    "BernoulliTraffic",
+    "TransientTraffic",
+    "BurstTraffic",
+]

@@ -1,0 +1,142 @@
+"""Injection processes.
+
+A generator answers, per cycle, which (source, destination) pairs are
+*created*; the simulator turns them into packets queued at the source
+node.  Nodes inject from their source queue into the router as fast as
+the injection link (1 phit/cycle) and buffer space allow, so offered
+load beyond saturation accumulates in the source queues, producing the
+classic latency hockey-stick while throughput keeps reporting the
+*accepted* rate.
+
+- :class:`BernoulliTraffic` — each node generates a packet per cycle
+  with probability ``load / packet_size`` (load in phits/(node·cycle)),
+  exactly the paper's Bernoulli process (§V);
+- :class:`TransientTraffic` — Bernoulli with a destination pattern that
+  switches at given cycles (Fig. 6);
+- :class:`BurstTraffic` — every node starts with a fixed backlog and
+  injects it as fast as possible (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+import numpy as np
+
+from repro.traffic.patterns import TrafficPattern
+
+
+class TrafficGenerator(ABC):
+    """Per-cycle packet creation process."""
+
+    @abstractmethod
+    def packets_for_cycle(self, cycle: int) -> Iterable[tuple[int, int]]:
+        """(source node, destination node) pairs created this cycle."""
+
+    def finished(self, cycle: int) -> bool:
+        """True when the generator will never create packets again."""
+        return False
+
+
+class BernoulliTraffic(TrafficGenerator):
+    """Independent Bernoulli injection at a fixed offered load."""
+
+    def __init__(
+        self,
+        pattern: TrafficPattern,
+        load: float,
+        packet_size: int,
+        num_nodes: int,
+        seed: int,
+    ) -> None:
+        if not 0.0 <= load <= 1.0:
+            raise ValueError(f"load must be in [0, 1] phits/(node*cycle), got {load}")
+        self.pattern = pattern
+        self.load = load
+        self.prob = load / packet_size
+        self.num_nodes = num_nodes
+        self._np_rng = np.random.default_rng(seed)
+
+    def packets_for_cycle(self, cycle: int) -> Iterable[tuple[int, int]]:
+        if self.prob <= 0.0:
+            return ()
+        hits = np.flatnonzero(self._np_rng.random(self.num_nodes) < self.prob)
+        dest = self.pattern.dest
+        return [(int(src), dest(int(src))) for src in hits]
+
+
+class TransientTraffic(TrafficGenerator):
+    """Bernoulli traffic whose pattern switches at fixed cycles.
+
+    ``phases`` is a list of ``(start_cycle, pattern)`` with strictly
+    increasing start cycles; the first phase must start at 0.
+    """
+
+    def __init__(
+        self,
+        phases: list[tuple[int, TrafficPattern]],
+        load: float,
+        packet_size: int,
+        num_nodes: int,
+        seed: int,
+    ) -> None:
+        if not phases or phases[0][0] != 0:
+            raise ValueError("phases must start at cycle 0")
+        starts = [s for s, _ in phases]
+        if starts != sorted(set(starts)):
+            raise ValueError("phase start cycles must be strictly increasing")
+        self.phases = phases
+        self._bernoulli = BernoulliTraffic(
+            phases[0][1], load, packet_size, num_nodes, seed
+        )
+
+    def pattern_at(self, cycle: int) -> TrafficPattern:
+        """Active pattern at ``cycle``."""
+        current = self.phases[0][1]
+        for start, pattern in self.phases:
+            if cycle >= start:
+                current = pattern
+            else:
+                break
+        return current
+
+    def packets_for_cycle(self, cycle: int) -> Iterable[tuple[int, int]]:
+        self._bernoulli.pattern = self.pattern_at(cycle)
+        return self._bernoulli.packets_for_cycle(cycle)
+
+
+class BurstTraffic(TrafficGenerator):
+    """Every node creates ``packets_per_node`` packets at cycle 0.
+
+    Models the post-barrier traffic bursts of Fig. 7: all nodes push a
+    fixed backlog as fast as the network accepts it; the figure of
+    merit is the cycle at which the last packet is consumed.
+    """
+
+    def __init__(self, pattern: TrafficPattern, packets_per_node: int, num_nodes: int) -> None:
+        if packets_per_node < 1:
+            raise ValueError("packets_per_node must be >= 1")
+        self.pattern = pattern
+        self.packets_per_node = packets_per_node
+        self.num_nodes = num_nodes
+        self._emitted = False
+
+    @property
+    def total_packets(self) -> int:
+        """Total packets of the burst."""
+        return self.packets_per_node * self.num_nodes
+
+    def packets_for_cycle(self, cycle: int) -> Iterable[tuple[int, int]]:
+        if self._emitted:
+            return ()
+        self._emitted = True
+        dest = self.pattern.dest
+        return [
+            (src, dest(src))
+            for src in range(self.num_nodes)
+            for _ in range(self.packets_per_node)
+        ]
+
+    def finished(self, cycle: int) -> bool:
+        return self._emitted

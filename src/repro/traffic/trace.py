@@ -1,0 +1,158 @@
+"""Trace-driven workloads: record, save, load and replay packet traces.
+
+The paper's motivation leans on trace-driven studies (Bhatele et al.
+replay application traces on a simulated dragonfly).  We cannot ship
+proprietary application traces, but we provide the full machinery so a
+user can bring their own — or synthesize one:
+
+- :class:`TraceRecorder` wraps any generator and records every
+  (cycle, src, dst) it emits;
+- :func:`save_trace` / :func:`load_trace` use a trivial CSV format
+  (``cycle,src,dst`` with a one-line header) that external tools can
+  produce;
+- :class:`TraceTraffic` replays a trace, optionally time-scaled or
+  looped — replaying the same trace under different routings is the
+  trace-driven analogue of the paper's steady-state comparisons;
+- :func:`synthesize_phases` builds an application-like trace from
+  (pattern, load, duration) phases (e.g. compute/exchange cycles of a
+  BSP code).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.traffic.generators import BernoulliTraffic, TrafficGenerator
+from repro.traffic.patterns import TrafficPattern
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One packet creation event."""
+
+    cycle: int
+    src: int
+    dst: int
+
+
+def save_trace(events: Iterable[TraceEvent], path: str) -> None:
+    """Write a trace as ``cycle,src,dst`` CSV."""
+    with open(path, "w") as f:
+        f.write("cycle,src,dst\n")
+        for ev in events:
+            f.write(f"{ev.cycle},{ev.src},{ev.dst}\n")
+
+
+def load_trace(path: str) -> list[TraceEvent]:
+    """Read a trace written by :func:`save_trace` (or external tools)."""
+    with open(path) as f:
+        return parse_trace(f)
+
+
+def parse_trace(lines: Iterable[str]) -> list[TraceEvent]:
+    """Parse trace CSV lines (header optional); validates monotonicity."""
+    events: list[TraceEvent] = []
+    last_cycle = -1
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line or (i == 0 and line.lower().startswith("cycle")):
+            continue
+        parts = line.split(",")
+        if len(parts) != 3:
+            raise ValueError(f"bad trace line {i + 1}: {line!r}")
+        cycle, src, dst = (int(x) for x in parts)
+        if cycle < last_cycle:
+            raise ValueError(f"trace not sorted by cycle at line {i + 1}")
+        if src == dst:
+            raise ValueError(f"self-addressed packet at line {i + 1}")
+        last_cycle = cycle
+        events.append(TraceEvent(cycle, src, dst))
+    return events
+
+
+class TraceRecorder(TrafficGenerator):
+    """Pass-through wrapper that records everything a generator emits."""
+
+    def __init__(self, inner: TrafficGenerator) -> None:
+        self.inner = inner
+        self.events: list[TraceEvent] = []
+
+    def packets_for_cycle(self, cycle: int):
+        out = list(self.inner.packets_for_cycle(cycle))
+        for src, dst in out:
+            self.events.append(TraceEvent(cycle, src, dst))
+        return out
+
+    def finished(self, cycle: int) -> bool:
+        return self.inner.finished(cycle)
+
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        buf.write("cycle,src,dst\n")
+        for ev in self.events:
+            buf.write(f"{ev.cycle},{ev.src},{ev.dst}\n")
+        return buf.getvalue()
+
+
+class TraceTraffic(TrafficGenerator):
+    """Replay a recorded trace.
+
+    ``time_scale`` stretches (>1) or compresses (<1) inter-event time;
+    ``loop`` repeats the trace, shifting cycles by its span each pass
+    (useful to turn a short trace into a steady workload).
+    """
+
+    def __init__(
+        self,
+        events: list[TraceEvent],
+        time_scale: float = 1.0,
+        loop: int = 1,
+    ) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        if loop < 1:
+            raise ValueError("loop must be >= 1")
+        base = sorted(events, key=lambda e: e.cycle)
+        span = (base[-1].cycle + 1) if base else 0
+        self._schedule: dict[int, list[tuple[int, int]]] = {}
+        self._last_cycle = -1
+        for pass_idx in range(loop):
+            offset = pass_idx * span
+            for ev in base:
+                cyc = int(round((ev.cycle + offset) * time_scale))
+                self._schedule.setdefault(cyc, []).append((ev.src, ev.dst))
+                if cyc > self._last_cycle:
+                    self._last_cycle = cyc
+        self.total_events = len(base) * loop
+
+    def packets_for_cycle(self, cycle: int):
+        return self._schedule.get(cycle, ())
+
+    def finished(self, cycle: int) -> bool:
+        return cycle > self._last_cycle
+
+
+def synthesize_phases(
+    phases: list[tuple[TrafficPattern, float, int]],
+    packet_size: int,
+    num_nodes: int,
+    seed: int,
+) -> list[TraceEvent]:
+    """Build a trace from (pattern, load, duration-cycles) phases.
+
+    Models the alternating compute/communicate structure of BSP
+    applications: e.g. ``[(stencil, 0.4, 2000), (none, 0.0, 1000), ...]``.
+    """
+    events: list[TraceEvent] = []
+    start = 0
+    for i, (pattern, load, duration) in enumerate(phases):
+        if duration <= 0:
+            raise ValueError("phase duration must be positive")
+        gen = BernoulliTraffic(pattern, load, packet_size, num_nodes, seed + i)
+        for cycle in range(duration):
+            for src, dst in gen.packets_for_cycle(cycle):
+                events.append(TraceEvent(start + cycle, src, dst))
+        start += duration
+    return events

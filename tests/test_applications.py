@@ -1,0 +1,175 @@
+"""Tests for application-style traffic patterns."""
+
+import random
+
+import pytest
+
+from repro.topology.dragonfly import Dragonfly
+from repro.traffic.applications import (
+    PermutationPattern,
+    ShiftPattern,
+    StencilPattern,
+    near_square_dims,
+)
+
+
+@pytest.fixture
+def topo():
+    return Dragonfly(2)  # 72 nodes
+
+
+@pytest.fixture
+def rng():
+    return random.Random(7)
+
+
+class TestNearSquareDims:
+    def test_exact_square(self):
+        assert near_square_dims(36, 2) == (6, 6)
+
+    def test_rectangular(self):
+        dims = near_square_dims(72, 2)
+        assert dims[0] * dims[1] == 72
+        assert dims == (9, 8)
+
+    def test_three_dims(self):
+        dims = near_square_dims(5256, 3)  # the paper's node count
+        assert len(dims) == 3
+        prod = dims[0] * dims[1] * dims[2]
+        assert prod == 5256
+
+    def test_one_dim(self):
+        assert near_square_dims(10, 1) == (10,)
+
+    def test_prime(self):
+        assert near_square_dims(7, 2) == (7, 1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            near_square_dims(0, 2)
+
+
+class TestStencil:
+    def test_default_dims_cover_nodes(self, topo, rng):
+        p = StencilPattern(topo, rng)
+        assert p.dims[0] * p.dims[1] == topo.num_nodes
+
+    def test_bad_dims_rejected(self, topo, rng):
+        with pytest.raises(ValueError):
+            StencilPattern(topo, rng, dims=(5, 5))
+
+    def test_bad_mapping_rejected(self, topo, rng):
+        with pytest.raises(ValueError):
+            StencilPattern(topo, rng, mapping="hilbert")
+
+    def test_never_self(self, topo, rng):
+        for mapping in ("sequential", "random"):
+            p = StencilPattern(topo, rng, mapping=mapping)
+            for src in range(topo.num_nodes):
+                for _ in range(6):
+                    assert p.dest(src) != src
+
+    def test_sequential_destinations_are_grid_neighbors(self, topo, rng):
+        p = StencilPattern(topo, rng, dims=(9, 8), mapping="sequential")
+        src = 30
+        seen = {p.dest(src) for _ in range(300)}
+        # Neighbours of rank 30 in a 9x8 periodic grid (row-major).
+        expected = set()
+        for axis in (0, 1):
+            for direction in (1, -1):
+                expected.add(p.neighbor_rank(30, axis, direction))
+        assert seen <= expected
+        assert len(seen) >= 3  # all four show up with high probability
+
+    def test_sequential_mapping_preserves_locality(self, topo, rng):
+        """Most sequential-stencil exchanges stay within the group."""
+        p = StencilPattern(topo, rng, mapping="sequential")
+        same_group = sum(
+            1
+            for src in range(topo.num_nodes)
+            for _ in range(4)
+            if topo.node_group(p.dest(src)) == topo.node_group(src)
+        )
+        total = topo.num_nodes * 4
+        assert same_group > 0.4 * total
+
+    def test_random_mapping_destroys_locality(self, topo, rng):
+        seq = StencilPattern(topo, random.Random(1), mapping="sequential")
+        rnd = StencilPattern(topo, random.Random(1), mapping="random")
+
+        def locality(p):
+            return sum(
+                1
+                for src in range(topo.num_nodes)
+                for _ in range(4)
+                if topo.node_group(p.dest(src)) == topo.node_group(src)
+            )
+
+        assert locality(rnd) < 0.6 * locality(seq)
+
+    def test_rank_coords_roundtrip(self, topo, rng):
+        p = StencilPattern(topo, rng, dims=(9, 8))
+        for rank in (0, 7, 8, 35, 71):
+            x, y = p.rank_coords(rank)
+            assert rank == x * 8 + y
+
+    def test_mapping_is_bijective(self, topo, rng):
+        p = StencilPattern(topo, rng, mapping="random")
+        assert sorted(p._rank_to_node) == list(range(topo.num_nodes))
+
+
+class TestShift:
+    def test_destination(self, topo, rng):
+        p = ShiftPattern(topo, rng, 5)
+        assert p.dest(0) == 5
+        assert p.dest(topo.num_nodes - 1) == 4
+
+    def test_invalid_shift(self, topo, rng):
+        with pytest.raises(ValueError):
+            ShiftPattern(topo, rng, 0)
+        with pytest.raises(ValueError):
+            ShiftPattern(topo, rng, topo.num_nodes)
+
+    def test_router_shift_reproduces_local_hotspot(self, topo, rng):
+        """Shift by p nodes = the §III next-router pattern for interior
+        nodes."""
+        p = ShiftPattern(topo, rng, topo.p)
+        src = 0
+        dst = p.dest(src)
+        assert topo.node_router(dst) == topo.node_router(src) + 1
+
+
+class TestPermutation:
+    def test_is_permutation_without_fixed_points(self, topo, rng):
+        p = PermutationPattern(topo, rng, seed=3)
+        dsts = [p.dest(s) for s in range(topo.num_nodes)]
+        assert sorted(dsts) == list(range(topo.num_nodes))
+        assert all(d != s for s, d in enumerate(dsts))
+
+    def test_deterministic_given_seed(self, topo):
+        p1 = PermutationPattern(topo, random.Random(0), seed=5)
+        p2 = PermutationPattern(topo, random.Random(9), seed=5)
+        assert all(p1.dest(s) == p2.dest(s) for s in range(topo.num_nodes))
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("pattern_cls", ["stencil", "shift", "perm"])
+    def test_delivery(self, topo, pattern_cls):
+        from repro.engine.config import SimulationConfig
+        from repro.engine.simulator import Simulator
+        from repro.traffic.generators import BernoulliTraffic
+
+        cfg = SimulationConfig.small(h=2, routing="ofar")
+        sim = Simulator(cfg)
+        rng = random.Random(4)
+        t = sim.network.topo
+        pattern = {
+            "stencil": lambda: StencilPattern(t, rng),
+            "shift": lambda: ShiftPattern(t, rng, t.p),
+            "perm": lambda: PermutationPattern(t, rng, seed=1),
+        }[pattern_cls]()
+        sim.generator = BernoulliTraffic(pattern, 0.3, 8, t.num_nodes, 3)
+        sim.run(300)
+        sim.generator = None
+        sim.run_until_drained(200_000)
+        assert sim.network.ejected_packets == sim.created_packets

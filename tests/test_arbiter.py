@@ -1,0 +1,58 @@
+"""Unit tests for the least-recently-served arbiter."""
+
+from repro.network.arbiter import LRSArbiter
+
+
+class TestLRSArbiter:
+    def test_empty_requests(self):
+        assert LRSArbiter().grant([]) is None
+
+    def test_single_request(self):
+        assert LRSArbiter().grant([3]) == 3
+
+    def test_never_granted_wins_over_granted(self):
+        arb = LRSArbiter()
+        assert arb.grant([1, 2]) == 1  # tie on "never": lowest key
+        assert arb.grant([1, 2]) == 2  # 2 never granted, beats 1
+
+    def test_round_robin_under_contention(self):
+        arb = LRSArbiter()
+        grants = [arb.grant([0, 1, 2]) for _ in range(9)]
+        # After the first cycle through, strict LRS order repeats.
+        assert grants == [0, 1, 2] * 3
+
+    def test_fairness_counts(self):
+        arb = LRSArbiter()
+        counts = {0: 0, 1: 0, 2: 0, 3: 0}
+        for _ in range(400):
+            counts[arb.grant([0, 1, 2, 3])] += 1
+        assert set(counts.values()) == {100}
+
+    def test_lrs_prefers_longest_waiting(self):
+        arb = LRSArbiter()
+        arb.grant([0])  # 0 served
+        arb.grant([1])  # 1 served after 0
+        assert arb.grant([0, 1]) == 0  # 0 served longer ago
+
+    def test_absent_requester_keeps_history(self):
+        arb = LRSArbiter()
+        arb.grant([0, 1])  # grants 0
+        arb.grant([1])  # grants 1
+        arb.grant([0])  # grants 0 again (0 now most recent)
+        assert arb.grant([0, 1]) == 1
+
+    def test_peek_does_not_mutate(self):
+        arb = LRSArbiter()
+        assert arb.peek([5, 6]) == 5
+        assert arb.peek([5, 6]) == 5  # unchanged
+        assert arb.grant([5, 6]) == 5
+        assert arb.peek([5, 6]) == 6
+
+    def test_deterministic_tiebreak_by_key(self):
+        arb = LRSArbiter()
+        assert arb.grant([9, 4, 7]) == 4
+
+    def test_tuple_keys(self):
+        arb = LRSArbiter()
+        assert arb.grant([(1, 2), (0, 5)]) == (0, 5)
+        assert arb.grant([(1, 2), (0, 5)]) == (1, 2)

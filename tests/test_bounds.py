@@ -1,0 +1,61 @@
+"""Tests for the closed-form bounds and the §VII cost model."""
+
+import pytest
+
+from repro.analysis import bounds
+
+
+class TestThroughputBounds:
+    def test_min_adversarial(self):
+        assert bounds.min_adversarial_bound(6) == pytest.approx(1 / 72)
+        # Paper: "in a large network with h = 16, this reduces
+        # throughput to less than 0.2% of its maximum".
+        assert bounds.min_adversarial_bound(16) < 0.002
+
+    def test_valiant(self):
+        assert bounds.valiant_bound() == 0.5
+
+    def test_local_link_advh(self):
+        # Paper §VI: 1/h = 1/6 = 0.166 at h=6.
+        assert bounds.local_link_advh_bound(6) == pytest.approx(0.1666, abs=1e-3)
+        # "For the same large network h = 16 this would limit traffic
+        # to a 6.25% of its maximum".
+        assert bounds.min_local_neighbor_bound(16) == pytest.approx(0.0625)
+
+    def test_bounds_shrink_with_h(self):
+        for h in range(2, 16):
+            assert bounds.local_link_advh_bound(h + 1) < bounds.local_link_advh_bound(h)
+            assert bounds.min_adversarial_bound(h + 1) < bounds.min_adversarial_bound(h)
+
+
+class TestRingCost:
+    def test_link_fraction_h16_about_4_percent(self):
+        """§VII: 'with h = 16, this means 4% more wires'."""
+        assert bounds.ring_added_link_fraction(16) == pytest.approx(0.04, abs=0.005)
+
+    def test_link_fraction_formula(self):
+        for h in (2, 4, 8, 16):
+            assert bounds.ring_added_link_fraction(h) == pytest.approx(
+                2 / (3 * h - 1), rel=1e-9
+            )
+
+    def test_global_wires_h16_about_03_percent(self):
+        """§VII: '2h^2+1 added to the 2h^4+h^2 original long wires ...
+        only 0.3% more global wires' at h=16."""
+        frac = bounds.ring_added_global_fraction(16)
+        assert 0.002 < frac < 0.005
+
+    def test_global_wire_counts(self):
+        assert bounds.ring_added_global_wires(6) == 73
+        assert bounds.original_global_wires(6) == 2 * 6**4 + 36
+
+    def test_total_links_h6(self):
+        # 73 groups * 66 local + 2628 global.
+        assert bounds.total_links(6) == 73 * 66 + 2628
+
+
+class TestMultiRing:
+    def test_edge_disjoint_rings_bound_is_h(self):
+        """§VII: 'up to h edge-disjoint Hamiltonian rings'."""
+        for h in (2, 3, 6, 16):
+            assert bounds.max_edge_disjoint_rings(h) == h

@@ -1,0 +1,84 @@
+"""Unit tests for input FIFO buffers."""
+
+import pytest
+
+from repro.network.buffers import Buffer
+from repro.network.packet import Packet
+
+
+def mk_packet(pid=0, size=8):
+    return Packet(
+        pid=pid, src=0, dst=9, size=size, created_cycle=0,
+        dst_router=1, dst_group=0, src_group=0,
+    )
+
+
+class TestBuffer:
+    def test_initially_empty(self):
+        buf = Buffer(32)
+        assert len(buf) == 0
+        assert not buf
+        assert buf.head() is None
+        assert buf.occupancy == 0
+        assert buf.free_phits() == 32
+        assert buf.fill_fraction() == 0.0
+
+    def test_push_pop_fifo_order(self):
+        buf = Buffer(32)
+        pkts = [mk_packet(i) for i in range(4)]
+        for p in pkts:
+            buf.push(p)
+        assert [buf.pop().pid for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_occupancy_tracking(self):
+        buf = Buffer(32)
+        buf.push(mk_packet(0))
+        assert buf.occupancy == 8
+        assert buf.free_phits() == 24
+        assert buf.fill_fraction() == 0.25
+        buf.push(mk_packet(1))
+        assert buf.occupancy == 16
+        buf.pop()
+        assert buf.occupancy == 8
+
+    def test_overflow_is_assertion(self):
+        buf = Buffer(16)
+        buf.push(mk_packet(0))
+        buf.push(mk_packet(1))
+        with pytest.raises(AssertionError):
+            buf.push(mk_packet(2))
+
+    def test_exact_fill(self):
+        buf = Buffer(16)
+        buf.push(mk_packet(0))
+        buf.push(mk_packet(1))
+        assert buf.free_phits() == 0
+        assert buf.fill_fraction() == 1.0
+
+    def test_head_peeks_without_removing(self):
+        buf = Buffer(32)
+        buf.push(mk_packet(7))
+        assert buf.head().pid == 7
+        assert len(buf) == 1
+
+    def test_iter(self):
+        buf = Buffer(32)
+        for i in range(3):
+            buf.push(mk_packet(i))
+        assert [p.pid for p in buf] == [0, 1, 2]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Buffer(0)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            Buffer(8).pop()
+
+    def test_variable_sizes(self):
+        buf = Buffer(10)
+        buf.push(mk_packet(0, size=4))
+        buf.push(mk_packet(1, size=6))
+        assert buf.occupancy == 10
+        assert buf.pop().size == 4
+        assert buf.occupancy == 6

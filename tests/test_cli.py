@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.routing == "ofar"
+        assert args.pattern == "UN"
+        assert args.h == 2
+
+    def test_invalid_routing(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--routing", "warp"])
+
+    def test_figure_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig5", "--scale", "galactic"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        main(["info", "--h", "3"])
+        out = capsys.readouterr().out
+        assert "groups            : 19" in out
+        assert "0.3333" in out  # 1/h funnel bound
+
+    def test_sweep(self, capsys):
+        main([
+            "sweep", "--routing", "min", "--pattern", "UN", "--h", "2",
+            "--loads", "0.2", "--warmup", "100", "--measure", "100",
+        ])
+        out = capsys.readouterr().out
+        assert "min on UN" in out
+        assert "throughput" in out
+
+    def test_burst(self, capsys):
+        main(["burst", "--pattern", "UN", "--packets", "2", "--h", "2"])
+        out = capsys.readouterr().out
+        assert "consumed by cycle" in out
+
+    def test_transient(self, capsys):
+        main([
+            "transient", "--h", "2", "--before", "UN", "--after", "ADV+1",
+            "--load", "0.1", "--warmup", "300", "--measure", "300",
+            "--bucket", "100",
+        ])
+        out = capsys.readouterr().out
+        assert "UN -> ADV+1" in out
+
+    def test_unknown_figure(self):
+        with pytest.raises(SystemExit, match="unknown figure"):
+            main(["figure", "fig99", "--scale", "tiny"])
+
+    def test_figure_fig2_tiny(self, capsys):
+        main(["figure", "fig2", "--scale", "tiny"])
+        out = capsys.readouterr().out
+        assert "Fig 2b" in out

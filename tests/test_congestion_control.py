@@ -1,0 +1,77 @@
+"""Tests for the injection-restriction congestion-control extension."""
+
+from repro.engine.config import SimulationConfig
+from repro.engine.simulator import Simulator
+from repro.topology.dragonfly import PortKind
+
+
+def make_sim(**overrides):
+    cfg = SimulationConfig.small(
+        h=2, routing="ofar", congestion_control=True, **overrides
+    )
+    return Simulator(cfg)
+
+
+class TestInjectionRestriction:
+    def test_injects_when_uncongested(self):
+        sim = make_sim()
+        pkt = sim.create_packet(0, 71)
+        assert sim.network.try_inject(pkt, 0)
+
+    def test_blocks_when_congested(self):
+        sim = make_sim(congestion_threshold=0.5)
+        net = sim.network
+        rt = net.routers[0]
+        for ch in rt.out:
+            if ch is not None and ch.kind is not PortKind.NODE:
+                for vc in ch.data_vcs:
+                    ch.credits[vc] = 0  # 100% occupancy everywhere
+        pkt = sim.create_packet(0, 71)
+        assert not net.try_inject(pkt, 0)
+
+    def test_unblocks_after_drain(self):
+        sim = make_sim(congestion_threshold=0.5)
+        net = sim.network
+        rt = net.routers[0]
+        saved = [
+            (ch, list(ch.credits))
+            for ch in rt.out
+            if ch is not None and ch.kind is not PortKind.NODE
+        ]
+        for ch, _ in saved:
+            for vc in ch.data_vcs:
+                ch.credits[vc] = 0
+        pkt = sim.create_packet(0, 71)
+        assert not net.try_inject(pkt, 1)
+        for ch, credits in saved:
+            ch.credits[:] = credits
+        assert net.try_inject(pkt, 2)  # fresh cycle -> fresh memo
+
+    def test_occupancy_memoized_per_cycle(self):
+        sim = make_sim()
+        net = sim.network
+        rt = net.routers[0]
+        v1 = net.router_occupancy(rt, 5)
+        # Mutate credits; same-cycle reads keep the memo.
+        rt.out[rt.out[0].port + 2].credits[0] = 0
+        assert net.router_occupancy(rt, 5) == v1
+        assert net.router_occupancy(rt, 6) != v1
+
+    def test_disabled_by_default(self):
+        cfg = SimulationConfig.small(h=2, routing="ofar")
+        assert not cfg.congestion_control
+
+    def test_source_queue_holds_blocked_packets(self):
+        """Blocked injections stay in the node source queue and are
+        eventually delivered (no silent drops)."""
+        sim = make_sim(congestion_threshold=-1.0)  # block everything
+        for i in range(5):
+            sim.create_packet(0, 30 + i)
+        sim.run(50)
+        assert sim.network.injected_packets == 0
+        assert sim.outstanding_packets() == 5
+        # Relax the threshold and drain.
+        sim.config = sim.config.replace(congestion_threshold=0.9)
+        sim.network.config = sim.config
+        sim.run_until_drained(100_000)
+        assert sim.network.ejected_packets == 5

@@ -1,0 +1,76 @@
+"""Deadlock-freedom stress tests.
+
+The baselines rely on the ascending VC order; OFAR relies on the escape
+ring.  We stress each with saturating adversarial loads and tight
+buffers, then require complete draining — the watchdog inside the
+simulator turns any true deadlock into an exception.
+"""
+
+import pytest
+
+from repro.engine.config import SimulationConfig
+from repro.engine.runner import _pattern_rng
+from repro.engine.simulator import Simulator
+from repro.traffic.generators import BernoulliTraffic
+from repro.traffic.patterns import make_pattern
+
+
+def stress(cfg, pattern, load=0.9, cycles=600):
+    sim = Simulator(cfg)
+    topo = sim.network.topo
+    p = make_pattern(topo, _pattern_rng(cfg, 8), pattern)
+    sim.generator = BernoulliTraffic(p, load, cfg.packet_size, topo.num_nodes, 21)
+    sim.run(cycles)
+    sim.generator = None
+    sim.run_until_drained(500_000)
+    assert sim.network.ejected_packets == sim.created_packets
+    sim.network.check_conservation()
+
+
+@pytest.mark.parametrize("routing", ["min", "val", "ugal", "pb"])
+@pytest.mark.parametrize("pattern", ["UN", "ADV+2"])
+def test_baselines_never_deadlock(routing, pattern):
+    cfg = SimulationConfig.small(h=2, routing=routing)
+    stress(cfg, pattern)
+
+
+@pytest.mark.parametrize("escape", ["physical", "embedded"])
+@pytest.mark.parametrize("pattern", ["UN", "ADV+2", "ADV-LOCAL"])
+def test_ofar_never_deadlocks(escape, pattern):
+    cfg = SimulationConfig.small(h=2, routing="ofar", escape=escape)
+    stress(cfg, pattern)
+
+
+def test_ofar_tight_buffers_adversarial():
+    """Minimal legal buffering: the hardest deadlock scenario."""
+    cfg = SimulationConfig.small(
+        h=2, routing="ofar", escape="embedded",
+        local_buffer=16, global_buffer=16, injection_buffer=8,
+        local_vcs=1, global_vcs=1, injection_vcs=1,
+    )
+    stress(cfg, "ADV+2", load=0.9, cycles=500)
+
+
+def test_ofar_l_tight_buffers():
+    cfg = SimulationConfig.small(
+        h=2, routing="ofar-l", escape="physical",
+        local_buffer=16, global_buffer=16, ring_buffer=16,
+        local_vcs=1, global_vcs=1,
+    )
+    stress(cfg, "ADV+2", load=0.9, cycles=500)
+
+
+def test_reduced_vcs_fig9_configuration():
+    """The §VII stress configuration must not deadlock (it congests,
+    but the ring keeps it live)."""
+    cfg = SimulationConfig.small(
+        h=2, routing="ofar", escape="embedded",
+        local_vcs=2, global_vcs=1, injection_vcs=2,
+    )
+    stress(cfg, "ADV+2", load=1.0, cycles=600)
+
+
+def test_min_local_pattern_deadlock_free_under_min():
+    """ADV-LOCAL saturates single local links under MIN; slow but live."""
+    cfg = SimulationConfig.small(h=2, routing="min")
+    stress(cfg, "ADV-LOCAL", load=0.8, cycles=400)

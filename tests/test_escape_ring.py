@@ -1,0 +1,186 @@
+"""Tests for the escape subnetwork: bubble condition, exits, delivery."""
+
+import pytest
+
+from repro.engine.config import SimulationConfig
+from repro.engine.simulator import Simulator
+from repro.network.router import (
+    KIND_RING_ENTER,
+    KIND_RING_EXIT,
+    KIND_RING_MOVE,
+)
+from repro.topology.dragonfly import PortKind
+
+
+def make_sim(escape="physical", **overrides):
+    # Zero escape patience: these tests poke the ring logic directly.
+    overrides.setdefault("escape_patience", 0)
+    cfg = SimulationConfig.small(h=2, routing="ofar", escape=escape, **overrides)
+    return Simulator(cfg)
+
+
+def starve_all_data(rt):
+    """Exhaust data credits on every local/global output of a router."""
+    for ch in rt.out:
+        if ch is None or ch.kind is PortKind.NODE:
+            continue
+        for vc in ch.data_vcs:
+            ch.credits[vc] = 0
+
+
+def plant(sim, rt, pkt, port=None, vc=0):
+    """Place a packet directly in an input buffer, debiting the upstream
+    sender's credits so flow-control accounting stays coherent."""
+    if port is None:
+        port = sim.network.topo.local_port(rt.index, (rt.index + 1) % 2)
+    rt.in_bufs[port][vc].push(pkt)
+    rt.pending.add((port, vc))
+    up = rt.upstream[port]
+    if up is not None:
+        urid, uport = up
+        sim.network.routers[urid].out[uport].credits[vc] -= pkt.size
+    sim.network.injected_packets += 1
+    return port
+
+
+class TestRingEntry:
+    @pytest.mark.parametrize("escape", ["physical", "embedded"])
+    def test_enter_when_fully_blocked(self, escape):
+        sim = make_sim(escape)
+        topo = sim.network.topo
+        rt = sim.network.routers[0]
+        pkt = sim.create_packet(topo.p * 1, topo.num_nodes - 1)
+        pkt.global_misrouted = True
+        pkt.local_misroute_group = 0
+        pkt.src_group = 0
+        port = plant(sim, rt, pkt, port=topo.local_port(0, 1))
+        starve_all_data(rt)
+        req = sim.routing.route(rt, port, 0, pkt, 0)
+        assert req is not None
+        assert req[2] == KIND_RING_ENTER
+        hop_port, hop_vc = sim.network.escape_hop[0]
+        assert req[0] == hop_port
+
+    def test_enter_requires_bubble(self):
+        """Entering needs space for TWO packets in the ring VC."""
+        sim = make_sim("physical")
+        topo = sim.network.topo
+        rt = sim.network.routers[0]
+        pkt = sim.create_packet(topo.p * 1, topo.num_nodes - 1)
+        pkt.global_misrouted = True
+        pkt.local_misroute_group = 0
+        port = plant(sim, rt, pkt, port=topo.local_port(0, 1))
+        starve_all_data(rt)
+        ring_ch = rt.out[topo.ring_port]
+        for vc in range(ring_ch.num_vcs):
+            ring_ch.credits[vc] = 2 * 8 - 1  # one packet + 7 phits: no bubble
+        assert sim.routing.route(rt, port, 0, pkt, 0) is None
+        ring_ch.credits[0] = 16  # exactly two packets
+        req = sim.routing.route(rt, port, 0, pkt, 0)
+        assert req is not None and req[2] == KIND_RING_ENTER
+
+    def test_transit_needs_only_one_packet_space(self):
+        sim = make_sim("physical")
+        topo = sim.network.topo
+        rt = sim.network.routers[0]
+        pkt = sim.create_packet(topo.p * 1, topo.num_nodes - 1)
+        pkt.on_ring = True
+        port = plant(sim, rt, pkt, port=topo.ring_port)
+        starve_all_data(rt)  # min exit impossible
+        ring_ch = rt.out[topo.ring_port]
+        for vc in range(ring_ch.num_vcs):
+            ring_ch.credits[vc] = 8  # one packet: enough to move, not enter
+        req = sim.routing.route(rt, port, 0, pkt, 0)
+        assert req is not None and req[2] == KIND_RING_MOVE
+
+
+class TestRingExit:
+    def test_exit_to_min_when_available(self):
+        sim = make_sim("physical")
+        topo = sim.network.topo
+        rt = sim.network.routers[0]
+        pkt = sim.create_packet(topo.p * 1, topo.num_nodes - 1)
+        pkt.on_ring = True
+        port = plant(sim, rt, pkt, port=topo.ring_port)
+        req = sim.routing.route(rt, port, 0, pkt, 0)
+        assert req is not None
+        assert req[2] == KIND_RING_EXIT
+        assert req[0] == topo.min_output_port(0, pkt.dst)
+
+    def test_no_exit_after_limit(self):
+        sim = make_sim("physical", max_ring_exits=2)
+        topo = sim.network.topo
+        rt = sim.network.routers[0]
+        pkt = sim.create_packet(topo.p * 1, topo.num_nodes - 1)
+        pkt.on_ring = True
+        pkt.ring_exits = 2
+        port = plant(sim, rt, pkt, port=topo.ring_port)
+        req = sim.routing.route(rt, port, 0, pkt, 0)
+        assert req is not None and req[2] == KIND_RING_MOVE
+
+    def test_ejection_exit_always_allowed(self):
+        """At the destination router the packet leaves the ring even
+        with the exit budget spent."""
+        sim = make_sim("physical", max_ring_exits=0)
+        topo = sim.network.topo
+        rt = sim.network.routers[0]
+        pkt = sim.create_packet(topo.p * 1, 1)  # dst node 1 on router 0
+        pkt.on_ring = True
+        pkt.ring_exits = 5
+        port = plant(sim, rt, pkt, port=topo.ring_port)
+        req = sim.routing.route(rt, port, 0, pkt, 0)
+        assert req is not None
+        assert req[2] == KIND_RING_EXIT
+        assert topo.port_kind(req[0]) is PortKind.NODE
+
+
+class TestRingDelivery:
+    @pytest.mark.parametrize("escape", ["physical", "embedded"])
+    def test_ring_only_delivery(self, escape):
+        """A packet stuck on the ring still reaches any destination:
+        the ring passes every router."""
+        sim = make_sim(escape, max_ring_exits=0)
+        topo = sim.network.topo
+        # Force a packet onto the ring at router 0 and let the simulator
+        # carry it; with 0 exits it must ride until the destination.
+        dst = topo.num_nodes - 1
+        pkt = sim.create_packet(topo.p * 1, dst)
+        pkt.on_ring = True
+        rt = sim.network.routers[0]
+        if escape == "physical":
+            port = topo.ring_port
+        else:
+            # The embedded ring arrives via the predecessor's hop port.
+            ring = sim.network.ring
+            pred = ring.order[(ring.position(0) - 1) % len(ring)]
+            pred_port = ring.successor_port(pred)
+            port = sim.network.routers[pred].out[pred_port].dest_port
+            vc_idx = sim.network.routers[pred].out[pred_port].ring_vc
+        if escape == "physical":
+            plant(sim, rt, pkt, port=port, vc=0)
+        else:
+            plant(sim, rt, pkt, port=port, vc=vc_idx)
+        sim.run_until_drained(500_000)
+        assert pkt.ejected_cycle > 0
+        assert pkt.ring_hops > 0
+
+    def test_heavy_congestion_all_delivered(self):
+        """Tiny buffers + reduced VCs + adversarial burst: everything
+        still drains (the ring breaks all deadlocks)."""
+        cfg = SimulationConfig.small(
+            h=2, routing="ofar", escape="embedded",
+            local_vcs=1, global_vcs=1, injection_vcs=1,
+            local_buffer=16, global_buffer=16, injection_buffer=8,
+        )
+        sim = Simulator(cfg)
+        topo = sim.network.topo
+        rng = __import__("random").Random(0)
+        npg = topo.p * topo.a
+        for node in range(topo.num_nodes):
+            g = node // npg
+            for _ in range(3):
+                dst = ((g + 2) % topo.num_groups) * npg + rng.randrange(npg)
+                sim.create_packet(node, dst)
+        sim.run_until_drained(1_000_000)
+        sim.network.check_conservation()
+        assert sim.network.ejected_packets == sim.created_packets

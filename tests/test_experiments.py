@@ -1,0 +1,117 @@
+"""Smoke tests for the per-figure experiment drivers (tiny scale)."""
+
+import pytest
+
+from repro.experiments import TINY, get_scale
+from repro.experiments import (
+    fig2_offsets,
+    fig3_uniform,
+    fig4_adv2,
+    fig5_advh,
+    fig6_transient,
+    fig7_bursts,
+    fig8_ring,
+    fig9_reduced_vcs,
+)
+
+
+class TestScales:
+    def test_get_scale(self):
+        assert get_scale("tiny").h == 2
+        assert get_scale("paper").h == 6
+        assert get_scale("paper").paper_params
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            get_scale("galactic")
+
+    def test_loads_reach_past_saturation(self):
+        loads = TINY.loads(saturating=0.5, points=5)
+        assert loads[-1] > 0.5
+        assert all(b > a for a, b in zip(loads, loads[1:]))
+
+    def test_config_factory(self):
+        cfg = TINY.config("ofar")
+        assert cfg.h == 2
+        assert cfg.routing == "ofar"
+
+
+class TestFig2:
+    def test_table_columns(self):
+        table = fig2_offsets.run(TINY, load=0.4, offsets=[1, 2])
+        assert len(table.rows) == 2
+        assert {"offset", "l2_bound", "predicted", "throughput"} <= set(table.columns)
+        assert table.rows[1]["worst_case"] == "*"  # offset 2 = h at h=2
+
+    def test_default_offsets(self):
+        assert fig2_offsets.default_offsets(2) == [1, 2, 3, 4, 5, 6]
+        assert fig2_offsets.default_offsets(3)[-1] == 9
+
+
+class TestFig3:
+    def test_runs_and_summarizes(self):
+        table, series = fig3_uniform.run(TINY, loads=[0.1, 0.3])
+        assert len(table.rows) == 2
+        names = [s.name for s in series]
+        assert names == ["min", "pb", "ofar", "ofar-l"]
+        summ = fig3_uniform.summary(series)
+        assert len(summ.rows) == 4
+
+
+class TestFig4And5:
+    def test_fig4(self):
+        table, series = fig4_adv2.run(TINY, loads=[0.2])
+        assert [s.name for s in series] == ["val", "pb", "ofar", "ofar-l"]
+        assert len(table.rows) == 1
+
+    def test_fig5(self):
+        table, series = fig5_advh.run(TINY, loads=[0.2])
+        summ = fig5_advh.summary(TINY, series)
+        assert {"routing", "saturation_thr", "above_local_bound"} <= set(summ.columns)
+
+
+class TestFig6:
+    def test_transitions_list(self):
+        trans = fig6_transient.transitions(3)
+        assert ("UN", "ADV+2", 0.14) in trans
+        assert ("ADV+2", "ADV+3", 0.12) in trans
+
+    def test_run_one_and_summary(self):
+        res = fig6_transient.run_one(TINY, "ofar", "UN", "ADV+2", 0.1)
+        assert res.series
+        summ = fig6_transient.summarize(res, tail=200)
+        assert summ["pre_latency"] > 0
+        assert summ["spike_latency"] >= 0
+
+
+class TestFig7:
+    def test_patterns_deduped(self):
+        assert fig7_bursts.patterns(2).count("ADV+2") == 1
+        assert "ADV+3" in fig7_bursts.patterns(3)
+
+    def test_normalization(self):
+        table = fig7_bursts.run(TINY, packets_per_node=2)
+        for row in table.rows:
+            assert row["pb_norm"] == 1.0
+            assert row["ofar_norm"] > 0
+        assert fig7_bursts.ofar_speedup(table) > 0
+
+
+class TestFig8:
+    def test_variants_present(self):
+        table = fig8_ring.run(TINY, loads=[0.2], patterns=("UN",))
+        row = table.rows[0]
+        assert "physical_thr" in row and "embedded_thr" in row
+        # §VII: the implementations perform equivalently.
+        assert abs(row["physical_thr"] - row["embedded_thr"]) < 0.05
+
+
+class TestFig9:
+    def test_reduced_config(self):
+        cfg = fig9_reduced_vcs.reduced_config(TINY)
+        assert (cfg.local_vcs, cfg.global_vcs) == (2, 1)
+        assert cfg.escape == "embedded"
+
+    def test_run(self):
+        table = fig9_reduced_vcs.run(TINY, loads=[0.2], patterns=("UN",))
+        assert {"reduced_thr", "full_thr"} <= set(table.columns)

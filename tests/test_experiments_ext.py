@@ -1,0 +1,76 @@
+"""Smoke tests for the extension experiment drivers (tiny scale)."""
+
+from repro.experiments import TINY
+from repro.experiments import (
+    ablations,
+    congestion,
+    mapping_study,
+    router_design,
+    starvation,
+)
+
+
+class TestAblations:
+    def test_threshold_policies_list(self):
+        names = [n for n, _ in ablations.threshold_policies()]
+        assert "var-0.9" in names  # the paper default
+        assert "static-40" in names
+
+    def test_run_thresholds(self):
+        table = ablations.run_thresholds(TINY, loads=[0.2])
+        assert {"policy", "pattern", "load", "throughput"} <= set(table.columns)
+        assert len(table.rows) == len(ablations.threshold_policies()) * 2
+
+    def test_run_allocator_iterations(self):
+        table = ablations.run_allocator_iterations(TINY, load=0.3)
+        iters = {r["iterations"] for r in table.rows}
+        assert iters == {1, 2, 3, 4}
+
+    def test_run_ring_exits(self):
+        table = ablations.run_ring_exits(TINY, load=0.3)
+        assert {r["max_exits"] for r in table.rows} == {0, 1, 4, 16}
+
+    def test_run_mechanism_family(self):
+        table = ablations.run_mechanism_family(TINY, loads=[0.2])
+        routings = [r["routing"] for r in table.rows]
+        assert routings == ["min", "val", "ugal", "par", "pb", "ofar-l", "ofar"]
+
+
+class TestCongestion:
+    def test_columns(self):
+        table = congestion.run(TINY, loads=[0.3])
+        assert {"config", "load", "none_thr", "cc_thr"} <= set(table.columns)
+        assert len(table.rows) == 2  # full + reduced
+
+
+class TestMapping:
+    def test_cases_covered(self):
+        table = mapping_study.run(TINY, load=0.3)
+        pairs = {(r["routing"], r["mapping"]) for r in table.rows}
+        assert ("min", "sequential") in pairs
+        assert ("ofar", "random") in pairs
+
+
+class TestRouterDesign:
+    def test_designs_equal_buffering(self):
+        base = TINY.config("ofar")
+        for name, cfg in router_design.designs(TINY):
+            total_local = cfg.local_vcs * cfg.local_buffer
+            assert total_local == base.local_vcs * base.local_buffer, name
+
+    def test_run(self):
+        table = router_design.run(TINY, loads=[0.2])
+        designs = {r["design"] for r in table.rows}
+        assert designs == {"classic-3vc", "lean-1R", "lean-2R", "lean-3R"}
+
+
+class TestStarvation:
+    def test_run_policy_fields(self):
+        row = starvation.run_policy(TINY, "local-first", 0.25)
+        assert set(row) == {"policy", "load", "throughput", "jain",
+                            "worst_share", "latency"}
+        assert 0 <= row["jain"] <= 1
+
+    def test_run_both_policies(self):
+        table = starvation.run(TINY, loads=[0.25])
+        assert {r["policy"] for r in table.rows} == {"local-first", "global-first"}

@@ -1,0 +1,134 @@
+"""Tests for link-fault injection (§VII reliability).
+
+OFAR's in-transit misrouting doubles as fault tolerance: traffic routes
+around a failed link, while deterministic MIN stalls on it.
+"""
+
+import pytest
+
+from repro.engine.config import SimulationConfig
+from repro.engine.simulator import DeadlockError, Simulator
+from repro.topology.dragonfly import PortKind
+
+
+def make_sim(routing="ofar", **overrides):
+    return Simulator(SimulationConfig.small(h=2, routing=routing, **overrides))
+
+
+class TestFailLink:
+    def test_both_directions_fail(self):
+        sim = make_sim()
+        net = sim.network
+        port = net.topo.local_port(0, 1)
+        net.fail_link(0, port)
+        assert net.routers[0].out[port].failed
+        peer, peer_port = net.topo.neighbor(0, port)
+        assert net.routers[peer].out[peer_port].failed
+        assert len(net.failed_links()) == 2
+
+    def test_failed_channel_reports_full(self):
+        sim = make_sim()
+        net = sim.network
+        port = net.topo.local_port(0, 1)
+        net.fail_link(0, port)
+        ch = net.routers[0].out[port]
+        assert ch.occupancy_fraction() == 1.0
+        assert not net.routers[0].out_port_free(port, 0)
+
+    def test_node_port_rejected(self):
+        sim = make_sim()
+        with pytest.raises(ValueError):
+            sim.network.fail_link(0, 0)
+
+    def test_ring_link_failure_disables_ring(self):
+        sim = make_sim(escape="embedded")
+        net = sim.network
+        rid = 0
+        port = net.ring_specs[0].successor_port(rid)
+        net.fail_link(rid, port)
+        assert 0 in net.disabled_rings
+
+    def test_physical_ring_port_failure(self):
+        sim = make_sim(escape="physical")
+        net = sim.network
+        net.fail_link(0, net.topo.ring_port)
+        assert 0 in net.disabled_rings
+
+
+class TestRoutingAroundFaults:
+    def test_ofar_delivers_around_failed_local_link(self):
+        sim = make_sim("ofar")
+        net = sim.network
+        topo = net.topo
+        # Fail the direct local link between routers 0 and 1, then send
+        # node 0 -> node on router 1 (minimal route uses that link).
+        port = topo.local_port(0, 1)
+        net.fail_link(0, port)
+        pkt = sim.create_packet(0, topo.p * 1)
+        sim.run_until_drained(200_000)
+        assert pkt.ejected_cycle > 0
+        assert pkt.misroutes_local >= 1  # had to go around
+
+    def test_ofar_delivers_around_failed_global_link(self):
+        sim = make_sim("ofar")
+        net = sim.network
+        topo = net.topo
+        dst = topo.num_nodes - 1
+        # Fail the global link of the minimal route from group 0.
+        owner_r, k = topo.group_route(0, topo.node_group(dst))
+        net.fail_link(topo.router_id(0, owner_r), topo.global_port(k))
+        pkt = sim.create_packet(0, dst)
+        sim.run_until_drained(200_000)
+        assert pkt.ejected_cycle > 0
+        assert pkt.misroutes_global == 1  # detoured via another group
+
+    def test_min_stalls_on_failed_link(self):
+        sim = make_sim("min", deadlock_cycles=400)
+        net = sim.network
+        topo = net.topo
+        port = topo.local_port(0, 1)
+        net.fail_link(0, port)
+        sim.create_packet(0, topo.p * 1)
+        with pytest.raises(DeadlockError):
+            sim.run(5_000)
+
+    def test_ofar_bulk_traffic_with_faults(self):
+        """Several failed links, random traffic: everything delivered."""
+        sim = make_sim("ofar")
+        net = sim.network
+        topo = net.topo
+        net.fail_link(0, topo.local_port(0, 1))
+        net.fail_link(topo.router_id(1, 0), topo.global_port(0))
+        rng = __import__("random").Random(5)
+        for _ in range(60):
+            s, d = rng.randrange(72), rng.randrange(72)
+            if s != d:
+                sim.create_packet(s, d)
+        sim.run_until_drained(400_000)
+        assert net.ejected_packets == sim.created_packets
+
+    def test_two_rings_survive_ring_fault_under_load(self):
+        """Fail a link carrying ring 0: with 2 embedded rings the escape
+        guarantee survives and heavy traffic drains."""
+        cfg = SimulationConfig.small(
+            h=2, routing="ofar", escape="embedded", escape_rings=2,
+            escape_patience=0,
+            local_vcs=1, global_vcs=1, injection_vcs=1,
+            local_buffer=16, global_buffer=16, injection_buffer=16,
+        )
+        sim = Simulator(cfg)
+        net = sim.network
+        rid = 4
+        net.fail_link(rid, net.ring_specs[0].successor_port(rid))
+        assert 0 in net.disabled_rings
+        topo = net.topo
+        rng = __import__("random").Random(9)
+        npg = topo.p * topo.a
+        for node in range(topo.num_nodes):
+            g = node // npg
+            for _ in range(3):
+                sim.create_packet(
+                    node, ((g + 2) % topo.num_groups) * npg + rng.randrange(npg)
+                )
+        sim.run_until_drained(1_000_000)
+        assert net.ejected_packets == sim.created_packets

@@ -1,0 +1,80 @@
+"""Unit tests for the Hamiltonian escape-ring construction."""
+
+import pytest
+
+from repro.topology.dragonfly import Dragonfly, PortKind
+from repro.topology.hamiltonian import HamiltonianRing
+
+
+@pytest.fixture(params=[1, 2, 3])
+def ring(request):
+    topo = Dragonfly(request.param)
+    return HamiltonianRing(topo)
+
+
+class TestConstruction:
+    def test_validates(self, ring):
+        ring.validate()
+
+    def test_visits_every_router_once(self, ring):
+        assert sorted(ring.order) == list(ring.topo.routers())
+        assert len(ring) == ring.topo.num_routers
+
+    def test_successor_closes_cycle(self, ring):
+        """Following successors from any start returns after N steps."""
+        start = ring.order[0]
+        current = start
+        for _ in range(len(ring)):
+            current = ring.successor(current)
+        assert current == start
+
+    def test_successor_uses_real_links(self, ring):
+        topo = ring.topo
+        for rid in topo.routers():
+            port = ring.successor_port(rid)
+            peer, _ = topo.neighbor(rid, port)
+            assert peer == ring.successor(rid)
+
+    def test_one_global_hop_per_group(self, ring):
+        """The cycle crosses groups exactly num_groups times (offset-1
+        links), every other hop is local."""
+        topo = ring.topo
+        global_hops = sum(
+            1
+            for rid in topo.routers()
+            if ring.successor_port_kind(rid) is PortKind.GLOBAL
+        )
+        assert global_hops == topo.num_groups
+
+    def test_group_traversal_is_contiguous(self, ring):
+        """All routers of one group appear consecutively along the cycle."""
+        topo = ring.topo
+        groups = [topo.router_group(r) for r in ring.order]
+        # Count group changes around the cycle: must equal num_groups.
+        changes = sum(
+            1 for i in range(len(groups)) if groups[i] != groups[i - 1]
+        )
+        assert changes == topo.num_groups
+
+
+class TestNavigation:
+    def test_position_roundtrip(self, ring):
+        for i, rid in enumerate(ring.order):
+            assert ring.position(rid) == i
+
+    def test_distance_zero_to_self(self, ring):
+        assert ring.distance(ring.order[0], ring.order[0]) == 0
+
+    def test_distance_one_to_successor(self, ring):
+        for rid in ring.order[:8]:
+            assert ring.distance(rid, ring.successor(rid)) == 1
+
+    def test_distance_wraps(self, ring):
+        first, last = ring.order[0], ring.order[-1]
+        assert ring.distance(last, first) == 1
+        assert ring.distance(first, last) == len(ring) - 1
+
+    def test_distance_covers_all(self, ring):
+        start = ring.order[3 % len(ring)]
+        seen = {ring.distance(start, rid) for rid in ring.order}
+        assert seen == set(range(len(ring)))

@@ -1,0 +1,109 @@
+"""Integration: end-to-end delivery for every (routing, pattern) pair."""
+
+import pytest
+
+from repro.engine.config import SimulationConfig
+from repro.engine.runner import _pattern_rng, run_steady_state
+from repro.engine.simulator import Simulator
+from repro.traffic.generators import BernoulliTraffic
+from repro.traffic.patterns import make_pattern
+
+ROUTINGS = ["min", "val", "ugal", "pb", "ofar", "ofar-l"]
+PATTERNS = ["UN", "ADV+1", "ADV+2", "ADV-LOCAL", "MIX2"]
+
+
+@pytest.mark.parametrize("routing", ROUTINGS)
+@pytest.mark.parametrize("pattern", PATTERNS)
+def test_all_packets_delivered(routing, pattern):
+    """Moderate load, then stop traffic: everything must drain, packets
+    intact, counters conserved."""
+    cfg = SimulationConfig.small(h=2, routing=routing)
+    sim = Simulator(cfg)
+    topo = sim.network.topo
+    p = make_pattern(topo, _pattern_rng(cfg, 3), pattern)
+    sim.generator = BernoulliTraffic(p, 0.25, 8, topo.num_nodes, 13)
+    sim.run(300)
+    sim.generator = None
+    sim.run_until_drained(200_000)
+    assert sim.network.ejected_packets == sim.created_packets
+    sim.network.check_conservation()
+
+
+@pytest.mark.parametrize("routing", ROUTINGS)
+def test_packets_arrive_at_right_node(routing):
+    """Spot-check correctness of delivery, not just completion."""
+    cfg = SimulationConfig.small(h=2, routing=routing)
+    sim = Simulator(cfg)
+    delivered = {}
+
+    def spy(pkt, cycle):
+        delivered[pkt.pid] = pkt
+
+    sim.network.on_eject = spy
+    rng = __import__("random").Random(4)
+    expected = {}
+    for _ in range(40):
+        src, dst = rng.randrange(72), rng.randrange(72)
+        if src == dst:
+            continue
+        pkt = sim.create_packet(src, dst)
+        expected[pkt.pid] = (src, dst)
+    sim.run_until_drained(200_000)
+    assert set(delivered) == set(expected)
+    for pid, (src, dst) in expected.items():
+        assert (delivered[pid].src, delivered[pid].dst) == (src, dst)
+
+
+class TestRelativePerformance:
+    """The paper's qualitative orderings at small scale (h=2).
+
+    These are the headline claims; the benchmarks measure them more
+    finely at h=3.
+    """
+
+    def test_min_collapses_under_adversarial(self):
+        cfg = SimulationConfig.small(h=2, routing="min")
+        pt = run_steady_state(cfg, "ADV+2", 0.3, warmup=600, measure=600)
+        # MIN is bounded by 1/(2h^2) = 0.125 plus scheduling slack.
+        assert pt.throughput < 0.2
+
+    def test_ofar_beats_valiant_under_adversarial(self):
+        val = run_steady_state(
+            SimulationConfig.small(h=2, routing="val"), "ADV+2", 0.4, 600, 600
+        )
+        ofar = run_steady_state(
+            SimulationConfig.small(h=2, routing="ofar"), "ADV+2", 0.4, 600, 600
+        )
+        assert ofar.throughput > val.throughput
+
+    def test_ofar_beats_pb_under_adversarial(self):
+        pb = run_steady_state(
+            SimulationConfig.small(h=2, routing="pb"), "ADV+2", 0.45, 600, 600
+        )
+        ofar = run_steady_state(
+            SimulationConfig.small(h=2, routing="ofar"), "ADV+2", 0.45, 600, 600
+        )
+        assert ofar.throughput > pb.throughput
+
+    def test_ofar_latency_competitive_with_min_uniform(self):
+        """§VI-A: OFAR latency at low uniform load is close to MIN's."""
+        mn = run_steady_state(
+            SimulationConfig.small(h=2, routing="min"), "UN", 0.1, 600, 600
+        )
+        ofar = run_steady_state(
+            SimulationConfig.small(h=2, routing="ofar"), "UN", 0.1, 600, 600
+        )
+        assert ofar.avg_latency < 1.4 * mn.avg_latency
+
+    def test_valiant_throughput_pattern_independent(self):
+        """VAL randomizes everything: UN vs ADV differ little."""
+        cfg = SimulationConfig.small(h=2, routing="val")
+        un = run_steady_state(cfg, "UN", 0.3, 600, 600)
+        adv = run_steady_state(cfg, "ADV+1", 0.3, 600, 600)
+        assert abs(un.throughput - adv.throughput) < 0.08
+
+    def test_escape_ring_rarely_used_at_moderate_load(self):
+        """§VII: the ring resolves deadlocks, it does not carry traffic."""
+        cfg = SimulationConfig.small(h=2, routing="ofar")
+        pt = run_steady_state(cfg, "UN", 0.3, 600, 600)
+        assert pt.ring_fraction < 0.01

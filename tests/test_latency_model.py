@@ -1,0 +1,86 @@
+"""Tests pinning the zero-load latency model against the simulator."""
+
+import random
+
+import pytest
+
+from repro.analysis.latency_model import LatencyModel
+from repro.engine.config import SimulationConfig
+from repro.engine.runner import run_steady_state
+from repro.engine.simulator import Simulator
+
+
+@pytest.fixture
+def cfg():
+    return SimulationConfig.small(h=2, routing="min")
+
+
+class TestExactAgreement:
+    def test_single_packets_match_exactly(self, cfg):
+        """For 25 random pairs, model == simulator to the cycle."""
+        model = LatencyModel(cfg)
+        rng = random.Random(4)
+        for _ in range(25):
+            src = rng.randrange(72)
+            dst = rng.randrange(72)
+            if src == dst:
+                continue
+            sim = Simulator(cfg)
+            pkt = sim.create_packet(src, dst)
+            sim.run_until_drained(100_000)
+            assert pkt.latency == model.minimal(src, dst), (src, dst)
+
+    def test_paper_config_single_packet(self):
+        """Same exactness under the paper's h=6 latencies (one packet:
+        cheap even at full scale)."""
+        cfg = SimulationConfig.paper(routing="min")
+        model = LatencyModel(cfg)
+        sim = Simulator(cfg)
+        src, dst = 0, cfg.h * 100 + 3
+        pkt = sim.create_packet(src, dst)
+        sim.run_until_drained(100_000)
+        assert pkt.latency == model.minimal(src, dst)
+
+    def test_intra_router_cost(self, cfg):
+        """Same-router delivery: ejection hop only."""
+        model = LatencyModel(cfg)
+        assert model.minimal(0, 1) == cfg.ejection_latency + cfg.packet_size
+
+
+class TestValiantExpectation:
+    def test_valiant_mean_over_many_packets(self, cfg):
+        """One VAL packet at a time, many intermediate draws: the mean
+        approaches the model's expectation."""
+        val_cfg = cfg.with_routing("val")
+        model = LatencyModel(val_cfg)
+        src, dst = 0, 71
+        expected = model.valiant(src, dst)
+        latencies = []
+        for seed in range(40):
+            sim = Simulator(val_cfg.replace(seed=seed))
+            pkt = sim.create_packet(src, dst)
+            sim.run_until_drained(100_000)
+            latencies.append(pkt.latency)
+        mean = sum(latencies) / len(latencies)
+        assert mean == pytest.approx(expected, rel=0.08)
+
+    def test_intragroup_valiant_is_minimal(self, cfg):
+        model = LatencyModel(cfg)
+        assert model.valiant(0, 5) == model.minimal(0, 5)
+
+
+class TestLowLoadPlateau:
+    def test_uniform_low_load_near_model(self, cfg):
+        """Measured latency at 5% load sits within ~20% of zero-load."""
+        model = LatencyModel(cfg)
+        expected = model.expected_uniform("min", samples=4_000)
+        pt = run_steady_state(cfg, "UN", 0.05, warmup=500, measure=800)
+        assert pt.avg_latency == pytest.approx(expected, rel=0.2)
+        assert pt.avg_latency >= expected * 0.98  # queueing only adds
+
+    def test_val_costs_more_than_min(self, cfg):
+        model = LatencyModel(cfg)
+        assert (
+            model.expected_uniform("val", samples=1_000)
+            > model.expected_uniform("min", samples=1_000)
+        )

@@ -1,0 +1,81 @@
+"""Tests for the per-link utilization monitor."""
+
+from repro.analysis.linkstats import LinkMonitor, LinkStats
+from repro.engine.config import SimulationConfig
+from repro.engine.runner import _pattern_rng
+from repro.engine.simulator import Simulator
+from repro.topology.dragonfly import PortKind
+from repro.traffic.generators import BernoulliTraffic
+from repro.traffic.patterns import make_pattern
+
+
+def loaded_sim(routing, pattern, load, cycles=600):
+    cfg = SimulationConfig.small(h=2, routing=routing)
+    sim = Simulator(cfg)
+    topo = sim.network.topo
+    p = make_pattern(topo, _pattern_rng(cfg, 4), pattern)
+    sim.generator = BernoulliTraffic(p, load, 8, topo.num_nodes, 31)
+    monitor = LinkMonitor(sim.network)
+    sim.run(200)
+    monitor.start(sim.cycle)
+    sim.run(cycles)
+    return sim, monitor
+
+
+class TestLinkStats:
+    def test_stats_of_empty(self):
+        s = LinkStats.of([], "local")
+        assert s.count == 0 and s.mean == 0.0
+
+    def test_stats_of_values(self):
+        s = LinkStats.of([0.1, 0.2, 0.3, 0.4], "local")
+        assert s.count == 4
+        assert s.mean == 0.25
+        assert s.maximum == 0.4
+
+
+class TestMonitor:
+    def test_loads_cover_all_channels(self):
+        sim, monitor = loaded_sim("min", "UN", 0.2, cycles=200)
+        loads = monitor.loads(sim.cycle)
+        topo = sim.network.topo
+        expected = topo.num_routers * (topo.local_ports + topo.global_ports)
+        assert len(loads) == expected
+        assert all(0.0 <= x.utilization <= 1.0 for x in loads)
+
+    def test_window_diff_not_cumulative(self):
+        sim, monitor = loaded_sim("min", "UN", 0.3, cycles=300)
+        before = {(x.router, x.port): x.utilization for x in monitor.loads(sim.cycle)}
+        monitor.start(sim.cycle)
+        fresh = monitor.loads(sim.cycle)  # zero-length window
+        assert all(x.utilization == 0.0 for x in fresh)
+        assert any(v > 0 for v in before.values())
+
+    def test_uniform_traffic_balanced(self):
+        sim, monitor = loaded_sim("min", "UN", 0.3)
+        imbalance = monitor.imbalance(sim.cycle, PortKind.LOCAL)
+        assert imbalance < 4.0  # no funnel under UN
+
+    def test_adversarial_funnels_local_links(self):
+        """§III: ADV+h under Valiant concentrates local-link load: the
+        funnel factor approaches h x the mean."""
+        sim_un, mon_un = loaded_sim("val", "UN", 0.4)
+        sim_adv, mon_adv = loaded_sim("val", "ADV+2", 0.4)
+        imb_un = mon_un.imbalance(sim_un.cycle, PortKind.LOCAL)
+        imb_adv = mon_adv.imbalance(sim_adv.cycle, PortKind.LOCAL)
+        assert imb_adv > 1.3 * imb_un
+
+    def test_hottest_sorted(self):
+        sim, monitor = loaded_sim("val", "ADV+2", 0.4)
+        top = monitor.hottest(sim.cycle, n=5)
+        assert len(top) == 5
+        assert all(
+            top[i].utilization >= top[i + 1].utilization for i in range(4)
+        )
+
+    def test_stats_by_kind(self):
+        sim, monitor = loaded_sim("min", "UN", 0.3)
+        stats = monitor.stats(sim.cycle)
+        assert set(stats) == {"local", "global"}
+        assert stats["local"].count > 0
+        assert 0 <= stats["global"].mean <= 1

@@ -1,0 +1,153 @@
+"""Tests for the metrics collector and LoadPoint summaries."""
+
+import pytest
+
+from repro.engine.metrics import Metrics
+from repro.network.packet import Packet
+
+
+def mk_pkt(created=0, injected=5, size=8, hops=3, local=2, glob=1):
+    p = Packet(pid=0, src=0, dst=50, size=size, created_cycle=created,
+               dst_router=25, dst_group=3, src_group=0)
+    p.injected_cycle = injected
+    p.hops = hops
+    p.local_hops = local
+    p.global_hops = glob
+    return p
+
+
+class TestMetrics:
+    def test_eject_accumulates(self):
+        m = Metrics(num_nodes=10, packet_size=8)
+        m.on_eject(mk_pkt(created=0), cycle=100)
+        m.on_eject(mk_pkt(created=50), cycle=150)
+        assert m.ejected_packets == 2
+        assert m.ejected_phits == 16
+        assert m.latency_sum == 200
+        assert m.max_latency == 100
+
+    def test_network_latency_separate(self):
+        m = Metrics(num_nodes=10, packet_size=8)
+        m.on_eject(mk_pkt(created=0, injected=40), cycle=100)
+        assert m.latency_sum == 100
+        assert m.network_latency_sum == 60
+
+    def test_reset_clears_window(self):
+        m = Metrics(num_nodes=10, packet_size=8)
+        m.on_eject(mk_pkt(), cycle=100)
+        m.reset(200)
+        assert m.ejected_packets == 0
+        assert m.latency_sum == 0
+        assert m.window_start == 200
+
+    def test_load_point_throughput(self):
+        m = Metrics(num_nodes=10, packet_size=8)
+        m.reset(0)
+        for _ in range(25):
+            m.on_eject(mk_pkt(), cycle=80)
+        pt = m.load_point(offered_load=0.3, cycle=100)
+        # 25 packets * 8 phits / (10 nodes * 100 cycles) = 0.2
+        assert pt.throughput == pytest.approx(0.2)
+        assert pt.offered_load == 0.3
+        assert pt.window_cycles == 100
+        assert pt.avg_hops == 3.0
+
+    def test_load_point_empty_window(self):
+        m = Metrics(num_nodes=10, packet_size=8)
+        pt = m.load_point(0.1, cycle=50)
+        assert pt.throughput == 0.0
+        assert pt.ejected_packets == 0
+
+    def test_ring_and_misroute_rates(self):
+        m = Metrics(num_nodes=10, packet_size=8)
+        p1, p2 = mk_pkt(), mk_pkt()
+        p1.used_ring = True
+        p1.misroutes_local = 2
+        p2.misroutes_global = 1
+        m.on_eject(p1, 10)
+        m.on_eject(p2, 10)
+        pt = m.load_point(0.1, cycle=100)
+        assert pt.ring_fraction == 0.5
+        assert pt.local_misroute_rate == 1.0
+        assert pt.global_misroute_rate == 0.5
+
+    def test_send_latency_buckets(self):
+        m = Metrics(num_nodes=10, packet_size=8, record_send_latency=True,
+                    send_bucket=10)
+        m.on_eject(mk_pkt(created=3), cycle=53)   # bucket 0, lat 50
+        m.on_eject(mk_pkt(created=7), cycle=37)   # bucket 0, lat 30
+        m.on_eject(mk_pkt(created=15), cycle=75)  # bucket 10, lat 60
+        series = m.send_latency_series()
+        assert series == [(0, 40.0), (10, 60.0)]
+
+    def test_send_latency_disabled_by_default(self):
+        m = Metrics(num_nodes=10, packet_size=8)
+        m.on_eject(mk_pkt(), cycle=9)
+        assert m.send_latency == {}
+
+    def test_latency_percentiles(self):
+        m = Metrics(num_nodes=10, packet_size=8, histogram_bucket=1)
+        for lat in range(1, 101):  # latencies 1..100
+            m.on_eject(mk_pkt(created=0), cycle=lat)
+        assert m.latency_percentile(0.5) == 50 + 1  # bucket upper edge
+        assert m.latency_percentile(0.99) == 100
+        assert m.latency_percentile(1.0) == 101
+
+    def test_percentile_empty(self):
+        m = Metrics(num_nodes=10, packet_size=8)
+        assert m.latency_percentile(0.5) == 0.0
+
+    def test_percentile_invalid_fraction(self):
+        import pytest
+        m = Metrics(num_nodes=10, packet_size=8)
+        with pytest.raises(ValueError):
+            m.latency_percentile(0.0)
+
+    def test_load_point_percentiles_ordered(self):
+        m = Metrics(num_nodes=10, packet_size=8)
+        for lat in (10, 20, 30, 500):
+            m.on_eject(mk_pkt(created=0), cycle=lat)
+        pt = m.load_point(0.1, cycle=600)
+        assert pt.p50_latency <= pt.p99_latency
+        assert pt.p99_latency >= 500
+
+    def test_jain_index_fair(self):
+        m = Metrics(num_nodes=4, packet_size=8, record_per_source=True)
+        for src in range(4):
+            p = mk_pkt()
+            p.src = src
+            m.on_eject(p, 10)
+        assert m.jain_index(4) == pytest.approx(1.0)
+
+    def test_jain_index_starved(self):
+        m = Metrics(num_nodes=4, packet_size=8, record_per_source=True)
+        for _ in range(10):
+            p = mk_pkt()
+            p.src = 0
+            m.on_eject(p, 10)
+        assert m.jain_index(4) == pytest.approx(0.25)
+        assert m.worst_source_share(4) == 0.0
+
+    def test_jain_requires_flag(self):
+        m = Metrics(num_nodes=4, packet_size=8)
+        with pytest.raises(ValueError):
+            m.jain_index(4)
+
+    def test_worst_source_share_even(self):
+        m = Metrics(num_nodes=2, packet_size=8, record_per_source=True)
+        for src in (0, 0, 1, 1):
+            p = mk_pkt()
+            p.src = src
+            m.on_eject(p, 5)
+        assert m.worst_source_share(2) == pytest.approx(1.0)
+
+    def test_jain_empty(self):
+        m = Metrics(num_nodes=4, packet_size=8, record_per_source=True)
+        assert m.jain_index(4) == 1.0
+        assert m.worst_source_share(4) == 1.0
+
+    def test_as_row_keys(self):
+        m = Metrics(num_nodes=4, packet_size=8)
+        m.on_eject(mk_pkt(), 20)
+        row = m.load_point(0.2, 100).as_row()
+        assert {"load", "throughput", "latency", "hops", "ring_frac"} <= set(row)

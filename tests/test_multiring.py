@@ -1,0 +1,168 @@
+"""Tests for the multi-ring escape extension (§VII fault tolerance)."""
+
+import pytest
+
+from repro.engine.config import SimulationConfig
+from repro.engine.simulator import Simulator
+from repro.topology.dragonfly import Dragonfly, PortKind
+from repro.topology.multiring import MultiRing, zigzag_paths
+
+
+class TestZigzagPaths:
+    @pytest.mark.parametrize("h", [1, 2, 3, 4, 6, 8])
+    def test_paths_are_hamiltonian(self, h):
+        for j, path in enumerate(zigzag_paths(h)):
+            assert sorted(path) == list(range(2 * h))
+            assert path[0] == 2 * h - 1 - j
+            assert path[-1] == j
+
+    @pytest.mark.parametrize("h", [2, 3, 4, 6, 8])
+    def test_paths_edge_disjoint_and_complete(self, h):
+        """The h paths partition the edges of K_{2h} exactly."""
+        edges = set()
+        for path in zigzag_paths(h):
+            for a, b in zip(path, path[1:]):
+                e = frozenset((a, b))
+                assert e not in edges, f"edge {e} reused"
+                edges.add(e)
+        assert len(edges) == h * (2 * h - 1)  # all of K_{2h}
+
+    def test_invalid_h(self):
+        with pytest.raises(ValueError):
+            zigzag_paths(0)
+
+
+class TestMultiRing:
+    @pytest.mark.parametrize("h", [1, 2, 3, 4])
+    def test_max_rings_validate(self, h):
+        mr = MultiRing(Dragonfly(h), h)
+        mr.validate()
+        assert len(mr) == h
+
+    def test_offsets_distinct_and_coprime(self):
+        from math import gcd
+
+        topo = Dragonfly(3)
+        mr = MultiRing(topo, 3)
+        offsets = [spec.offset for spec in mr.rings]
+        assert len(set(offsets)) == 3
+        for d in offsets:
+            assert gcd(d, topo.num_groups) == 1
+
+    def test_too_many_rings_rejected(self):
+        with pytest.raises(ValueError):
+            MultiRing(Dragonfly(2), 3)
+        with pytest.raises(ValueError):
+            MultiRing(Dragonfly(2), 0)
+
+    def test_each_ring_covers_all_routers(self):
+        topo = Dragonfly(2)
+        mr = MultiRing(topo, 2)
+        for spec in mr.rings:
+            assert sorted(spec.order) == list(topo.routers())
+
+
+class TestNetworkIntegration:
+    def make_sim(self, escape="embedded", rings=2, **overrides):
+        cfg = SimulationConfig.small(
+            h=2, routing="ofar", escape=escape, escape_rings=rings, **overrides
+        )
+        return Simulator(cfg)
+
+    def test_config_validates_ring_count(self):
+        with pytest.raises(ValueError, match="escape_rings"):
+            SimulationConfig.small(h=2, routing="ofar", escape_rings=3)
+
+    @pytest.mark.parametrize("escape", ["physical", "embedded"])
+    def test_escape_hops_per_ring(self, escape):
+        sim = self.make_sim(escape=escape)
+        net = sim.network
+        for rid in net.topo.routers():
+            assert len(net.escape_hops[rid]) == 2
+            ports = [p for p, _ in net.escape_hops[rid]]
+            assert len(set(ports)) == 2  # edge-disjoint hops
+
+    def test_physical_two_ring_ports(self):
+        sim = self.make_sim(escape="physical")
+        rt = sim.network.routers[0]
+        base = sim.network.topo.ports_per_router
+        assert rt.in_kind[base] is PortKind.RING
+        assert rt.in_kind[base + 1] is PortKind.RING
+        assert rt.out[base].kind is PortKind.RING
+        assert rt.out[base + 1].kind is PortKind.RING
+
+    def test_embedded_two_channels_flagged(self):
+        sim = self.make_sim(escape="embedded")
+        net = sim.network
+        flagged = sum(
+            1
+            for rt in net.routers
+            for ch in rt.out
+            if ch is not None and ch.ring_vc >= 0 and ch.kind is not PortKind.RING
+        )
+        assert flagged == 2 * net.topo.num_routers
+
+    @pytest.mark.parametrize("escape", ["physical", "embedded"])
+    def test_delivery_with_two_rings(self, escape):
+        sim = self.make_sim(escape=escape)
+        rng = __import__("random").Random(6)
+        n = sim.network.topo.num_nodes
+        for _ in range(80):
+            s, d = rng.randrange(n), rng.randrange(n)
+            if s != d:
+                sim.create_packet(s, d)
+        sim.run_until_drained(400_000)
+        assert sim.network.ejected_packets == sim.created_packets
+        sim.network.check_conservation()
+
+    def test_disable_ring_survives(self):
+        """With one of two rings disabled, heavy adversarial traffic
+        still drains — the §VII fault-tolerance claim."""
+        sim = self.make_sim(escape="embedded", escape_patience=0)
+        sim.network.disable_ring(0)
+        topo = sim.network.topo
+        rng = __import__("random").Random(2)
+        npg = topo.p * topo.a
+        for node in range(topo.num_nodes):
+            g = node // npg
+            for _ in range(4):
+                dst = ((g + topo.h) % topo.num_groups) * npg + rng.randrange(npg)
+                sim.create_packet(node, dst)
+        sim.run_until_drained(1_000_000)
+        assert sim.network.ejected_packets == sim.created_packets
+
+    def test_disabled_ring_not_entered(self):
+        sim = self.make_sim(escape="embedded", escape_patience=0)
+        net = sim.network
+        net.disable_ring(1)
+        rt = net.routers[0]
+        topo = net.topo
+        pkt = sim.create_packet(topo.p * 1, topo.num_nodes - 1)
+        pkt.global_misrouted = True
+        pkt.local_misroute_group = 0
+        port = topo.local_port(0, 1)
+        rt.in_bufs[port][0].push(pkt)
+        up = rt.upstream[port]
+        net.routers[up[0]].out[up[1]].credits[0] -= pkt.size
+        net.injected_packets += 1
+        for ch in rt.out:
+            if ch is not None and ch.kind is not PortKind.RING:
+                for vc in ch.data_vcs:
+                    ch.credits[vc] = 0
+        req = sim.routing.route(rt, port, 0, pkt, 100)
+        if req is not None:
+            out_port, _, kind = req
+            # Must be ring 0's hop, never ring 1's.
+            assert net.ring_of_channel.get((0, out_port)) == 0
+
+    def test_disable_bad_ring_id(self):
+        sim = self.make_sim()
+        with pytest.raises(ValueError):
+            sim.network.disable_ring(5)
+
+    def test_enable_ring_roundtrip(self):
+        sim = self.make_sim()
+        sim.network.disable_ring(0)
+        assert 0 in sim.network.disabled_rings
+        sim.network.enable_ring(0)
+        assert 0 not in sim.network.disabled_rings

@@ -1,0 +1,201 @@
+"""Tests for network assembly, grant execution and conservation."""
+
+import pytest
+
+from repro.engine.config import SimulationConfig
+from repro.engine.simulator import Simulator
+from repro.network.network import Network
+from repro.topology.dragonfly import PortKind
+
+
+def net_for(routing="min", h=2, **overrides):
+    return Network(SimulationConfig.small(h=h, routing=routing, **overrides))
+
+
+class TestAssembly:
+    def test_router_count(self):
+        net = net_for()
+        assert len(net.routers) == net.topo.num_routers
+
+    def test_port_counts_baseline(self):
+        net = net_for("min")
+        for rt in net.routers:
+            assert len(rt.in_bufs) == net.topo.ports_per_router
+            assert len(rt.out) == net.topo.ports_per_router
+
+    def test_port_counts_physical_ring(self):
+        net = net_for("ofar", escape="physical")
+        for rt in net.routers:
+            assert len(rt.in_bufs) == net.topo.ports_per_router + 1
+            assert rt.in_kind[net.topo.ring_port] is PortKind.RING
+            assert rt.out[net.topo.ring_port].kind is PortKind.RING
+
+    def test_embedded_ring_extra_vc(self):
+        net = net_for("ofar", escape="embedded")
+        cfg = net.config
+        ring_channels = 0
+        for rt in net.routers:
+            for ch in rt.out:
+                if ch.kind is PortKind.LOCAL:
+                    base = cfg.local_vcs
+                elif ch.kind is PortKind.GLOBAL:
+                    base = cfg.global_vcs
+                else:
+                    continue
+                if ch.ring_vc >= 0:
+                    ring_channels += 1
+                    assert ch.num_vcs == base + 1
+                    assert ch.ring_vc == base
+                else:
+                    assert ch.num_vcs == base
+        # Exactly one outgoing ring channel per router.
+        assert ring_channels == net.topo.num_routers
+
+    def test_escape_hop_none_for_baselines(self):
+        net = net_for("min")
+        assert all(hop is None for hop in net.escape_hop)
+
+    def test_escape_hop_set_for_ofar(self):
+        for escape in ("physical", "embedded"):
+            net = net_for("ofar", escape=escape)
+            assert all(hop is not None for hop in net.escape_hop)
+
+    def test_upstream_wiring_consistency(self):
+        """The upstream recorded for every input port must be the peer
+        whose output channel targets exactly this (router, port)."""
+        net = net_for("ofar", escape="physical")
+        for rt in net.routers:
+            for port, up in enumerate(rt.upstream):
+                if up is None:
+                    assert rt.in_kind[port] is PortKind.NODE
+                    continue
+                urid, uport = up
+                ch = net.routers[urid].out[uport]
+                assert ch.dest_router == rt.rid
+                assert ch.dest_port == port
+
+    def test_input_vcs_match_upstream_channel(self):
+        """Receiver-side buffer count equals sender-side VC count."""
+        for escape in ("physical", "embedded"):
+            net = net_for("ofar", escape=escape)
+            for rt in net.routers:
+                for port, up in enumerate(rt.upstream):
+                    if up is None:
+                        continue
+                    urid, uport = up
+                    ch = net.routers[urid].out[uport]
+                    assert len(rt.in_bufs[port]) == ch.num_vcs
+                    assert rt.in_bufs[port][0].capacity == ch.capacity
+
+    def test_latencies_by_kind(self):
+        net = net_for()
+        cfg = net.config
+        for rt in net.routers:
+            for ch in rt.out:
+                if ch.kind is PortKind.LOCAL:
+                    assert ch.latency == cfg.local_latency
+                elif ch.kind is PortKind.GLOBAL:
+                    assert ch.latency == cfg.global_latency
+                elif ch.kind is PortKind.NODE:
+                    assert ch.latency == cfg.ejection_latency
+
+    def test_ejection_channel_targets_right_node(self):
+        net = net_for()
+        for rt in net.routers:
+            for c in range(net.topo.p):
+                assert rt.out[c].dest_node == rt.rid * net.topo.p + c
+
+
+class TestInjectAndGrant:
+    def test_try_inject_picks_emptiest_vc(self):
+        sim = Simulator(SimulationConfig.small(h=2, routing="min"))
+        net = sim.network
+        pkt1 = sim.create_packet(0, 30)
+        assert net.try_inject(pkt1, 0)
+        rt = net.routers[0]
+        assert sum(len(b) for b in rt.in_bufs[0]) == 1
+        pkt2 = sim.create_packet(0, 31)
+        assert net.try_inject(pkt2, 0)
+        # Second packet must land in a different (emptier) VC.
+        occupied = [len(b) for b in rt.in_bufs[0]]
+        assert occupied.count(1) == 2
+
+    def test_try_inject_full_returns_false(self):
+        cfg = SimulationConfig.small(h=2, routing="min", injection_buffer=8,
+                                     injection_vcs=1)
+        sim = Simulator(cfg)
+        net = sim.network
+        assert net.try_inject(sim.create_packet(0, 30), 0)
+        assert not net.try_inject(sim.create_packet(0, 31), 0)
+
+    def test_grant_schedules_arrival_and_credit(self):
+        sim = Simulator(SimulationConfig.small(h=2, routing="min"))
+        net = sim.network
+        pkt = sim.create_packet(0, net.topo.p * 1)  # same group, router 1
+        net.try_inject(pkt, 0)
+        rt = net.routers[0]
+        rt.allocate(0, sim.routing, net)
+        assert net.movements == 1
+        ch = rt.out[pkt.cache_port]
+        assert ch.busy_until == 8
+        # Arrival scheduled at latency + size.
+        cycles = net.pending_event_cycles()
+        assert cycles == [net.config.local_latency + 8]
+
+    def test_deliver_clears_intermediate_group(self):
+        sim = Simulator(SimulationConfig.small(h=2, routing="val"))
+        net = sim.network
+        dst = net.topo.num_nodes - 1
+        pkt = sim.create_packet(0, dst)
+        pkt.intermediate_group = 0  # pretend group 0 is the target
+        from repro.network.network import _EV_ARRIVAL
+        net.in_flight_packets += 1
+        net.schedule(3, (_EV_ARRIVAL, 2, net.topo.node_ports, 0, pkt))
+        net.process_events(3)
+        assert pkt.intermediate_group == -1
+
+    def test_credit_overflow_detected(self):
+        net = net_for()
+        from repro.network.network import _EV_CREDIT
+        net.schedule(1, (_EV_CREDIT, 0, net.topo.node_ports, 0, 999))
+        with pytest.raises(AssertionError, match="credit overflow"):
+            net.process_events(1)
+
+
+class TestConservation:
+    @pytest.mark.parametrize("routing", ["min", "val", "pb", "ofar", "ofar-l"])
+    def test_conservation_during_random_run(self, routing):
+        from repro.engine.runner import _pattern_rng
+        from repro.traffic.generators import BernoulliTraffic
+        from repro.traffic.patterns import make_pattern
+
+        cfg = SimulationConfig.small(h=2, routing=routing)
+        sim = Simulator(cfg)
+        pattern = make_pattern(sim.network.topo, _pattern_rng(cfg, 1), "UN")
+        sim.generator = BernoulliTraffic(pattern, 0.3, 8, sim.network.topo.num_nodes, 7)
+        for _ in range(10):
+            sim.run(30)
+            sim.network.check_conservation()
+
+    def test_credits_restore_after_drain(self):
+        """After all traffic drains, every credit counter returns to
+        capacity — the strongest flow-control invariant."""
+        cfg = SimulationConfig.small(h=2, routing="ofar")
+        sim = Simulator(cfg)
+        rng = __import__("random").Random(3)
+        n = sim.network.topo.num_nodes
+        for _ in range(60):
+            src = rng.randrange(n)
+            dst = rng.randrange(n)
+            if src != dst:
+                sim.create_packet(src, dst)
+        sim.run_until_drained(50_000)
+        for rt in sim.network.routers:
+            for ch in rt.out:
+                if ch.kind is PortKind.NODE:
+                    continue
+                assert ch.credits == [ch.capacity] * ch.num_vcs, (
+                    f"router {rt.rid} port {ch.port} leaked credits: {ch.credits}"
+                )
+        sim.network.check_conservation()
+        assert sim.network.buffered_packets() == 0

@@ -1,0 +1,83 @@
+"""Tests for the static ADV+N local-link concentration analysis."""
+
+import pytest
+
+from repro.analysis.offsets import (
+    l2_link_concentration,
+    max_l2_concentration,
+    offset_bound_table,
+    valiant_offset_bound,
+)
+from repro.topology.dragonfly import Dragonfly
+
+
+class TestConcentration:
+    def test_advh_concentrates_h_flows(self):
+        """Fig. 2a: at offset h all h arriving links funnel to one local
+        link, for any h."""
+        for h in (2, 3, 4, 6):
+            topo = Dragonfly(h)
+            assert max_l2_concentration(topo, h) == h
+
+    def test_multiples_of_h_also_worst(self):
+        topo = Dragonfly(3)
+        for n in (3, 6, 9, 12):
+            assert max_l2_concentration(topo, n) == 3
+
+    def test_last_offset_is_benign_exception(self):
+        """Offset 2h^2 == -1 (mod G) wraps around and concentrates
+        nothing, unlike the other multiples of h."""
+        for h in (2, 3, 4):
+            topo = Dragonfly(h)
+            assert max_l2_concentration(topo, 2 * h * h) == 1
+
+    def test_offset_one_is_benign(self):
+        """ADV+1 'causes the lower congestion on local links' (§V)."""
+        for h in (2, 3, 6):
+            topo = Dragonfly(h)
+            assert max_l2_concentration(topo, 1) == 1
+
+    def test_counts_are_per_link(self):
+        topo = Dragonfly(3)
+        counts = l2_link_concentration(topo, 3)
+        assert all(r_in != r_out for r_in, r_out in counts)
+        assert all(v >= 1 for v in counts.values())
+        # Total flows = wired offsets minus degenerate/self-transit ones.
+        assert sum(counts.values()) <= 2 * topo.h * topo.h
+
+    def test_invalid_offset(self):
+        with pytest.raises(ValueError):
+            l2_link_concentration(Dragonfly(2), 0)
+
+
+class TestBound:
+    def test_worst_case_bound_near_one_over_h(self):
+        """(G-2)/(2h^2*h) -> 1/h for large networks."""
+        for h in (3, 6, 16):
+            topo = Dragonfly(h)
+            bound = valiant_offset_bound(topo, h)
+            assert bound == pytest.approx(1 / h, rel=0.1)
+            assert bound <= 1 / h  # the exact form is slightly tighter
+
+    def test_benign_offset_hits_global_limit(self):
+        topo = Dragonfly(6)
+        assert valiant_offset_bound(topo, 1) == 0.5
+
+    def test_bound_never_exceeds_half(self):
+        topo = Dragonfly(3)
+        for n in range(1, topo.num_groups):
+            assert valiant_offset_bound(topo, n) <= 0.5
+
+
+class TestTable:
+    def test_full_table(self):
+        topo = Dragonfly(2)
+        rows = offset_bound_table(topo)
+        assert len(rows) == topo.num_groups - 1
+        assert all(r.is_worst_case == (r.offset % 2 == 0) for r in rows)
+
+    def test_subset(self):
+        topo = Dragonfly(3)
+        rows = offset_bound_table(topo, [1, 3])
+        assert [r.offset for r in rows] == [1, 3]
+        assert rows[1].concentration == 3

@@ -1,0 +1,55 @@
+"""Unit tests for packets."""
+
+import pytest
+
+from repro.network.packet import Packet
+
+
+def mk(src=0, dst=100, size=8):
+    return Packet(
+        pid=1, src=src, dst=dst, size=size, created_cycle=10,
+        dst_router=dst // 2, dst_group=dst // 8, src_group=src // 8,
+    )
+
+
+class TestPacket:
+    def test_initial_state(self):
+        p = mk()
+        assert p.intermediate_group == -1
+        assert not p.global_misrouted
+        assert p.local_misroute_group == -1
+        assert not p.on_ring
+        assert p.ring_exits == 0
+        assert p.hops == p.local_hops == p.global_hops == p.ring_hops == 0
+        assert not p.used_ring
+        assert p.injected_cycle == -1
+        assert p.ejected_cycle == -1
+
+    def test_latency_requires_ejection(self):
+        p = mk()
+        with pytest.raises(ValueError):
+            _ = p.latency
+        p.ejected_cycle = 50
+        assert p.latency == 40
+
+    def test_network_latency(self):
+        p = mk()
+        p.ejected_cycle = 60
+        with pytest.raises(ValueError):
+            _ = p.network_latency
+        p.injected_cycle = 15
+        assert p.network_latency == 45
+        assert p.latency == 50
+
+    def test_cache_sentinels(self):
+        p = mk()
+        assert p.cache_rid == -1
+        assert p.cache_ig == -2  # -1 is a valid intermediate_group value
+
+    def test_slots_prevent_new_attrs(self):
+        p = mk()
+        with pytest.raises(AttributeError):
+            p.bogus = 1
+
+    def test_repr_mentions_endpoints(self):
+        assert "0->100" in repr(mk())

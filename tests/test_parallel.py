@@ -1,0 +1,60 @@
+"""Tests for parallel sweep execution."""
+
+from repro.engine.config import SimulationConfig
+from repro.engine.parallel import (
+    default_workers,
+    run_grid_parallel,
+    run_load_sweep_parallel,
+)
+from repro.engine.runner import run_load_sweep
+
+
+def cfg(routing="min"):
+    return SimulationConfig.small(h=2, routing=routing)
+
+
+class TestParallelSweep:
+    def test_matches_sequential_exactly(self):
+        loads = [0.1, 0.3]
+        seq = run_load_sweep(cfg(), "UN", loads, warmup=200, measure=200)
+        par = run_load_sweep_parallel(
+            cfg(), "UN", loads, warmup=200, measure=200, workers=2
+        )
+        for a, b in zip(seq, par):
+            assert a == b  # LoadPoint is a plain dataclass: full equality
+
+    def test_order_preserved(self):
+        loads = [0.3, 0.1, 0.2]
+        pts = run_load_sweep_parallel(
+            cfg(), "UN", loads, warmup=150, measure=150, workers=3
+        )
+        assert [p.offered_load for p in pts] == loads
+
+    def test_single_worker_fallback(self):
+        pts = run_load_sweep_parallel(
+            cfg(), "UN", [0.1], warmup=100, measure=100, workers=1
+        )
+        assert len(pts) == 1
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestGrid:
+    def test_mixed_configs(self):
+        tasks = [
+            (cfg("min"), "UN", 0.2),
+            (cfg("ofar"), "ADV+2", 0.3),
+        ]
+        pts = run_grid_parallel(tasks, warmup=150, measure=150, workers=2)
+        assert len(pts) == 2
+        assert pts[0].offered_load == 0.2
+        assert pts[1].offered_load == 0.3
+
+    def test_grid_matches_direct(self):
+        from repro.engine.runner import run_steady_state
+
+        tasks = [(cfg("pb"), "ADV+1", 0.25)]
+        par = run_grid_parallel(tasks, warmup=200, measure=200, workers=2)
+        direct = run_steady_state(cfg("pb"), "ADV+1", 0.25, 200, 200)
+        assert par[0] == direct

@@ -1,0 +1,87 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.analysis.plots import (
+    ChartSeries,
+    bar_chart,
+    latency_chart,
+    line_chart,
+    sparkline,
+    throughput_chart,
+)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_monotone(self):
+        s = sparkline([0, 1, 2, 3])
+        assert s[0] == "▁" and s[-1] == "█"
+        assert len(s) == 4
+
+
+class TestBarChart:
+    def test_basic(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0])
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") > lines[0].count("#")
+        assert "2" in lines[1]
+
+    def test_zero_values(self):
+        out = bar_chart(["x"], [0.0])
+        assert "x" in out
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert bar_chart([], []) == "(empty)"
+
+
+class TestLineChart:
+    def test_empty(self):
+        assert "(empty chart)" in line_chart([])
+
+    def test_markers_and_legend(self):
+        s1 = ChartSeries("up", [(0, 0), (1, 1)])
+        s2 = ChartSeries("down", [(0, 1), (1, 0)])
+        out = line_chart([s1, s2], width=20, height=8)
+        assert "o=up" in out and "x=down" in out
+        assert "o" in out and "x" in out
+
+    def test_extremes_on_grid(self):
+        s = ChartSeries("s", [(0, 0), (10, 100)])
+        out = line_chart([s], width=30, height=6)
+        assert "100" in out and "0" in out
+
+    def test_single_point(self):
+        out = line_chart([ChartSeries("p", [(1, 2)])], width=10, height=4)
+        assert "o" in out
+
+
+class TestRunnerIntegration:
+    def _series(self):
+        from repro.analysis.results import Series
+        from tests.test_results import mk_point
+
+        return [
+            Series("ofar", [mk_point(0.1, 0.1, 40), mk_point(0.4, 0.39, 80)]),
+            Series("pb", [mk_point(0.1, 0.1, 45), mk_point(0.4, 0.31, 300)]),
+        ]
+
+    def test_throughput_chart(self):
+        out = throughput_chart(self._series())
+        assert "throughput" in out
+        assert "offered load" in out
+
+    def test_latency_chart_with_cap(self):
+        out = latency_chart(self._series(), cap=100.0)
+        assert "latency" in out
+        assert "300" not in out  # capped

@@ -1,0 +1,169 @@
+"""Property-based tests (hypothesis) on core structures and invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.offsets import max_l2_concentration, valiant_offset_bound
+from repro.engine.config import SimulationConfig
+from repro.engine.runner import _pattern_rng
+from repro.engine.simulator import Simulator
+from repro.network.arbiter import LRSArbiter
+from repro.network.buffers import Buffer
+from repro.network.packet import Packet
+from repro.topology.dragonfly import Dragonfly, PortKind
+from repro.topology.hamiltonian import HamiltonianRing
+from repro.traffic.generators import BernoulliTraffic
+from repro.traffic.patterns import make_pattern
+
+hs = st.integers(min_value=1, max_value=5)
+
+
+class TestTopologyProperties:
+    @given(h=hs, seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_min_route_valid_and_short(self, h, seed):
+        topo = Dragonfly(h)
+        rng = random.Random(seed)
+        src = rng.randrange(topo.num_nodes)
+        dst = rng.randrange(topo.num_nodes)
+        if src == dst:
+            return
+        route = topo.min_route(src, dst)
+        assert 1 <= len(route) <= 4  # <= 3 hops + ejection
+        # Walk the route and confirm connectivity.
+        router = topo.node_router(src)
+        for hop_router, port in route:
+            assert hop_router == router
+            if topo.port_kind(port) is PortKind.NODE:
+                assert router == topo.node_router(dst)
+                assert port == topo.node_port(dst)
+            else:
+                router, _ = topo.neighbor(router, port)
+        # At most one global hop on a minimal path.
+        kinds = [topo.port_kind(p) for _, p in route]
+        assert kinds.count(PortKind.GLOBAL) <= 1
+
+    @given(h=hs, seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_palmtree_involution(self, h, seed):
+        topo = Dragonfly(h)
+        rng = random.Random(seed)
+        g = rng.randrange(topo.num_groups)
+        r = rng.randrange(topo.a)
+        k = rng.randrange(topo.h)
+        ep = topo.global_link_endpoint(g, r, k)
+        back = topo.global_link_endpoint(ep.group, ep.router, ep.port)
+        assert (back.group, back.router, back.port) == (g, r, k)
+
+    @given(h=hs)
+    @settings(max_examples=10, deadline=None)
+    def test_hamiltonian_ring_valid(self, h):
+        topo = Dragonfly(h)
+        ring = HamiltonianRing(topo)
+        ring.validate()
+
+    @given(h=st.integers(2, 4), offset=st.integers(1, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_offset_bounds_sane(self, h, offset):
+        topo = Dragonfly(h)
+        offset = 1 + (offset % (topo.num_groups - 1))
+        k = max_l2_concentration(topo, offset)
+        assert 0 <= k <= topo.h
+        bound = valiant_offset_bound(topo, offset)
+        assert 0 < bound <= 0.5
+        # Multiples of h are the worst case — except 2h^2 (== -1 mod G),
+        # which wraps around and is benign like ADV+1.
+        if offset % h == 0 and offset != topo.num_groups - 1:
+            assert k == h
+
+
+class TestBufferProperties:
+    @given(sizes=st.lists(st.integers(1, 8), min_size=1, max_size=10))
+    @settings(max_examples=50)
+    def test_occupancy_always_consistent(self, sizes):
+        cap = sum(sizes)
+        buf = Buffer(cap)
+        for i, s in enumerate(sizes):
+            buf.push(Packet(pid=i, src=0, dst=1, size=s, created_cycle=0,
+                            dst_router=0, dst_group=0, src_group=0))
+        assert buf.occupancy == cap
+        total = 0
+        while buf:
+            total += buf.pop().size
+            assert buf.occupancy == cap - total
+        assert total == cap
+
+
+class TestArbiterProperties:
+    @given(
+        reqs=st.lists(
+            st.lists(st.integers(0, 5), min_size=1, max_size=6),
+            min_size=1, max_size=40,
+        )
+    )
+    @settings(max_examples=50)
+    def test_grant_always_member(self, reqs):
+        arb = LRSArbiter()
+        for batch in reqs:
+            out = arb.grant(batch)
+            assert out in batch
+
+    @given(n=st.integers(2, 6), rounds=st.integers(2, 10))
+    @settings(max_examples=30)
+    def test_starvation_freedom(self, n, rounds):
+        """Under constant contention, everyone is served once per n."""
+        arb = LRSArbiter()
+        grants = [arb.grant(list(range(n))) for _ in range(n * rounds)]
+        for k in range(n):
+            assert grants.count(k) == rounds
+
+
+class TestSimulationProperties:
+    @given(
+        seed=st.integers(0, 1000),
+        routing=st.sampled_from(["min", "val", "pb", "ofar"]),
+        load=st.floats(0.05, 0.5),
+        pattern=st.sampled_from(["UN", "ADV+1", "ADV+2"]),
+    )
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_conservation_and_sanity(self, seed, routing, load, pattern):
+        cfg = SimulationConfig.small(h=2, routing=routing, seed=seed)
+        sim = Simulator(cfg)
+        topo = sim.network.topo
+        p = make_pattern(topo, _pattern_rng(cfg, seed), pattern)
+        sim.generator = BernoulliTraffic(p, load, 8, topo.num_nodes, seed)
+        sim.run(250)
+        net = sim.network
+        net.check_conservation()
+        # Credits never negative or above capacity.
+        for rt in net.routers:
+            for ch in rt.out:
+                if ch is None:
+                    continue
+                for vc in range(ch.num_vcs):
+                    assert 0 <= ch.credits[vc] <= ch.capacity
+        # Buffers never overfull.
+        for rt in net.routers:
+            for bufs in rt.in_bufs:
+                for buf in bufs:
+                    assert 0 <= buf.occupancy <= buf.capacity
+        # Latencies are causal.
+        assert net.ejected_packets <= net.injected_packets
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_pairs_always_delivered_ofar(self, seed):
+        cfg = SimulationConfig.small(h=2, routing="ofar", seed=seed)
+        sim = Simulator(cfg)
+        rng = random.Random(seed)
+        n = sim.network.topo.num_nodes
+        for _ in range(30):
+            src, dst = rng.randrange(n), rng.randrange(n)
+            if src != dst:
+                sim.create_packet(src, dst)
+        sim.run_until_drained(300_000)
+        assert sim.network.ejected_packets == sim.created_packets

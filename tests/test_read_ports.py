@@ -1,0 +1,130 @@
+"""Tests for the §VIII multi-read-port input buffer extension."""
+
+import pytest
+
+from repro.engine.config import SimulationConfig
+from repro.engine.runner import run_steady_state
+from repro.engine.simulator import Simulator
+from repro.network.router import KIND_MIN, OutputChannel, Router
+from repro.topology.dragonfly import PortKind
+
+
+def mk_packet(pid=0, size=8):
+    from repro.network.packet import Packet
+
+    return Packet(pid=pid, src=0, dst=99, size=size, created_cycle=0,
+                  dst_router=49, dst_group=0, src_group=0)
+
+
+def mk_router(read_ports, num_vcs=2):
+    rt = Router(rid=0, group=0, index=0, packet_size=8, iterations=3,
+                read_ports=read_ports)
+    rt.add_input_port(PortKind.LOCAL, num_vcs, 64, upstream=None)
+    for port in range(3):
+        rt.add_output_channel(
+            OutputChannel(port=port, kind=PortKind.LOCAL, latency=10,
+                          num_vcs=num_vcs, capacity=64,
+                          dest_router=9, dest_port=0)
+        )
+    return rt
+
+
+class RecordingNetwork:
+    def __init__(self):
+        self.grants = []
+
+    def execute_grant(self, rt, in_port, in_vc, out_port, out_vc, kind, cycle):
+        pkt = rt.in_bufs[in_port][in_vc].pop()
+        if not rt.in_bufs[in_port][in_vc]:
+            rt.pending.discard((in_port, in_vc))
+        rt.out[out_port].busy_until = cycle + pkt.size
+        rt.occupy_read_slot(in_port, cycle)
+        rt.out[out_port].credits[out_vc] -= pkt.size
+        self.grants.append((in_port, in_vc, out_port))
+
+
+class PerVcRouting:
+    def route(self, rt, in_port, in_vc, pkt, cycle):
+        # vc i -> output i (distinct outputs, so only read slots limit).
+        if rt.out_port_free(in_vc, cycle):
+            return (in_vc, 0, KIND_MIN)
+        return None
+
+
+class TestReadSlots:
+    def test_free_read_slots(self):
+        rt = mk_router(2)
+        assert rt.free_read_slots(0, 0) == 2
+        rt.occupy_read_slot(0, 0)
+        assert rt.free_read_slots(0, 0) == 1
+        assert rt.free_read_slots(0, 8) == 2  # slot frees after the tail
+
+    def test_occupy_exhausted_raises(self):
+        rt = mk_router(1)
+        rt.occupy_read_slot(0, 0)
+        with pytest.raises(AssertionError):
+            rt.occupy_read_slot(0, 0)
+
+    def test_single_read_port_one_grant(self):
+        rt = mk_router(1)
+        net = RecordingNetwork()
+        rt.in_bufs[0][0].push(mk_packet(1))
+        rt.in_bufs[0][1].push(mk_packet(2))
+        rt.pending.update({(0, 0), (0, 1)})
+        assert rt.allocate(0, PerVcRouting(), net) == 1
+
+    def test_two_read_ports_two_grants(self):
+        rt = mk_router(2)
+        net = RecordingNetwork()
+        rt.in_bufs[0][0].push(mk_packet(1))
+        rt.in_bufs[0][1].push(mk_packet(2))
+        rt.pending.update({(0, 0), (0, 1)})
+        assert rt.allocate(0, PerVcRouting(), net) == 2
+        out_ports = sorted(g[2] for g in net.grants)
+        assert out_ports == [0, 1]
+
+    def test_same_vc_not_double_read(self):
+        """Two packets in one VC: still one grant per cycle."""
+        rt = mk_router(2)
+        net = RecordingNetwork()
+        rt.in_bufs[0][0].push(mk_packet(1))
+        rt.in_bufs[0][0].push(mk_packet(2))
+        rt.pending.add((0, 0))
+        assert rt.allocate(0, PerVcRouting(), net) == 1
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig.small(h=2, input_read_ports=0)
+
+    def test_default_single(self):
+        assert SimulationConfig.small(h=2).input_read_ports == 1
+
+
+class TestEndToEnd:
+    def test_delivery_with_two_read_ports(self):
+        cfg = SimulationConfig.small(h=2, routing="ofar", input_read_ports=2)
+        sim = Simulator(cfg)
+        rng = __import__("random").Random(8)
+        for _ in range(60):
+            s, d = rng.randrange(72), rng.randrange(72)
+            if s != d:
+                sim.create_packet(s, d)
+        sim.run_until_drained(200_000)
+        assert sim.network.ejected_packets == sim.created_packets
+        sim.network.check_conservation()
+
+    def test_paper_viii_design_competitive(self):
+        """§VIII conjecture: OFAR with 1 VC + 2 read ports (same total
+        buffering) is competitive with 3 VCs + 1 read port."""
+        classic = SimulationConfig.small(h=2, routing="ofar")
+        lean = SimulationConfig.small(
+            h=2, routing="ofar", input_read_ports=2,
+            local_vcs=1, local_buffer=48,       # 3 x 16 consolidated
+            global_vcs=1, global_buffer=96,     # 2 x 48 consolidated
+            injection_vcs=1, injection_buffer=48,
+        )
+        a = run_steady_state(classic, "ADV+2", 0.4, warmup=600, measure=600)
+        b = run_steady_state(lean, "ADV+2", 0.4, warmup=600, measure=600)
+        assert b.throughput > 0.85 * a.throughput

@@ -1,0 +1,91 @@
+"""Tests for result containers (Series/Table) and rendering."""
+
+import pytest
+
+from repro.analysis.results import Series, Table, series_table
+from repro.engine.metrics import LoadPoint
+
+
+def mk_point(load, thr, lat):
+    return LoadPoint(
+        offered_load=load, throughput=thr, avg_latency=lat,
+        avg_network_latency=lat - 5, avg_hops=3.0, avg_local_hops=2.0,
+        avg_global_hops=1.0, p50_latency=lat, p99_latency=2 * lat,
+        ejected_packets=100, window_cycles=1000,
+        ring_fraction=0.0, local_misroute_rate=0.0, global_misroute_rate=0.0,
+    )
+
+
+class TestSeries:
+    def test_saturation_throughput(self):
+        s = Series("x", [mk_point(0.1, 0.1, 50), mk_point(0.5, 0.42, 200),
+                         mk_point(0.8, 0.40, 900)])
+        assert s.saturation_throughput() == 0.42
+
+    def test_latency_at_nearest(self):
+        s = Series("x", [mk_point(0.1, 0.1, 50), mk_point(0.5, 0.4, 200)])
+        assert s.latency_at(0.12) == 50
+        assert s.latency_at(0.6) == 200
+
+    def test_saturation_load(self):
+        s = Series("x", [mk_point(0.1, 0.1, 50), mk_point(0.3, 0.3, 90),
+                         mk_point(0.5, 0.4, 400)])
+        assert s.saturation_load(latency_factor=3.0) == 0.5
+
+    def test_saturation_load_never_saturates(self):
+        s = Series("x", [mk_point(0.1, 0.1, 50), mk_point(0.2, 0.2, 60)])
+        assert s.saturation_load() == 0.2
+
+    def test_empty_series_raise(self):
+        with pytest.raises(ValueError):
+            Series("x").saturation_throughput()
+        with pytest.raises(ValueError):
+            Series("x").latency_at(0.2)
+
+
+class TestTable:
+    def test_text_rendering(self):
+        t = Table("demo")
+        t.add(a=1, b="xy")
+        t.add(a=22, b="z")
+        text = t.to_text()
+        assert "== demo ==" in text
+        lines = text.strip().splitlines()
+        assert lines[1].split() == ["a", "b"]
+        assert lines[2].split() == ["1", "xy"]
+
+    def test_ragged_rows(self):
+        t = Table("demo")
+        t.add(a=1)
+        t.add(b=2)
+        assert t.columns == ["a", "b"]
+        assert "2" in t.to_text()
+
+    def test_csv(self):
+        t = Table("demo")
+        t.add(x=1, y=2)
+        csv_text = t.to_csv()
+        assert csv_text.splitlines() == ["x,y", "1,2"]
+
+    def test_save_csv(self, tmp_path):
+        t = Table("demo")
+        t.add(x=5)
+        path = tmp_path / "out.csv"
+        t.save_csv(str(path))
+        assert path.read_text().startswith("x")
+
+    def test_empty_table(self):
+        assert "(empty)" in Table("demo").to_text()
+
+
+class TestSeriesTable:
+    def test_combines_curves(self):
+        s1 = Series("ofar", [mk_point(0.1, 0.1, 40), mk_point(0.2, 0.2, 45)])
+        s2 = Series("pb", [mk_point(0.1, 0.1, 60), mk_point(0.2, 0.18, 80)])
+        t = series_table("f", [s1, s2])
+        assert len(t.rows) == 2
+        assert t.rows[0]["ofar_thr"] == 0.1
+        assert t.rows[1]["pb_lat"] == 80.0
+
+    def test_empty(self):
+        assert series_table("f", []).rows == []

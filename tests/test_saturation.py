@@ -1,0 +1,64 @@
+"""Tests for saturation analysis utilities."""
+
+import pytest
+
+from repro.engine.config import SimulationConfig
+from repro.engine.saturation import accepted_ratio, find_saturation, run_until_stable
+
+
+def cfg(routing="min", **overrides):
+    return SimulationConfig.small(h=2, routing=routing, **overrides)
+
+
+class TestAcceptedRatio:
+    def test_low_load_fully_accepted(self):
+        r = accepted_ratio(cfg(), "UN", 0.1, warmup=400, measure=400)
+        assert r == pytest.approx(1.0, abs=0.08)
+
+    def test_overload_rejected(self):
+        # MIN under ADV collapses to ~1/(2h^2); offered 0.5 mostly queues.
+        r = accepted_ratio(cfg(), "ADV+2", 0.5, warmup=500, measure=500)
+        assert r < 0.5
+
+    def test_zero_load_invalid(self):
+        with pytest.raises(ValueError):
+            accepted_ratio(cfg(), "UN", 0.0)
+
+
+class TestFindSaturation:
+    def test_min_adversarial_saturates_low(self):
+        sat = find_saturation(
+            cfg(), "ADV+2", lo=0.05, hi=0.6, tolerance=0.05,
+            warmup=400, measure=400,
+        )
+        assert sat < 0.25  # bounded by 1/(2h^2)=0.125 + slack
+
+    def test_ofar_adversarial_saturates_high(self):
+        sat = find_saturation(
+            cfg("ofar"), "ADV+2", lo=0.1, hi=0.8, tolerance=0.05,
+            warmup=400, measure=400,
+        )
+        assert sat > 0.3
+
+    def test_ordering_matches_paper(self):
+        """Saturation ladder under the worst pattern: OFAR > VAL."""
+        kw = dict(lo=0.05, hi=0.8, tolerance=0.08, warmup=400, measure=400)
+        sat_val = find_saturation(cfg("val"), "ADV+2", **kw)
+        sat_ofar = find_saturation(cfg("ofar"), "ADV+2", **kw)
+        assert sat_ofar > sat_val
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            find_saturation(cfg(), "UN", lo=0.5, hi=0.2)
+
+
+class TestRunUntilStable:
+    def test_converges_at_low_load(self):
+        point = run_until_stable(cfg(), "UN", 0.15, window=400)
+        assert point.throughput == pytest.approx(0.15, abs=0.03)
+
+    def test_returns_point_even_if_noisy(self):
+        point = run_until_stable(
+            cfg("ofar"), "ADV+2", 0.5, window=300, rel_tol=0.001, max_windows=3
+        )
+        assert point.ejected_packets > 0

@@ -1,0 +1,92 @@
+"""Cross-scale sanity: the topology laws hold at every h we can build,
+and the simulator works end to end at the degenerate and larger sizes."""
+
+import pytest
+
+from repro.analysis.bounds import local_link_advh_bound, min_adversarial_bound
+from repro.engine.config import SimulationConfig
+from repro.engine.runner import run_steady_state
+from repro.engine.simulator import Simulator
+from repro.network.network import Network
+from repro.topology.dragonfly import Dragonfly
+
+
+class TestDegenerateH1:
+    """h=1: 3 groups, 6 routers, 6 nodes — the smallest dragonfly."""
+
+    def test_topology(self):
+        topo = Dragonfly(1)
+        assert topo.num_groups == 3
+        assert topo.num_routers == 6
+        assert topo.num_nodes == 6
+        assert topo.ports_per_router == 3  # 1 node + 1 local + 1 global
+
+    def test_min_routes_everywhere(self):
+        topo = Dragonfly(1)
+        for src in topo.nodes():
+            for dst in topo.nodes():
+                if src != dst:
+                    assert topo.min_distance(src, dst) <= 3
+
+    @pytest.mark.parametrize("routing", ["min", "val", "ofar"])
+    def test_delivery(self, routing):
+        cfg = SimulationConfig.small(h=1, routing=routing)
+        sim = Simulator(cfg)
+        for src in range(6):
+            for dst in range(6):
+                if src != dst:
+                    sim.create_packet(src, dst)
+        sim.run_until_drained(200_000)
+        assert sim.network.ejected_packets == 30
+
+
+class TestLargerScales:
+    def test_h4_network_constructs(self):
+        cfg = SimulationConfig.small(h=4, routing="ofar", escape="embedded")
+        net = Network(cfg)
+        assert net.topo.num_groups == 33
+        assert net.topo.num_routers == 264
+        assert net.topo.num_nodes == 1056
+        assert len(net.routers) == 264
+        # Every router has exactly one embedded ring hop.
+        assert all(len(hops) == 1 for hops in net.escape_hops)
+
+    def test_h4_short_simulation(self):
+        cfg = SimulationConfig.small(h=4, routing="ofar")
+        from repro.engine.runner import run_steady_state
+
+        pt = run_steady_state(cfg, "UN", 0.2, warmup=200, measure=200)
+        assert pt.throughput == pytest.approx(0.2, abs=0.04)
+
+    def test_paper_h6_topology_constructs(self):
+        """The full §V network (no simulation — construction only)."""
+        cfg = SimulationConfig.paper(routing="ofar")
+        net = Network(cfg)
+        assert net.topo.num_nodes == 5256
+        assert net.topo.num_routers == 876
+        assert net.ring is not None
+        assert len(net.ring) == 876
+
+    def test_h16_topology_math(self):
+        """PERCS-class scale: pure closed forms, instant."""
+        topo = Dragonfly(16)
+        assert topo.num_nodes == 4 * 16**4 + 2 * 16**2
+        assert topo.ports_per_router == 63  # 4h - 1
+
+
+class TestLawsAcrossScales:
+    @pytest.mark.parametrize("h", [2, 3])
+    def test_min_adv_collapse_follows_law(self, h):
+        """MIN under ADV saturates at ~1/(2h^2) x allocator efficiency
+        at every size — the law, not an artifact of one h."""
+        cfg = SimulationConfig.small(h=h, routing="min")
+        pt = run_steady_state(cfg, "ADV+1", 0.4, warmup=600, measure=600)
+        bound = min_adversarial_bound(h)
+        assert pt.throughput <= bound * 1.3
+        assert pt.throughput >= bound * 0.4
+
+    @pytest.mark.parametrize("h", [2, 3])
+    def test_ofar_beats_local_bound_at_every_h(self, h):
+        cfg = SimulationConfig.small(h=h, routing="ofar")
+        pt = run_steady_state(cfg, f"ADV+{h}", 0.45, warmup=800, measure=800)
+        assert pt.throughput > local_link_advh_bound(h) * (1.05 if h > 2 else 0.8)

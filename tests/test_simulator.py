@@ -1,0 +1,173 @@
+"""Tests for the simulation loop: injection, draining, watchdog."""
+
+import pytest
+
+from repro.engine.config import SimulationConfig
+from repro.engine.simulator import DeadlockError, Simulator
+
+
+def make_sim(routing="min", **overrides):
+    return Simulator(SimulationConfig.small(h=2, routing=routing, **overrides))
+
+
+class TestCreation:
+    def test_create_packet_fields(self):
+        sim = make_sim()
+        pkt = sim.create_packet(3, 70)
+        topo = sim.network.topo
+        assert pkt.src == 3
+        assert pkt.dst == 70
+        assert pkt.dst_router == topo.node_router(70)
+        assert pkt.dst_group == topo.node_group(70)
+        assert pkt.src_group == topo.node_group(3)
+        assert pkt.size == sim.config.packet_size
+
+    def test_create_packet_rejects_self(self):
+        with pytest.raises(ValueError):
+            make_sim().create_packet(4, 4)
+
+    def test_pids_unique(self):
+        sim = make_sim()
+        pids = {sim.create_packet(0, i + 1).pid for i in range(20)}
+        assert len(pids) == 20
+
+
+class TestInjectionSerialization:
+    def test_one_packet_per_size_cycles(self):
+        """The injection wire carries 1 phit/cycle: a node injects at
+        most one packet every packet_size cycles."""
+        sim = make_sim()
+        for i in range(4):
+            sim.create_packet(0, 30 + i)
+        inj_cycles = []
+        orig = sim.network.try_inject
+
+        def spy(pkt, cycle):
+            ok = orig(pkt, cycle)
+            if ok:
+                inj_cycles.append(cycle)
+            return ok
+
+        sim.network.try_inject = spy
+        sim.run(40)
+        assert inj_cycles == [0, 8, 16, 24]
+
+    def test_source_queue_fifo(self):
+        sim = make_sim()
+        pkts = [sim.create_packet(0, 30 + i) for i in range(3)]
+        sim.run(30)
+        assert pkts[0].injected_cycle < pkts[1].injected_cycle < pkts[2].injected_cycle
+
+    def test_injection_counts(self):
+        sim = make_sim()
+        sim.create_packet(0, 30)
+        sim.run(5)
+        assert sim.network.injected_packets == 1
+        assert sim.metrics.injected_packets == 1
+        assert sim.metrics.generated_packets == 1
+
+
+class TestDraining:
+    def test_run_until_drained(self):
+        sim = make_sim()
+        pkts = [sim.create_packet(i, 71 - i) for i in range(4)]
+        end = sim.run_until_drained(100_000)
+        assert all(p.ejected_cycle >= 0 for p in pkts)
+        assert end >= max(p.ejected_cycle for p in pkts) - 1
+        assert sim.outstanding_packets() == 0
+
+    def test_drain_timeout(self):
+        sim = make_sim()
+        sim.create_packet(0, 71)
+        with pytest.raises(TimeoutError):
+            sim.run_until_drained(3)
+
+    def test_drain_with_endless_generator_times_out(self):
+        from repro.traffic.generators import BernoulliTraffic
+        from repro.traffic.patterns import UniformPattern
+        import random
+
+        sim = make_sim()
+        sim.generator = BernoulliTraffic(
+            UniformPattern(sim.network.topo, random.Random(1)),
+            0.1, 8, sim.network.topo.num_nodes, 1,
+        )
+        with pytest.raises(TimeoutError):
+            sim.run_until_drained(300)
+
+    def test_drain_spans_finite_generator(self):
+        """A trace-like generator active for many cycles drains fully."""
+        from repro.traffic.trace import TraceEvent, TraceTraffic
+
+        sim = make_sim()
+        sim.generator = TraceTraffic(
+            [TraceEvent(0, 0, 40), TraceEvent(150, 1, 41), TraceEvent(300, 2, 42)]
+        )
+        end = sim.run_until_drained(100_000)
+        assert sim.network.ejected_packets == 3
+        assert end > 300
+
+    def test_empty_network_drains_immediately(self):
+        sim = make_sim()
+        assert sim.run_until_drained(10) == sim.cycle - 1
+
+
+class TestWatchdog:
+    def test_deadlock_detected_when_routing_stalls(self):
+        """A routing algorithm that never issues requests must trip the
+        watchdog once packets are stuck."""
+        sim = make_sim(deadlock_cycles=50)
+        sim.routing.route = lambda rt, p, v, pkt, c: None
+        sim.create_packet(0, 71)
+        with pytest.raises(DeadlockError) as exc:
+            sim.run(500)
+        assert exc.value.outstanding == 1
+
+    def test_no_false_positive_on_idle(self):
+        sim = make_sim(deadlock_cycles=50)
+        sim.run(500)  # no traffic: watchdog must stay silent
+
+    def test_long_latency_not_deadlock(self):
+        """A quiet period shorter than the threshold is tolerated."""
+        sim = make_sim(deadlock_cycles=5000)
+        sim.create_packet(0, 71)
+        sim.run_until_drained(100_000)
+
+
+class TestWarmup:
+    def test_warmup_resets_metrics(self):
+        from repro.traffic.generators import BernoulliTraffic
+        from repro.traffic.patterns import UniformPattern
+        import random
+
+        sim = make_sim()
+        sim.generator = BernoulliTraffic(
+            UniformPattern(sim.network.topo, random.Random(1)),
+            0.2, 8, sim.network.topo.num_nodes, 1,
+        )
+        sim.warm_up(200)
+        assert sim.metrics.ejected_packets == 0
+        assert sim.metrics.window_start == 200
+        before = sim.network.ejected_packets
+        assert before > 0  # traffic did flow during warm-up
+
+    def test_deterministic_given_seed(self):
+        """Two simulators with identical configs produce identical
+        trajectories."""
+        from repro.engine.runner import run_steady_state
+
+        cfg = SimulationConfig.small(h=2, routing="ofar", seed=11)
+        a = run_steady_state(cfg, "ADV+2", 0.3, warmup=200, measure=200)
+        b = run_steady_state(cfg, "ADV+2", 0.3, warmup=200, measure=200)
+        assert a.throughput == b.throughput
+        assert a.avg_latency == b.avg_latency
+        assert a.ejected_packets == b.ejected_packets
+
+    def test_different_seeds_differ(self):
+        from repro.engine.runner import run_steady_state
+
+        cfg1 = SimulationConfig.small(h=2, routing="ofar", seed=11)
+        cfg2 = SimulationConfig.small(h=2, routing="ofar", seed=12)
+        a = run_steady_state(cfg1, "UN", 0.3, warmup=200, measure=200)
+        b = run_steady_state(cfg2, "UN", 0.3, warmup=200, measure=200)
+        assert (a.avg_latency, a.ejected_packets) != (b.avg_latency, b.ejected_packets)

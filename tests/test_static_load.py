@@ -1,0 +1,108 @@
+"""Tests for the static link-load analyzer."""
+
+import random
+
+import pytest
+
+from repro.analysis.offsets import valiant_offset_bound
+from repro.analysis.static_load import analyze, predicted_saturation
+from repro.topology.dragonfly import Dragonfly, PortKind
+from repro.traffic.applications import StencilPattern
+from repro.traffic.patterns import AdversarialPattern, UniformPattern
+
+
+@pytest.fixture
+def topo():
+    return Dragonfly(2)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(11)
+
+
+class TestClosedFormAgreement:
+    def test_min_adversarial_matches_1_over_2h2(self, topo, rng):
+        """MIN under ADV+N: the single inter-group link bounds load at
+        1/(2h^2) — the analyzer must find exactly that."""
+        pattern = AdversarialPattern(topo, rng, 2)
+        sat = predicted_saturation(topo, pattern, "min", samples=30_000)
+        assert sat == pytest.approx(1 / (2 * topo.h**2), rel=0.1)
+
+    def test_valiant_advh_tighter_than_offsets_module(self, rng):
+        """VAL under ADV+h: the Monte-Carlo analyzer also counts the
+        l1/l3 hops that share the hot local links, so its bound is
+        *tighter* than the l2-only closed form — and much closer to the
+        simulator (0.203 predicted vs 0.196 measured at h=3)."""
+        topo = Dragonfly(3)
+        pattern = AdversarialPattern(topo, rng, 3)
+        sat = predicted_saturation(topo, pattern, "val", samples=30_000)
+        closed_form = valiant_offset_bound(topo, 3)
+        assert sat <= closed_form
+        assert sat > 0.5 * closed_form  # same order: the l2 funnel dominates
+
+    def test_uniform_min_near_capacity(self, topo, rng):
+        pattern = UniformPattern(topo, rng)
+        sat = predicted_saturation(topo, pattern, "min", samples=30_000)
+        assert sat > 0.8
+
+    def test_valiant_uniform_half(self, topo, rng):
+        """Valiant doubles global utilization: bound ~0.5 under UN."""
+        pattern = UniformPattern(topo, rng)
+        sat = predicted_saturation(topo, pattern, "val", samples=30_000)
+        assert sat == pytest.approx(0.5, abs=0.12)
+
+
+class TestReport:
+    def test_hottest_sorted(self, topo, rng):
+        report = analyze(topo, AdversarialPattern(topo, rng, 2), "min", samples=5_000)
+        top = report.hottest(3)
+        assert len(top) == 3
+        assert top[0][1] >= top[1][1] >= top[2][1]
+
+    def test_adversarial_imbalance_on_globals(self, topo, rng):
+        """ADV concentrates on global links under MIN."""
+        adv = analyze(topo, AdversarialPattern(topo, rng, 2), "min", samples=10_000)
+        un = analyze(topo, UniformPattern(topo, rng), "min", samples=10_000)
+        assert adv.imbalance(topo, PortKind.GLOBAL) > 2 * un.imbalance(topo, PortKind.GLOBAL)
+
+    def test_invalid_routing(self, topo, rng):
+        with pytest.raises(ValueError):
+            analyze(topo, UniformPattern(topo, rng), "chaos")
+
+    def test_deterministic(self, topo):
+        p1 = analyze(topo, UniformPattern(topo, random.Random(5)), "min", samples=2_000, seed=9)
+        p2 = analyze(topo, UniformPattern(topo, random.Random(5)), "min", samples=2_000, seed=9)
+        assert p1.link_share == p2.link_share
+
+
+class TestPredictsSimulator:
+    def test_prediction_upper_bounds_simulation(self, topo):
+        """The static bound must upper-bound measured MIN throughput and
+        be loose by at most the known allocator inefficiency."""
+        from repro.engine.config import SimulationConfig
+        from repro.engine.runner import run_steady_state
+
+        rng = random.Random(3)
+        pattern_spec, offset = "ADV+2", 2
+        predicted = predicted_saturation(
+            topo, AdversarialPattern(topo, rng, offset), "min", samples=20_000
+        )
+        cfg = SimulationConfig.small(h=2, routing="min")
+        measured = run_steady_state(cfg, pattern_spec, 0.5, 600, 600).throughput
+        assert measured <= predicted * 1.15
+        assert measured >= predicted * 0.4
+
+    def test_stencil_hotspot_prediction(self, topo):
+        """Sequential stencil mapping concentrates local links far more
+        than the random mapping — predicted without simulation."""
+        seq = analyze(
+            topo, StencilPattern(topo, random.Random(1), mapping="sequential"),
+            "min", samples=15_000,
+        )
+        rnd = analyze(
+            topo, StencilPattern(topo, random.Random(1), mapping="random"),
+            "min", samples=15_000,
+        )
+        assert seq.predicted_saturation < rnd.predicted_saturation
+        assert seq.imbalance(topo, PortKind.LOCAL) > rnd.imbalance(topo, PortKind.LOCAL)

@@ -1,0 +1,281 @@
+"""Unit tests for the dragonfly topology and the palmtree arrangement."""
+
+import pytest
+
+from repro.topology.dragonfly import Dragonfly, PortKind
+
+
+class TestParameters:
+    def test_balanced_relations(self):
+        for h in (1, 2, 3, 6):
+            topo = Dragonfly(h)
+            assert topo.p == h
+            assert topo.a == 2 * h
+            assert topo.num_groups == 2 * h * h + 1
+            assert topo.num_routers == topo.num_groups * topo.a
+            assert topo.num_nodes == topo.num_routers * topo.p
+
+    def test_paper_sizes_h6(self):
+        """§V: h=6 gives 5,256 nodes, 876 routers, 73 groups, 23 ports."""
+        topo = Dragonfly(6)
+        assert topo.num_groups == 73
+        assert topo.num_routers == 876
+        assert topo.num_nodes == 5256
+        assert topo.ports_per_router == 23
+        assert topo.num_global_links == 2628
+        assert topo.num_local_links == 73 * 66  # a(a-1)/2 = 66 per group
+
+    def test_ports_per_router_formula(self):
+        """Paper §I: total ports per router is 4h - 1."""
+        for h in (1, 2, 3, 6, 16):
+            assert Dragonfly(h).ports_per_router == 4 * h - 1
+
+    def test_h16_scales_beyond_256k_nodes(self):
+        assert Dragonfly(16).num_nodes > 256_000
+
+    def test_invalid_h(self):
+        with pytest.raises(ValueError):
+            Dragonfly(0)
+
+    def test_truncated_network_rejected(self):
+        with pytest.raises(ValueError):
+            Dragonfly(2, num_groups=5)
+
+    def test_explicit_max_groups_accepted(self):
+        assert Dragonfly(2, num_groups=9).num_groups == 9
+
+
+class TestIdentity:
+    def test_router_group_index_roundtrip(self):
+        topo = Dragonfly(2)
+        for rid in topo.routers():
+            g, r = topo.router_group(rid), topo.router_index(rid)
+            assert topo.router_id(g, r) == rid
+
+    def test_node_maps(self):
+        topo = Dragonfly(3)
+        for node in (0, 5, topo.num_nodes - 1):
+            rid = topo.node_router(node)
+            assert node in topo.router_nodes(rid)
+            assert topo.node_group(node) == topo.router_group(rid)
+            assert 0 <= topo.node_port(node) < topo.p
+
+    def test_group_nodes_partition(self):
+        topo = Dragonfly(2)
+        seen = []
+        for g in range(topo.num_groups):
+            seen.extend(topo.group_nodes(g))
+        assert seen == list(topo.nodes())
+
+    def test_group_routers_partition(self):
+        topo = Dragonfly(2)
+        seen = []
+        for g in range(topo.num_groups):
+            seen.extend(topo.group_routers(g))
+        assert seen == list(topo.routers())
+
+
+class TestPortLayout:
+    def test_port_kinds(self):
+        topo = Dragonfly(2)  # p=2, local=3, global=2 -> ports 0..6
+        kinds = [topo.port_kind(p) for p in range(topo.ports_per_router)]
+        assert kinds == [
+            PortKind.NODE,
+            PortKind.NODE,
+            PortKind.LOCAL,
+            PortKind.LOCAL,
+            PortKind.LOCAL,
+            PortKind.GLOBAL,
+            PortKind.GLOBAL,
+        ]
+        assert topo.port_kind(topo.ring_port) == PortKind.RING
+
+    def test_port_kind_out_of_range(self):
+        topo = Dragonfly(2)
+        with pytest.raises(ValueError):
+            topo.port_kind(topo.ring_port + 1)
+        with pytest.raises(ValueError):
+            topo.port_kind(-1)
+
+    def test_local_port_peer_roundtrip(self):
+        topo = Dragonfly(3)
+        for r in range(topo.a):
+            for peer in range(topo.a):
+                if peer == r:
+                    continue
+                port = topo.local_port(r, peer)
+                assert topo.local_peer(r, port) == peer
+
+    def test_local_port_rejects_self(self):
+        with pytest.raises(ValueError):
+            Dragonfly(2).local_port(1, 1)
+
+    def test_local_ports_are_distinct(self):
+        topo = Dragonfly(3)
+        for r in range(topo.a):
+            ports = {topo.local_port(r, p) for p in range(topo.a) if p != r}
+            assert len(ports) == topo.a - 1
+
+    def test_global_slot_roundtrip(self):
+        topo = Dragonfly(3)
+        for k in range(topo.h):
+            assert topo.global_slot(topo.global_port(k)) == k
+
+    def test_global_port_bad_slot(self):
+        with pytest.raises(ValueError):
+            Dragonfly(2).global_port(2)
+
+
+class TestPalmtree:
+    def test_every_group_pair_has_one_link(self):
+        topo = Dragonfly(2)
+        pairs = set()
+        for g in range(topo.num_groups):
+            for r in range(topo.a):
+                for k in range(topo.h):
+                    ep = topo.global_link_endpoint(g, r, k)
+                    assert ep.group != g
+                    pairs.add((min(g, ep.group), max(g, ep.group)))
+        expected = topo.num_groups * (topo.num_groups - 1) // 2
+        assert len(pairs) == expected
+
+    def test_endpoint_symmetry(self):
+        topo = Dragonfly(3)
+        for g in range(topo.num_groups):
+            for r in range(topo.a):
+                for k in range(topo.h):
+                    ep = topo.global_link_endpoint(g, r, k)
+                    back = topo.global_link_endpoint(ep.group, ep.router, ep.port)
+                    assert (back.group, back.router, back.port) == (g, r, k)
+
+    def test_group_route_matches_endpoint(self):
+        topo = Dragonfly(2)
+        for g in range(topo.num_groups):
+            for dst in range(topo.num_groups):
+                if g == dst:
+                    continue
+                r, k = topo.group_route(g, dst)
+                assert topo.global_link_endpoint(g, r, k).group == dst
+
+    def test_group_route_same_group_rejected(self):
+        with pytest.raises(ValueError):
+            Dragonfly(2).group_route(3, 3)
+
+    def test_consecutive_offsets_consecutive_ports(self):
+        """The palmtree wiring is consecutive: offsets d and d+1 sit on
+        adjacent (router, slot) positions — the Fig. 2a prerequisite."""
+        topo = Dragonfly(3)
+        for d in range(1, 2 * topo.h * topo.h):
+            r1, k1 = (d - 1) // topo.h, (d - 1) % topo.h
+            r2, k2 = d // topo.h, d % topo.h
+            assert (r2, k2) in ((r1, k1 + 1), (r1 + 1, 0))
+
+    def test_global_links_iterator_counts(self):
+        topo = Dragonfly(2)
+        links = list(topo.global_links())
+        assert len(links) == topo.num_global_links
+        seen = set()
+        for ra, pa, rb, pb in links:
+            assert topo.port_kind(pa) is PortKind.GLOBAL
+            assert topo.port_kind(pb) is PortKind.GLOBAL
+            key = frozenset(((ra, pa), (rb, pb)))
+            assert key not in seen
+            seen.add(key)
+
+
+class TestNeighbor:
+    def test_local_neighbor_symmetric(self):
+        topo = Dragonfly(2)
+        for rid in topo.routers():
+            r = topo.router_index(rid)
+            for j in range(topo.local_ports):
+                port = topo.node_ports + j
+                peer, peer_port = topo.neighbor(rid, port)
+                back, back_port = topo.neighbor(peer, peer_port)
+                assert (back, back_port) == (rid, port)
+                assert topo.router_group(peer) == topo.router_group(rid)
+                assert peer != rid
+
+    def test_global_neighbor_symmetric(self):
+        topo = Dragonfly(2)
+        for rid in topo.routers():
+            for k in range(topo.h):
+                port = topo.global_port(k)
+                peer, peer_port = topo.neighbor(rid, port)
+                back, back_port = topo.neighbor(peer, peer_port)
+                assert (back, back_port) == (rid, port)
+                assert topo.router_group(peer) != topo.router_group(rid)
+
+    def test_node_port_has_no_neighbor(self):
+        with pytest.raises(ValueError):
+            Dragonfly(2).neighbor(0, 0)
+
+
+class TestMinimalRouting:
+    def test_diameter_three(self):
+        """Any minimal route uses at most 3 router-to-router hops."""
+        topo = Dragonfly(2)
+        nodes = list(topo.nodes())
+        for src in nodes[:: max(1, len(nodes) // 16)]:
+            for dst in nodes[:: max(1, len(nodes) // 16)]:
+                if src == dst:
+                    continue
+                assert topo.min_distance(src, dst) <= 3
+
+    def test_route_reaches_destination(self):
+        topo = Dragonfly(3)
+        cases = [(0, topo.num_nodes - 1), (5, 6), (10, 200), (333, 1)]
+        for src, dst in cases:
+            route = topo.min_route(src, dst)
+            last_router, last_port = route[-1]
+            assert topo.port_kind(last_port) is PortKind.NODE
+            assert last_router == topo.node_router(dst)
+            assert last_port == topo.node_port(dst)
+
+    def test_same_router_route(self):
+        topo = Dragonfly(2)
+        route = topo.min_route(0, 1)  # both on router 0
+        assert len(route) == 1
+        assert route[0] == (0, 1)
+
+    def test_same_group_route_single_local_hop(self):
+        topo = Dragonfly(2)
+        # node 0 on router 0; node on router 1, same group
+        dst = topo.p * 1
+        route = topo.min_route(0, dst)
+        assert len(route) == 2
+        assert topo.port_kind(route[0][1]) is PortKind.LOCAL
+
+    def test_intergroup_route_shape(self):
+        """Inter-group routes are (l) g (l) then ejection."""
+        topo = Dragonfly(3)
+        for src, dst in ((0, topo.num_nodes - 1), (7, 500)):
+            route = topo.min_route(src, dst)
+            kinds = [topo.port_kind(p) for _, p in route[:-1]]
+            assert kinds.count(PortKind.GLOBAL) == 1
+            assert kinds.count(PortKind.LOCAL) <= 2
+
+    def test_min_output_port_to_group(self):
+        topo = Dragonfly(2)
+        for rid in (0, 7, 20):
+            g = topo.router_group(rid)
+            for dst_g in range(topo.num_groups):
+                if dst_g == g:
+                    with pytest.raises(ValueError):
+                        topo.min_output_port_to_group(rid, dst_g)
+                    continue
+                port = topo.min_output_port_to_group(rid, dst_g)
+                kind = topo.port_kind(port)
+                if kind is PortKind.GLOBAL:
+                    peer, _ = topo.neighbor(rid, port)
+                    assert topo.router_group(peer) == dst_g
+                else:
+                    assert kind is PortKind.LOCAL
+                    peer, _ = topo.neighbor(rid, port)
+                    # The peer owns the direct global link.
+                    r, k = topo.group_route(g, dst_g)
+                    assert topo.router_index(peer) == r
+
+    def test_min_route_rejects_identical_nodes(self):
+        with pytest.raises(ValueError):
+            Dragonfly(2).min_route(4, 4)

@@ -1,0 +1,148 @@
+"""Tests for trace record/replay workloads."""
+
+import random
+
+import pytest
+
+from repro.engine.config import SimulationConfig
+from repro.engine.simulator import Simulator
+from repro.topology.dragonfly import Dragonfly
+from repro.traffic.generators import BernoulliTraffic
+from repro.traffic.patterns import UniformPattern
+from repro.traffic.trace import (
+    TraceEvent,
+    TraceRecorder,
+    TraceTraffic,
+    load_trace,
+    parse_trace,
+    save_trace,
+    synthesize_phases,
+)
+
+
+@pytest.fixture
+def topo():
+    return Dragonfly(2)
+
+
+class TestRoundtrip:
+    def test_save_load(self, tmp_path):
+        events = [TraceEvent(0, 1, 2), TraceEvent(5, 3, 4)]
+        path = str(tmp_path / "t.csv")
+        save_trace(events, path)
+        assert load_trace(path) == events
+
+    def test_parse_rejects_unsorted(self):
+        with pytest.raises(ValueError, match="sorted"):
+            parse_trace(["cycle,src,dst", "5,0,1", "2,0,1"])
+
+    def test_parse_rejects_self(self):
+        with pytest.raises(ValueError, match="self"):
+            parse_trace(["3,7,7"])
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError, match="bad trace line"):
+            parse_trace(["1,2"])
+
+    def test_parse_skips_header_and_blanks(self):
+        events = parse_trace(["cycle,src,dst", "", "1,0,2"])
+        assert events == [TraceEvent(1, 0, 2)]
+
+
+class TestRecorder:
+    def test_records_everything(self, topo):
+        gen = BernoulliTraffic(
+            UniformPattern(topo, random.Random(1)), 0.5, 8, topo.num_nodes, 3
+        )
+        rec = TraceRecorder(gen)
+        emitted = []
+        for cycle in range(50):
+            emitted.extend(
+                (cycle, s, d) for s, d in rec.packets_for_cycle(cycle)
+            )
+        assert [(e.cycle, e.src, e.dst) for e in rec.events] == emitted
+        assert len(rec.events) > 0
+
+    def test_csv_parses_back(self, topo):
+        gen = BernoulliTraffic(
+            UniformPattern(topo, random.Random(1)), 0.5, 8, topo.num_nodes, 3
+        )
+        rec = TraceRecorder(gen)
+        for cycle in range(20):
+            rec.packets_for_cycle(cycle)
+        assert parse_trace(rec.to_csv().splitlines()) == rec.events
+
+
+class TestReplay:
+    def test_exact_replay(self):
+        events = [TraceEvent(0, 1, 2), TraceEvent(0, 3, 4), TraceEvent(7, 5, 6)]
+        gen = TraceTraffic(events)
+        assert list(gen.packets_for_cycle(0)) == [(1, 2), (3, 4)]
+        assert list(gen.packets_for_cycle(3)) == []
+        assert list(gen.packets_for_cycle(7)) == [(5, 6)]
+        assert not gen.finished(7)
+        assert gen.finished(8)
+
+    def test_time_scale(self):
+        gen = TraceTraffic([TraceEvent(10, 0, 1)], time_scale=2.0)
+        assert list(gen.packets_for_cycle(20)) == [(0, 1)]
+        assert list(gen.packets_for_cycle(10)) == []
+
+    def test_loop(self):
+        gen = TraceTraffic([TraceEvent(0, 0, 1), TraceEvent(4, 2, 3)], loop=2)
+        assert gen.total_events == 4
+        assert list(gen.packets_for_cycle(5)) == [(0, 1)]  # second pass
+        assert gen.finished(10)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TraceTraffic([], time_scale=0)
+        with pytest.raises(ValueError):
+            TraceTraffic([], loop=0)
+
+    def test_replay_through_simulator(self, topo):
+        """Record a run, replay it: same packets created at same cycles."""
+        cfg = SimulationConfig.small(h=2, routing="ofar")
+
+        def created(gen):
+            sim = Simulator(cfg)
+            sim.generator = gen
+            log = []
+            orig = sim.create_packet
+
+            def spy(src, dst, cycle=None):
+                pkt = orig(src, dst, cycle)
+                log.append((pkt.created_cycle, src, dst))
+                return pkt
+
+            sim.create_packet = spy
+            sim.run(100)
+            return log
+
+        base = BernoulliTraffic(
+            UniformPattern(topo, random.Random(2)), 0.3, 8, topo.num_nodes, 7
+        )
+        rec = TraceRecorder(base)
+        first = created(rec)
+        second = created(TraceTraffic(rec.events))
+        assert first == second
+
+
+class TestSynthesize:
+    def test_phase_boundaries(self, topo):
+        quiet = UniformPattern(topo, random.Random(3))
+        events = synthesize_phases(
+            [(quiet, 0.5, 100), (quiet, 0.0, 50), (quiet, 0.5, 100)],
+            packet_size=8, num_nodes=topo.num_nodes, seed=4,
+        )
+        cycles = [e.cycle for e in events]
+        assert min(cycles) < 100
+        assert all(not (100 <= c < 150) for c in cycles)  # silent phase
+        assert any(c >= 150 for c in cycles)
+
+    def test_invalid_duration(self, topo):
+        with pytest.raises(ValueError):
+            synthesize_phases(
+                [(UniformPattern(topo, random.Random(1)), 0.5, 0)],
+                8, topo.num_nodes, 1,
+            )

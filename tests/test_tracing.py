@@ -1,0 +1,97 @@
+"""Tests for the packet tracer."""
+
+from repro.engine.config import SimulationConfig
+from repro.engine.simulator import Simulator
+from repro.engine.tracing import PacketTrace, Tracer, describe_route
+
+
+def make_sim(routing="min", **overrides):
+    return Simulator(SimulationConfig.small(h=2, routing=routing, **overrides))
+
+
+class TestTracer:
+    def test_traces_selected_packet(self):
+        sim = make_sim()
+        pkt = sim.create_packet(0, 71)
+        other = sim.create_packet(2, 50)
+        with Tracer(sim.network, pids={pkt.pid}) as tracer:
+            sim.run_until_drained(100_000)
+        trace = tracer.trace(pkt.pid)
+        assert trace.hops
+        assert tracer.trace(other.pid).hops == []  # not selected
+
+    def test_trace_matches_min_route(self):
+        sim = make_sim("min")
+        topo = sim.network.topo
+        pkt = sim.create_packet(0, 71)
+        with Tracer(sim.network) as tracer:
+            sim.run_until_drained(100_000)
+        trace = tracer.trace(pkt.pid)
+        # Routers visited = routers of the static minimal route.
+        expected = [r for r, _ in topo.min_route(0, 71)]
+        assert trace.path() == expected
+        assert trace.kinds() == ["min"] * len(expected)
+        assert trace.misroutes() == 0
+        assert not trace.used_ring()
+
+    def test_trace_records_misroutes(self):
+        sim = make_sim("ofar")
+        net = sim.network
+        topo = net.topo
+        port = topo.local_port(0, 1)
+        net.fail_link(0, port)  # force a detour
+        pkt = sim.create_packet(0, topo.p * 1)
+        with Tracer(net, pids={pkt.pid}) as tracer:
+            sim.run_until_drained(100_000)
+        trace = tracer.trace(pkt.pid)
+        assert trace.misroutes() >= 1
+        assert "misroute" in " ".join(trace.kinds())
+
+    def test_describe_route(self):
+        sim = make_sim("min")
+        pkt = sim.create_packet(0, 71)
+        with Tracer(sim.network, pids={pkt.pid}) as tracer:
+            sim.run_until_drained(100_000)
+        text = describe_route(sim.network, tracer.trace(pkt.pid))
+        assert text.startswith("g0:")
+        assert "eject" in text
+
+    def test_detach_restores_executor(self):
+        from repro.network.network import Network
+
+        sim = make_sim()
+        tracer = Tracer(sim.network)
+        tracer.attach()
+        assert "execute_grant" in sim.network.__dict__  # instance override
+        tracer.detach()
+        assert "execute_grant" not in sim.network.__dict__
+        assert sim.network.execute_grant.__func__ is Network.execute_grant
+
+    def test_double_attach_rejected(self):
+        import pytest
+
+        sim = make_sim()
+        tracer = Tracer(sim.network)
+        tracer.attach()
+        with pytest.raises(RuntimeError):
+            tracer.attach()
+        tracer.detach()
+
+    def test_unknown_pid_empty_trace(self):
+        sim = make_sim()
+        tracer = Tracer(sim.network)
+        assert tracer.trace(999) == PacketTrace(999)
+
+    def test_simulation_unperturbed_by_tracing(self):
+        """Tracing must not change results (pure observation)."""
+        def run(trace: bool):
+            sim = make_sim("ofar", seed=5)
+            pkts = [sim.create_packet(i, 71 - i) for i in range(6)]
+            if trace:
+                with Tracer(sim.network):
+                    sim.run_until_drained(100_000)
+            else:
+                sim.run_until_drained(100_000)
+            return [p.ejected_cycle for p in pkts]
+
+        assert run(True) == run(False)

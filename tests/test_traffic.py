@@ -1,0 +1,196 @@
+"""Tests for traffic patterns and injection processes."""
+
+import random
+
+import pytest
+
+from repro.topology.dragonfly import Dragonfly
+from repro.traffic.generators import BernoulliTraffic, BurstTraffic, TransientTraffic
+from repro.traffic.patterns import (
+    AdversarialLocalPattern,
+    AdversarialPattern,
+    MixPattern,
+    UniformPattern,
+    make_pattern,
+)
+
+
+@pytest.fixture
+def topo():
+    return Dragonfly(2)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+class TestUniform:
+    def test_never_self(self, topo, rng):
+        p = UniformPattern(topo, rng)
+        for src in (0, 5, topo.num_nodes - 1):
+            for _ in range(200):
+                assert p.dest(src) != src
+
+    def test_covers_all_destinations(self, topo, rng):
+        p = UniformPattern(topo, rng)
+        seen = {p.dest(0) for _ in range(5000)}
+        assert seen == set(range(1, topo.num_nodes))
+
+    def test_includes_own_group(self, topo, rng):
+        """The paper's UN includes the source group."""
+        p = UniformPattern(topo, rng)
+        own_group = {p.dest(0) for _ in range(2000)} & set(topo.group_nodes(0))
+        assert own_group  # some destinations in group 0
+
+    def test_roughly_uniform(self, topo, rng):
+        p = UniformPattern(topo, rng)
+        counts = {}
+        n = 20_000
+        for _ in range(n):
+            d = p.dest(0)
+            counts[d] = counts.get(d, 0) + 1
+        expected = n / (topo.num_nodes - 1)
+        for c in counts.values():
+            assert 0.5 * expected < c < 1.7 * expected
+
+
+class TestAdversarial:
+    def test_targets_offset_group(self, topo, rng):
+        p = AdversarialPattern(topo, rng, offset=2)
+        for src in range(0, topo.num_nodes, 7):
+            dst = p.dest(src)
+            expected = (topo.node_group(src) + 2) % topo.num_groups
+            assert topo.node_group(dst) == expected
+
+    def test_wraps_around(self, topo, rng):
+        p = AdversarialPattern(topo, rng, offset=3)
+        src = next(iter(topo.group_nodes(topo.num_groups - 1)))
+        assert topo.node_group(p.dest(src)) == 2
+
+    def test_spreads_within_group(self, topo, rng):
+        p = AdversarialPattern(topo, rng, offset=1)
+        dsts = {p.dest(0) for _ in range(2000)}
+        assert dsts == set(topo.group_nodes(1))
+
+    def test_invalid_offsets(self, topo, rng):
+        with pytest.raises(ValueError):
+            AdversarialPattern(topo, rng, 0)
+        with pytest.raises(ValueError):
+            AdversarialPattern(topo, rng, topo.num_groups)
+
+    def test_name(self, topo, rng):
+        assert AdversarialPattern(topo, rng, 2).name == "ADV+2"
+
+
+class TestAdversarialLocal:
+    def test_targets_next_router_same_group(self, topo, rng):
+        p = AdversarialLocalPattern(topo, rng)
+        for src in range(0, topo.num_nodes, 5):
+            dst = p.dest(src)
+            src_r, dst_r = topo.node_router(src), topo.node_router(dst)
+            assert topo.router_group(src_r) == topo.router_group(dst_r)
+            assert topo.router_index(dst_r) == (topo.router_index(src_r) + 1) % topo.a
+
+
+class TestMix:
+    def test_rates_respected(self, topo, rng):
+        un = UniformPattern(topo, rng)
+        adv = AdversarialPattern(topo, rng, 1)
+        mix = MixPattern(topo, rng, [(un, 0.8), (adv, 0.2)])
+        # Component choice is observable through the destination group:
+        # ADV+1 from group 0 always lands in group 1.
+        n = 10_000
+        g1_direct = sum(
+            1 for _ in range(n) if topo.node_group(mix.dest(0)) == 1
+        )
+        # UN also lands in group 1 sometimes (1/9 of the time at h=2).
+        expected = n * (0.2 + 0.8 / 9)
+        assert abs(g1_direct - expected) < 0.15 * expected
+
+    def test_empty_mix_rejected(self, topo, rng):
+        with pytest.raises(ValueError):
+            MixPattern(topo, rng, [])
+
+    def test_zero_weights_rejected(self, topo, rng):
+        un = UniformPattern(topo, rng)
+        with pytest.raises(ValueError):
+            MixPattern(topo, rng, [(un, 0.0)])
+
+
+class TestMakePattern:
+    def test_specs(self, topo, rng):
+        assert make_pattern(topo, rng, "UN").name == "UN"
+        assert make_pattern(topo, rng, "un").name == "UN"
+        assert make_pattern(topo, rng, "ADV+3").name == "ADV+3"
+        assert make_pattern(topo, rng, "ADV-LOCAL").name == "ADV-LOCAL"
+        for mix in ("MIX1", "MIX2", "MIX3"):
+            assert make_pattern(topo, rng, mix).name == mix
+
+    def test_unknown_spec(self, topo, rng):
+        with pytest.raises(ValueError):
+            make_pattern(topo, rng, "BITREV")
+
+
+class TestBernoulli:
+    def test_rate_matches_load(self, topo, rng):
+        load = 0.4
+        gen = BernoulliTraffic(UniformPattern(topo, rng), load, 8, topo.num_nodes, 3)
+        total = sum(len(list(gen.packets_for_cycle(c))) for c in range(2000))
+        expected = 2000 * topo.num_nodes * load / 8
+        assert abs(total - expected) < 0.1 * expected
+
+    def test_zero_load(self, topo, rng):
+        gen = BernoulliTraffic(UniformPattern(topo, rng), 0.0, 8, topo.num_nodes, 3)
+        assert list(gen.packets_for_cycle(0)) == []
+
+    def test_invalid_load(self, topo, rng):
+        with pytest.raises(ValueError):
+            BernoulliTraffic(UniformPattern(topo, rng), 1.5, 8, topo.num_nodes, 3)
+
+    def test_never_finished(self, topo, rng):
+        gen = BernoulliTraffic(UniformPattern(topo, rng), 0.1, 8, topo.num_nodes, 3)
+        assert not gen.finished(10_000)
+
+
+class TestTransient:
+    def test_pattern_switch(self, topo, rng):
+        un = UniformPattern(topo, rng)
+        adv = AdversarialPattern(topo, random.Random(1), 1)
+        gen = TransientTraffic([(0, un), (100, adv)], 0.5, 8, topo.num_nodes, 5)
+        assert gen.pattern_at(0) is un
+        assert gen.pattern_at(99) is un
+        assert gen.pattern_at(100) is adv
+        assert gen.pattern_at(10_000) is adv
+
+    def test_generated_destinations_follow_phase(self, topo, rng):
+        adv1 = AdversarialPattern(topo, rng, 1)
+        adv2 = AdversarialPattern(topo, random.Random(1), 2)
+        gen = TransientTraffic([(0, adv1), (50, adv2)], 1.0, 8, topo.num_nodes, 5)
+        for cycle, off in ((0, 1), (200, 2)):
+            for src, dst in gen.packets_for_cycle(cycle):
+                delta = (topo.node_group(dst) - topo.node_group(src)) % topo.num_groups
+                assert delta == off
+
+    def test_must_start_at_zero(self, topo, rng):
+        with pytest.raises(ValueError):
+            TransientTraffic([(5, UniformPattern(topo, rng))], 0.5, 8, 72, 1)
+
+
+class TestBurst:
+    def test_emits_once(self, topo, rng):
+        gen = BurstTraffic(UniformPattern(topo, rng), 3, topo.num_nodes)
+        first = list(gen.packets_for_cycle(0))
+        assert len(first) == 3 * topo.num_nodes
+        assert gen.total_packets == 3 * topo.num_nodes
+        assert list(gen.packets_for_cycle(1)) == []
+        assert gen.finished(1)
+
+    def test_every_node_contributes(self, topo, rng):
+        gen = BurstTraffic(UniformPattern(topo, rng), 2, topo.num_nodes)
+        srcs = [s for s, _ in gen.packets_for_cycle(0)]
+        assert all(srcs.count(n) == 2 for n in range(topo.num_nodes))
+
+    def test_invalid_count(self, topo, rng):
+        with pytest.raises(ValueError):
+            BurstTraffic(UniformPattern(topo, rng), 0, topo.num_nodes)
