@@ -1,0 +1,294 @@
+#!/usr/bin/env python
+"""Benchmark the simulation engine: cycles/sec on a fixed workload.
+
+The workload is pinned — ``h = 3``, OFAR, uniform (UN) and adversarial
+(ADV+h) phases at fixed loads and seeds — so numbers are comparable
+across engine versions on the same machine.  Two loads per pattern
+cover the engine's operating regimes:
+
+* a low load (0.05), where the active-set scheduler pays off most
+  (few routers hold work on any given cycle);
+* a load just below each pattern's saturation point (0.25 UN /
+  0.20 ADV+3), where per-grant semantic work dominates.
+
+Results are written to ``BENCH_engine.json`` (see docs/architecture.md,
+section "Performance & benchmarking"); keep the previous file around to
+track the perf trajectory PR over PR.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_engine.py                # full run
+    PYTHONPATH=src python scripts/bench_engine.py --check        # CI smoke
+    PYTHONPATH=src python scripts/bench_engine.py --out out.json
+    PYTHONPATH=src python scripts/bench_engine.py \
+        --compare-tree /tmp/seed_tree/src                        # A/B vs seed
+
+``--check`` runs a few hundred cycles per phase only — enough to catch
+a broken or pathologically slow engine in the tier-1 suite without
+turning the test run into a benchmark session.
+
+``--compare-tree PATH`` measures a second source tree (e.g. a ``git
+archive`` of the pre-optimization commit, unpacked so that ``PATH``
+contains the ``repro`` package) in the *same process*, alternating
+baseline/current rounds with module purging in between.  Alternation is
+the only reliable protocol on shared machines: separate runs minutes
+apart see ±30 % wall-clock drift from co-tenancy, which swamps the
+effect being measured.  Best-of-N per engine per phase discards the
+slow outliers both engines suffer equally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import os
+import platform
+import sys
+import time
+
+# The fixed benchmark workload.  h=3 is the largest size the tier-1
+# suite exercises; loads sit below each pattern's saturation point so
+# the run measures the engine, not an ever-growing source-queue backlog.
+BENCH_H = 3
+BENCH_ROUTING = "ofar"
+BENCH_SEED = 1
+PHASES = (
+    ("UN", 0.05),
+    ("UN", 0.25),
+    ("ADV+3", 0.05),
+    ("ADV+3", 0.20),
+)
+
+
+def _load_engine(tree: str | None) -> dict:
+    """(Re-)import the ``repro`` package, optionally from ``tree``.
+
+    Purges any previously imported ``repro`` modules first so two
+    source trees can be exercised alternately in one process.  All
+    ``repro`` imports are module-level, so importing the entry modules
+    below pulls the whole engine in while ``tree`` is on ``sys.path``.
+    """
+    for name in [n for n in sys.modules if n == "repro" or n.startswith("repro.")]:
+        del sys.modules[name]
+    if tree is not None:
+        sys.path.insert(0, tree)
+    try:
+        mods = {
+            "config": importlib.import_module("repro.engine.config"),
+            "runner": importlib.import_module("repro.engine.runner"),
+            "simulator": importlib.import_module("repro.engine.simulator"),
+            "generators": importlib.import_module("repro.traffic.generators"),
+            "patterns": importlib.import_module("repro.traffic.patterns"),
+        }
+    finally:
+        if tree is not None:
+            sys.path.remove(tree)
+    return mods
+
+
+def _build_sim(eng: dict, pattern_spec: str, load: float):
+    cfg = eng["config"].SimulationConfig.small(
+        h=BENCH_H, routing=BENCH_ROUTING, seed=BENCH_SEED
+    )
+    sim = eng["simulator"].Simulator(cfg)
+    topo = sim.network.topo
+    pattern = eng["patterns"].make_pattern(
+        topo, eng["runner"]._pattern_rng(cfg, 2), pattern_spec
+    )
+    sim.generator = eng["generators"].BernoulliTraffic(
+        pattern, load, cfg.packet_size, topo.num_nodes, BENCH_SEED ^ 0x5A5A
+    )
+    return sim
+
+
+def _time_phase(
+    eng: dict, pattern_spec: str, load: float, warmup: int, cycles: int
+) -> tuple[float, int]:
+    """One timed measurement: fresh sim, warm up, time ``cycles``.
+
+    Returns ``(elapsed_seconds, ejected_packets)``.  The ejected count
+    is a cheap behavioral fingerprint: two engines claiming
+    bit-identical semantics must agree on it exactly.
+    """
+    sim = _build_sim(eng, pattern_spec, load)
+    sim.run(warmup)
+    start = time.perf_counter()
+    sim.run(cycles)
+    elapsed = time.perf_counter() - start
+    return elapsed, sim.network.ejected_packets
+
+
+def run_benchmark(warmup: int, cycles: int, repeats: int) -> dict:
+    """Measure the current engine only (normal and ``--check`` modes)."""
+    eng = _load_engine(None)
+    phases = []
+    for pattern_spec, load in PHASES:
+        best = float("inf")
+        ejected = 0
+        for _ in range(repeats):
+            elapsed, ejected = _time_phase(eng, pattern_spec, load, warmup, cycles)
+            best = min(best, elapsed)
+        phases.append(
+            {
+                "pattern": pattern_spec,
+                "load": load,
+                "warmup": warmup,
+                "cycles": cycles,
+                "repeats": repeats,
+                "best_seconds": round(best, 4),
+                "cycles_per_sec": round(cycles / best, 1),
+                "ejected_packets": ejected,
+            }
+        )
+    total_cycles = sum(ph["cycles"] for ph in phases)
+    total_seconds = sum(ph["best_seconds"] for ph in phases)
+    return {
+        "workload": _workload_stanza(),
+        "machine": _machine_stanza(),
+        "phases": phases,
+        "combined_cycles_per_sec": round(total_cycles / total_seconds, 1),
+    }
+
+
+def run_compare(tree: str, warmup: int, cycles: int, rounds: int) -> dict:
+    """Alternating A/B: baseline tree vs the current tree, best-of-N."""
+    if not os.path.isdir(os.path.join(tree, "repro")):
+        # Without this check a bad path would silently fall through to
+        # the ambient sys.path and benchmark the engine against itself.
+        raise SystemExit(f"--compare-tree: no 'repro' package under {tree!r}")
+    keys = [f"{p}@{load:.2f}" for p, load in PHASES]
+    best = {
+        "baseline": dict.fromkeys(keys, float("inf")),
+        "current": dict.fromkeys(keys, float("inf")),
+    }
+    ejected: dict[str, dict[str, int]] = {"baseline": {}, "current": {}}
+    for rnd in range(rounds):
+        for label, path in (("baseline", tree), ("current", None)):
+            eng = _load_engine(path)
+            for (pattern_spec, load), key in zip(PHASES, keys):
+                elapsed, ej = _time_phase(eng, pattern_spec, load, warmup, cycles)
+                best[label][key] = min(best[label][key], elapsed)
+                ejected[label][key] = ej
+        print(f"[round {rnd + 1}/{rounds} done]", file=sys.stderr)
+    phases = []
+    for (pattern_spec, load), key in zip(PHASES, keys):
+        if ejected["baseline"][key] != ejected["current"][key]:
+            raise SystemExit(
+                f"behavioral mismatch on {key}: baseline ejected "
+                f"{ejected['baseline'][key]}, current {ejected['current'][key]}"
+            )
+        b, c = best["baseline"][key], best["current"][key]
+        phases.append(
+            {
+                "pattern": pattern_spec,
+                "load": load,
+                "warmup": warmup,
+                "cycles": cycles,
+                "rounds": rounds,
+                "baseline_cycles_per_sec": round(cycles / b, 1),
+                "cycles_per_sec": round(cycles / c, 1),
+                "speedup": round(b / c, 2),
+                "ejected_packets": ejected["current"][key],
+            }
+        )
+    total_cycles = len(PHASES) * cycles
+    base_seconds = sum(best["baseline"][k] for k in keys)
+    cur_seconds = sum(best["current"][k] for k in keys)
+    return {
+        "workload": _workload_stanza(),
+        "machine": _machine_stanza(),
+        "method": (
+            "alternating same-process A/B vs baseline tree, "
+            f"best of {rounds} rounds per engine per phase; "
+            "combined = total cycles / total best-seconds"
+        ),
+        "baseline_tree": tree,
+        "phases": phases,
+        "baseline_combined_cycles_per_sec": round(total_cycles / base_seconds, 1),
+        "combined_cycles_per_sec": round(total_cycles / cur_seconds, 1),
+        "combined_speedup": round(base_seconds / cur_seconds, 2),
+    }
+
+
+def _workload_stanza() -> dict:
+    return {
+        "h": BENCH_H,
+        "routing": BENCH_ROUTING,
+        "seed": BENCH_SEED,
+        "phases": [{"pattern": p, "load": load} for p, load in PHASES],
+    }
+
+
+def _machine_stanza() -> dict:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "processor": platform.processor() or platform.machine(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="smoke mode: a few hundred cycles per phase, no file written "
+        "unless --out is given (keeps the bench harness exercised in CI)",
+    )
+    parser.add_argument(
+        "--compare-tree",
+        default=None,
+        metavar="PATH",
+        help="path to an alternate source tree (containing the repro "
+        "package) to benchmark against, alternating in-process",
+    )
+    parser.add_argument("--out", default=None, help="output JSON path")
+    parser.add_argument("--warmup", type=int, default=None)
+    parser.add_argument("--cycles", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--rounds", type=int, default=5, help="A/B rounds")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        warmup = args.warmup if args.warmup is not None else 100
+        cycles = args.cycles if args.cycles is not None else 300
+        repeats = args.repeats if args.repeats is not None else 1
+    else:
+        warmup = args.warmup if args.warmup is not None else 300
+        cycles = args.cycles if args.cycles is not None else 1500
+        repeats = args.repeats if args.repeats is not None else 3
+
+    if args.compare_tree is not None:
+        result = run_compare(args.compare_tree, warmup, cycles, args.rounds)
+    else:
+        result = run_benchmark(warmup, cycles, repeats)
+    out = args.out
+    if out is None and not args.check:
+        out = "BENCH_engine.json"
+    if out is not None:
+        with open(out, "w") as f:
+            json.dump(result, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"[saved {out}]", file=sys.stderr)
+    for ph in result["phases"]:
+        line = (
+            f"{ph['pattern']:>6s} @ {ph['load']:.2f}: "
+            f"{ph['cycles_per_sec']:>10.1f} cycles/sec"
+        )
+        if "speedup" in ph:
+            line += (
+                f"  (baseline {ph['baseline_cycles_per_sec']:.1f}, "
+                f"speedup {ph['speedup']:.2f}x)"
+            )
+        print(line)
+    line = f"combined: {result['combined_cycles_per_sec']:.1f} cycles/sec"
+    if "combined_speedup" in result:
+        line += f"  (speedup {result['combined_speedup']:.2f}x)"
+    print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Fingerprint the engine's observable behavior for regression checks.
+
+Runs a grid of small simulations spanning every routing mechanism,
+escape mode and a few edge configurations, and emits a JSON document of
+exact (unrounded) LoadPoint fields plus network counters.  Two engine
+versions are behaviorally identical iff their fingerprints are equal —
+use this before/after any engine refactor that claims to be
+bit-for-bit behavior-preserving::
+
+    PYTHONPATH=src python scripts/determinism_fingerprint.py > before.json
+    # ... apply the refactor ...
+    PYTHONPATH=src python scripts/determinism_fingerprint.py > after.json
+    diff before.json after.json
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+
+from repro.engine.config import SimulationConfig
+from repro.engine.runner import run_burst, run_steady_state, run_transient
+from repro.engine.simulator import Simulator
+
+
+def _point_dict(pt) -> dict:
+    return {k: repr(v) for k, v in dataclasses.asdict(pt).items()}
+
+
+def steady_grid() -> dict:
+    out = {}
+    for routing in ("min", "val", "ugal", "pb", "par", "ofar", "ofar-l"):
+        for pattern in ("UN", "ADV+1"):
+            for load in (0.1, 0.35):
+                overrides = {"local_vcs": 4} if routing == "par" else {}
+                cfg = SimulationConfig.small(h=2, routing=routing, seed=7, **overrides)
+                pt = run_steady_state(cfg, pattern, load, warmup=300, measure=300)
+                out[f"{routing}/{pattern}/{load}"] = _point_dict(pt)
+    # A larger instance and the embedded-ring / multiring / read-port /
+    # congestion-control variants, OFAR only.
+    variants = {
+        "h3": SimulationConfig.small(h=3, routing="ofar", seed=3),
+        "embedded": SimulationConfig.small(h=2, routing="ofar", escape="embedded", seed=5),
+        "rings2": SimulationConfig.small(h=2, routing="ofar", escape_rings=2, seed=5),
+        "readports2": SimulationConfig.small(
+            h=2, routing="ofar", input_read_ports=2, seed=5
+        ),
+        "congestion": SimulationConfig.small(
+            h=2, routing="ofar", congestion_control=True, seed=5
+        ),
+    }
+    for name, cfg in variants.items():
+        pt = run_steady_state(cfg, "ADV+2", 0.3, warmup=300, measure=300)
+        out[f"variant/{name}"] = _point_dict(pt)
+    return out
+
+
+def drain_and_counters() -> dict:
+    out = {}
+    cfg = SimulationConfig.small(h=2, routing="ofar", seed=11)
+    burst = run_burst(cfg, "ADV+2", packets_per_node=4)
+    out["burst"] = {k: repr(v) for k, v in dataclasses.asdict(burst).items()}
+    tr = run_transient(
+        SimulationConfig.small(h=2, routing="ofar", seed=13),
+        "UN",
+        "ADV+2",
+        0.3,
+        warmup=400,
+        post=400,
+        drain_margin=600,
+        bucket=20,
+    )
+    out["transient"] = [(c, repr(v)) for c, v in tr.series]
+    sim = Simulator(SimulationConfig.small(h=2, routing="min", seed=2))
+    for i in range(8):
+        sim.create_packet(i, 71 - i)
+    end = sim.run_until_drained(100_000)
+    net = sim.network
+    out["drain"] = {
+        "end": end,
+        "cycle": sim.cycle,
+        "movements": net.movements,
+        "injected": net.injected_packets,
+        "ejected": net.ejected_packets,
+    }
+    return out
+
+
+def main() -> None:
+    doc = {"steady": steady_grid(), "drain": drain_and_counters()}
+    json.dump(doc, sys.stdout, indent=1, sort_keys=True)
+    sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    main()

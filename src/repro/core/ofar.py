@@ -58,6 +58,8 @@ import random
 from typing import TYPE_CHECKING
 
 from repro.network.router import (
+    CODE_LOCAL,
+    CODE_NODE,
     KIND_MIN,
     KIND_MIS_GLOBAL,
     KIND_MIS_LOCAL,
@@ -94,29 +96,118 @@ class OFARRouting(RoutingAlgorithm):
         self._global_port_range = range(
             topo.node_ports + topo.local_ports, topo.ports_per_router
         )
+        # The config is a frozen dataclass, so the per-hop constants can
+        # be hoisted out of the allocator's hot path once and for all.
+        thresholds = self.config.thresholds
+        self._th_min = thresholds.th_min
+        self._relative_factor = thresholds.relative_factor  # None = static policy
+        self._th_nonmin = thresholds.th_nonmin
+        self._escape_patience = self.config.escape_patience
+        self._max_ring_exits = self.config.max_ring_exits
+        self._transit_local_first = self.config.ofar_transit_misroute == "local-first"
+        # Bound-method shortcut: the uniform candidate pick runs tens of
+        # thousands of times per measurement window.
+        self._randrange = rng.randrange
 
     # ------------------------------------------------------------------
     def route(self, rt: Router, in_port: int, in_vc: int, pkt: "Packet", cycle: int):
+        # The hot path of the whole simulator: evaluated for every head
+        # packet on every allocation iteration of every cycle.  The
+        # helper predicates (out_port_free / best_data_vc /
+        # occupancy_fraction / the min-output memo hit) are inlined here
+        # — each is a handful of loads, and the call overhead dominates
+        # them in CPython.  Behavior is identical to the helpers'.
         size = pkt.size
         if pkt.head_cycle < 0:
             pkt.head_cycle = cycle  # first evaluation at this buffer head
         if pkt.on_ring:
             return self._route_on_ring(rt, pkt, cycle, size)
-        mp = self.min_output(rt, pkt)
+        ig = pkt.intermediate_group
+        if pkt.cache_rid == rt.rid and pkt.cache_ig == ig:
+            mp = pkt.cache_port  # min-output memo hit (common case)
+        else:
+            # Memo miss (fresh hop): min_output's table lookups, inlined.
+            topo = self.topo
+            rid = rt.rid
+            if ig >= 0 and ig != rt.group:
+                key = rid * topo.num_groups + ig
+                mp = self._group_port_cache.get(key)
+                if mp is None:
+                    mp = topo.min_output_port_to_group(rid, ig)
+                    self._group_port_cache[key] = mp
+            else:
+                key = rid * topo.num_nodes + pkt.dst
+                mp = self._min_port_cache.get(key)
+                if mp is None:
+                    mp = topo.min_output_port(rid, pkt.dst)
+                    self._min_port_cache[key] = mp
+            pkt.cache_rid = rid
+            pkt.cache_ig = ig
+            pkt.cache_port = mp
         ch = rt.out[mp]
-        if ch.kind is PortKind.NODE:
+        credits = ch.credits
+        if ch.kind_code == CODE_NODE:
             # Ejection has no alternative (and cannot deadlock).
-            if rt.min_available(mp, cycle, 0, size):
+            if (
+                not ch.failed
+                and ch.busy_until <= cycle
+                and mp not in rt._claimed_out
+                and credits[0] >= size
+            ):
                 return (mp, 0, KIND_MIN)
             return None
-        if rt.out_port_free(mp, cycle):
-            vc = ch.best_data_vc(size)
-            if vc >= 0:
-                return (mp, vc, KIND_MIN)
+        if not ch.failed and ch.busy_until <= cycle and mp not in rt._claimed_out:
+            # First-max scan over the data VCs, unrolled for the common
+            # channel shapes (3 local / 2 global data VCs); ties break
+            # toward the lowest VC index exactly like the generic loop.
+            nd = ch.nd
+            if nd == 3:
+                best = ch.dv0
+                best_credits = credits[best]
+                c = credits[ch.dv1]
+                if c > best_credits:
+                    best_credits = c
+                    best = ch.dv1
+                c = credits[ch.dv2]
+                if c > best_credits:
+                    best_credits = c
+                    best = ch.dv2
+                if best_credits >= size:
+                    return (mp, best, KIND_MIN)
+            elif nd == 2:
+                c0 = credits[ch.dv0]
+                c1 = credits[ch.dv1]
+                if c1 > c0:
+                    if c1 >= size:
+                        return (mp, ch.dv1, KIND_MIN)
+                elif c0 >= size:
+                    return (mp, ch.dv0, KIND_MIN)
+            else:
+                best = -1
+                best_credits = size - 1
+                for v in ch.data_vcs:
+                    c = credits[v]
+                    if c > best_credits:
+                        best_credits = c
+                        best = v
+                if best >= 0:
+                    return (mp, best, KIND_MIN)
         # Minimal output unavailable: consider misrouting (§IV-B).
-        q_min = ch.occupancy_fraction()
-        thresholds = self.config.thresholds
-        if q_min >= thresholds.th_min:
+        data_capacity = ch.data_capacity
+        if ch.failed or data_capacity == 0:
+            q_min = 1.0
+        else:
+            nd = ch.nd
+            if nd == 3:
+                free = credits[ch.dv0] + credits[ch.dv1] + credits[ch.dv2]
+            elif nd == 2:
+                free = credits[ch.dv0] + credits[ch.dv1]
+            else:
+                free = 0
+                for v in ch.data_vcs:
+                    free += credits[v]
+            q_min = 1.0 - free / data_capacity
+        if q_min >= self._th_min:
             req = self._misroute(rt, in_port, pkt, mp, q_min, cycle, size)
             if req is not None:
                 return req
@@ -125,8 +216,8 @@ class OFARRouting(RoutingAlgorithm):
         # not merely lost to arbitration or serialization this cycle)
         # and has been blocked past the escape patience.
         if (
-            ch.best_data_vc(size) < 0
-            and cycle - pkt.head_cycle >= self.config.escape_patience
+            cycle - pkt.head_cycle >= self._escape_patience
+            and ch.best_data_vc(size) < 0
         ):
             return self._enter_ring(rt, cycle, size)
         return None
@@ -151,8 +242,8 @@ class OFARRouting(RoutingAlgorithm):
             and pkt.dst_group != group
         )
         may_local = self.allow_local_misroute and pkt.local_misroute_group != group
-        in_kind = rt.in_kind[in_port]
-        if in_kind is PortKind.NODE:
+        in_code = rt.in_kind_codes[in_port]
+        if in_code == CODE_NODE:
             # Injection-queue packets misroute globally (for inter-group
             # traffic); intra-group traffic may only divert locally.
             if may_global:
@@ -166,32 +257,91 @@ class OFARRouting(RoutingAlgorithm):
             # globally once this group's local misroute is spent — the
             # paper's starvation-avoiding policy.  The "global-first"
             # ablation reverses the preference (see config).
-            local_first = self.config.ofar_transit_misroute == "local-first"
-            if may_global and (not local_first or not may_local):
+            if may_global and (not self._transit_local_first or not may_local):
                 ports, kind, exclude_in = self._global_port_range, KIND_MIS_GLOBAL, -1
             elif may_local:
                 ports, kind = self._local_port_range, KIND_MIS_LOCAL
                 # Don't bounce straight back over the link we came from.
-                exclude_in = in_port if in_kind is PortKind.LOCAL else -1
+                exclude_in = in_port if in_code == CODE_LOCAL else -1
             else:
                 return None
+        # Candidate scan with the channel predicates inlined (same
+        # rationale as in route(): this runs per port per iteration).
+        # The eligibility test mirrors ThresholdConfig.eligible — the
+        # variable policy compares strictly, the static one is a plain
+        # ceiling.
         candidates = []
         out = rt.out
-        thresholds = self.config.thresholds
+        claimed_out = rt._claimed_out
+        relative_factor = self._relative_factor
+        if relative_factor is not None:
+            limit = relative_factor * q_min
+            strict = True
+        else:
+            limit = self._th_nonmin
+            strict = False
         for port in ports:
             if port == min_port or port == exclude_in:
                 continue
-            if not rt.out_port_free(port, cycle):
-                continue
             ch = out[port]
-            if not thresholds.eligible(ch.occupancy_fraction(), q_min):
+            if ch.failed or ch.busy_until > cycle or port in claimed_out:
                 continue
-            vc = ch.best_data_vc(size)
-            if vc >= 0:
-                candidates.append((port, vc))
+            credits = ch.credits
+            data_capacity = ch.data_capacity
+            if data_capacity == 0:
+                # Occupancy 1.0 and no data VC to grant: never a
+                # candidate regardless of the threshold policy.
+                continue
+            # Credit sum and first-max VC scan unrolled for the common
+            # channel shapes (see route()); the generic loop remains as
+            # the fallback for exotic VC counts.
+            nd = ch.nd
+            if nd == 3:
+                c0 = credits[ch.dv0]
+                c1 = credits[ch.dv1]
+                c2 = credits[ch.dv2]
+                free = c0 + c1 + c2
+            elif nd == 2:
+                c0 = credits[ch.dv0]
+                c1 = credits[ch.dv1]
+                free = c0 + c1
+            else:
+                free = 0
+                for v in ch.data_vcs:
+                    free += credits[v]
+            occupancy = 1.0 - free / data_capacity
+            if (occupancy >= limit) if strict else (occupancy > limit):
+                continue
+            if nd == 3:
+                best = ch.dv0
+                best_credits = c0
+                if c1 > best_credits:
+                    best_credits = c1
+                    best = ch.dv1
+                if c2 > best_credits:
+                    best_credits = c2
+                    best = ch.dv2
+                if best_credits >= size:
+                    candidates.append((port, best))
+            elif nd == 2:
+                if c1 > c0:
+                    if c1 >= size:
+                        candidates.append((port, ch.dv1))
+                elif c0 >= size:
+                    candidates.append((port, ch.dv0))
+            else:
+                best = -1
+                best_credits = size - 1
+                for v in ch.data_vcs:
+                    c = credits[v]
+                    if c > best_credits:
+                        best_credits = c
+                        best = v
+                if best >= 0:
+                    candidates.append((port, best))
         if not candidates:
             return None
-        port, vc = candidates[self.rng.randrange(len(candidates))] if len(candidates) > 1 else candidates[0]
+        port, vc = candidates[self._randrange(len(candidates))] if len(candidates) > 1 else candidates[0]
         return (port, vc, kind)
 
     # ------------------------------------------------------------------

@@ -40,18 +40,27 @@ class LoadPoint:
     global_misroute_rate: float  # nonminimal global hops per ejected packet
 
     def as_row(self) -> dict:
-        """Flat dict for CSV/markdown emission."""
+        """Flat dict for CSV/markdown emission.
+
+        Per-packet averages of an empty measurement window are NaN (see
+        :meth:`Metrics.load_point`); they are emitted as None so CSV and
+        markdown render an empty cell instead of a misleading 0.0.
+        """
+
+        def cell(value: float, digits: int):
+            return None if value != value else round(value, digits)  # NaN-safe
+
         return {
             "load": round(self.offered_load, 4),
             "throughput": round(self.throughput, 4),
-            "latency": round(self.avg_latency, 1),
-            "net_latency": round(self.avg_network_latency, 1),
-            "hops": round(self.avg_hops, 2),
+            "latency": cell(self.avg_latency, 1),
+            "net_latency": cell(self.avg_network_latency, 1),
+            "hops": cell(self.avg_hops, 2),
             "p50": round(self.p50_latency, 1),
             "p99": round(self.p99_latency, 1),
-            "ring_frac": round(self.ring_fraction, 4),
-            "mis_local": round(self.local_misroute_rate, 3),
-            "mis_global": round(self.global_misroute_rate, 3),
+            "ring_frac": cell(self.ring_fraction, 4),
+            "mis_local": cell(self.local_misroute_rate, 3),
+            "mis_global": cell(self.global_misroute_rate, 3),
             "packets": self.ejected_packets,
         }
 
@@ -164,9 +173,15 @@ class Metrics:
         return (max(self.latency_histogram) + 1) * self.histogram_bucket
 
     def load_point(self, offered_load: float, cycle: int) -> LoadPoint:
-        """Summarize the window that started at the last reset."""
+        """Summarize the window that started at the last reset.
+
+        An empty measurement window (no ejections) has no meaningful
+        per-packet averages: they are reported as NaN so downstream
+        consumers can tell "nothing measured" apart from a real zero.
+        Throughput stays 0.0 — zero accepted phits is a real zero.
+        """
         window = max(1, cycle - self.window_start)
-        n = max(1, self.ejected_packets)
+        n = self.ejected_packets if self.ejected_packets > 0 else float("nan")
         return LoadPoint(
             offered_load=offered_load,
             throughput=self.ejected_phits / (self.num_nodes * window),

@@ -24,10 +24,27 @@ def _point(task: tuple[SimulationConfig, str, float, int, int]) -> LoadPoint:
     return run_steady_state(config, pattern, load, warmup, measure)
 
 
+def available_cpus() -> int:
+    """CPUs actually available to this process.
+
+    ``os.cpu_count()`` reports the machine's CPUs even when a cgroup /
+    container / taskset limit grants far fewer, which oversubscribes CI
+    runners; prefer the scheduling affinity mask where the platform has
+    one (Linux), falling back to ``cpu_count`` elsewhere (macOS).
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 2
+
+
 def default_workers() -> int:
-    """Half the CPUs, at least 1 — simulations are memory-light but the
-    harness usually runs other things too."""
-    return max(1, (os.cpu_count() or 2) // 2)
+    """Half the available CPUs, at least 1 — simulations are memory-light
+    but the harness usually runs other things too."""
+    return max(1, available_cpus() // 2)
 
 
 def run_load_sweep_parallel(

@@ -146,7 +146,10 @@ def run_burst(
     sim.generator = BurstTraffic(pattern, packets_per_node, topo.num_nodes)
     completion = sim.run_until_drained(max_cycles)
     m = sim.metrics
-    n = max(1, m.ejected_packets)
+    # NaN, not 0.0, when nothing was ejected — same empty-window rule as
+    # Metrics.load_point (a burst always ejects, but keep the emitters
+    # honest).
+    n = m.ejected_packets if m.ejected_packets > 0 else float("nan")
     return BurstResult(
         completion_cycle=completion,
         total_packets=m.ejected_packets,

@@ -22,6 +22,7 @@ simulator):
 from __future__ import annotations
 
 import random
+from bisect import insort
 from collections import deque
 
 from repro.engine.config import SimulationConfig
@@ -29,6 +30,7 @@ from repro.engine.metrics import Metrics
 from repro.network.network import Network
 from repro.network.packet import Packet
 from repro.routing import make_routing
+from repro.routing.base import RoutingAlgorithm
 from repro.traffic.generators import TrafficGenerator
 
 
@@ -67,12 +69,23 @@ class Simulator:
         self.generator = generator
         self.cycle = 0
         self._pid = 0
-        num_nodes = self.network.topo.num_nodes
+        topo = self.network.topo
+        num_nodes = topo.num_nodes
+        # node -> attached router / group tables (packet-header fills).
+        self._node_router = [topo.node_router(n) for n in range(num_nodes)]
+        self._node_group = [topo.node_group(n) for n in range(num_nodes)]
         self._source_queues: list[deque[Packet]] = [deque() for _ in range(num_nodes)]
         self._node_busy = [0] * num_nodes
+        # Nodes with a non-empty source queue.  ``_active_order`` is the
+        # same membership kept incrementally sorted (bisect insertion)
+        # so the injection sweep never re-sorts the set per cycle.
         self._active_nodes: set[int] = set()
+        self._active_order: list[int] = []
         self._progress_marker = -1
         self._progress_cycle = 0
+        # Whether the routing algorithm has a real per-cycle tick (only
+        # PB broadcasts); skipping the no-op saves a call per cycle.
+        self._routing_ticks = type(self.routing).tick is not RoutingAlgorithm.tick
         # Total packets created (≥ injected: source queues buffer excess).
         self.created_packets = 0
 
@@ -83,24 +96,28 @@ class Simulator:
         """Queue a new packet at node ``src`` (used by generators and tests)."""
         if src == dst:
             raise ValueError("source and destination nodes must differ")
-        topo = self.network.topo
         if cycle is None:
             cycle = self.cycle
+        node_router = self._node_router
+        node_group = self._node_group
         pkt = Packet(
-            pid=self._pid,
-            src=src,
-            dst=dst,
-            size=self.config.packet_size,
-            created_cycle=cycle,
-            dst_router=topo.node_router(dst),
-            dst_group=topo.node_group(dst),
-            src_group=topo.node_group(src),
+            self._pid,
+            src,
+            dst,
+            self.config.packet_size,
+            cycle,
+            node_router[dst],
+            node_group[dst],
+            node_group[src],
         )
         self._pid += 1
         self._source_queues[src].append(pkt)
-        self._active_nodes.add(src)
+        active = self._active_nodes
+        if src not in active:
+            active.add(src)
+            insort(self._active_order, src)
         self.created_packets += 1
-        self.metrics.on_generate()
+        self.metrics.generated_packets += 1  # Metrics.on_generate(1)
         return pkt
 
     def _inject(self, cycle: int) -> None:
@@ -108,25 +125,38 @@ class Simulator:
         done: list[int] = []
         busy = self._node_busy
         queues = self._source_queues
-        network = self.network
-        routing = self.routing
+        try_inject = self.network.try_inject
+        # Skip the injection-time hook entirely for algorithms that do
+        # not override the base no-op (MIN, OFAR): one call per node per
+        # cycle adds up.
+        on_inject = (
+            self.routing.on_inject
+            if type(self.routing).on_inject is not RoutingAlgorithm.on_inject
+            else None
+        )
+        metrics = self.metrics
         size = self.config.packet_size
-        for node in sorted(self._active_nodes):
+        for node in self._active_order:
             if busy[node] > cycle:
                 continue
             queue = queues[node]
             pkt = queue[0]
             # The injection-time decision (VAL/UGAL/PB) is re-taken on
             # every attempt so it sees current queue state.
-            routing.on_inject(pkt)
-            if network.try_inject(pkt, cycle):
+            if on_inject is not None:
+                on_inject(pkt)
+            if try_inject(pkt, cycle):
                 queue.popleft()
                 busy[node] = cycle + size
-                self.metrics.on_inject(pkt)
+                metrics.injected_packets += 1  # Metrics.on_inject
                 if not queue:
                     done.append(node)
-        for node in done:
-            self._active_nodes.discard(node)
+        if done:
+            active = self._active_nodes
+            order = self._active_order
+            for node in done:
+                active.discard(node)
+                order.remove(node)
 
     # ------------------------------------------------------------------
     # Main loop
@@ -137,15 +167,24 @@ class Simulator:
         network = self.network
         network.process_events(cycle)
         routing = self.routing
-        routing.tick(cycle)
+        if self._routing_ticks:
+            routing.tick(cycle)
         if self.generator is not None:
             for src, dst in self.generator.packets_for_cycle(cycle):
                 self.create_packet(src, dst, cycle)
-        if self._active_nodes:
+        if self._active_order:
             self._inject(cycle)
-        for rt in network.routers:
-            if rt.pending:
-                rt.allocate(cycle, routing, network)
+        # Active-set allocation sweep: only routers holding a head
+        # packet, in router-id order (a snapshot — grants may drain a
+        # router out of the set mid-sweep).  Routers whose heads are all
+        # behind busy read slots go to sleep until the earliest release.
+        routers = network.routers
+        maybe_sleep = network.maybe_sleep_router
+        for rid in tuple(network._active_routers):
+            rt = routers[rid]
+            rt.allocate(cycle, routing, network)
+            if rt.scheduled:
+                maybe_sleep(rt, cycle)
         # Progress watchdog.
         marker = network.movements + network.injected_packets + network.ejected_packets
         if marker != self._progress_marker:
@@ -169,7 +208,9 @@ class Simulator:
 
     def run_until_drained(self, max_cycles: int) -> int:
         """Run until the generator (if any) finishes and every created
-        packet is ejected; returns the cycle of the last ejection.
+        packet is ejected; returns the cycle of the last ejection
+        (``network.last_eject_cycle``; -1 when nothing was ever ejected,
+        e.g. on a fresh simulator that is already drained).
 
         Endless generators (steady Bernoulli) never finish: the run hits
         ``max_cycles`` and raises :class:`TimeoutError`.
@@ -188,7 +229,10 @@ class Simulator:
                     f"after {max_cycles} cycles"
                 )
             self.step()
-        completion = self.cycle - 1
+        # The actual last-ejection cycle — NOT ``self.cycle - 1``, which
+        # would be stale (or -1) when the network was already drained on
+        # entry and the loop body never ran.
+        completion = self.network.last_eject_cycle
         # Flush in-flight credit returns so the network is fully settled
         # (every credit counter back at capacity).
         while self.network.has_pending_events() and self.cycle < deadline:

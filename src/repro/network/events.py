@@ -1,0 +1,86 @@
+"""The event wheel: O(1) scheduling for the single-cycle simulator.
+
+A *hashed* timing wheel with a lazy min-heap index, in the style of the
+schedulers used by BookSim/SST-class network simulators.  Buckets are
+keyed by absolute cycle in a hash table (one probe + one append per
+event — no per-slot ring arithmetic in the interpreter), and a heap of
+bucket cycles answers next-event queries in O(log buckets) instead of
+sorting every distinct cycle.  The heap is lazy: a cycle is pushed once
+when its bucket is created and discarded on query when its bucket is
+gone, so ``schedule``/``pop_due`` stay amortized O(1) per event.
+
+Behavioral contract (relied on for bit-for-bit reproducibility):
+
+- :meth:`pop_due` returns exactly the events scheduled for the queried
+  cycle, **in schedule order** (FIFO within a cycle);
+- events for cycles that were never queried stay pending, exactly like
+  the plain ``dict[int, list]`` wheel this structure replaced.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Iterator
+
+
+class EventWheel:
+    """Per-cycle event buckets with a lazy heap for next-event queries."""
+
+    __slots__ = ("_buckets", "_heap", "_len")
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, list] = {}
+        # Min-heap of bucket cycles; may hold stale entries for buckets
+        # already popped (dropped lazily by next_cycle()).
+        self._heap: list[int] = []
+        self._len = 0
+
+    # ------------------------------------------------------------------
+    def schedule(self, cycle: int, event) -> None:
+        """Queue ``event`` for :meth:`pop_due` at ``cycle``."""
+        bucket = self._buckets.get(cycle)
+        if bucket is None:
+            self._buckets[cycle] = [event]
+            heappush(self._heap, cycle)
+        else:
+            bucket.append(event)
+        self._len += 1
+
+    def pop_due(self, cycle: int) -> list | None:
+        """Remove and return the events scheduled for exactly ``cycle``
+        in schedule order, or None when there are none."""
+        events = self._buckets.pop(cycle, None)
+        if events is not None:
+            self._len -= len(events)
+        return events
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    def next_cycle(self) -> int | None:
+        """Earliest cycle holding an event, or None when empty.
+
+        Amortized O(log buckets): stale heap heads (buckets popped by
+        :meth:`pop_due`) are discarded as they surface.
+        """
+        heap = self._heap
+        buckets = self._buckets
+        while heap:
+            cycle = heap[0]
+            if cycle in buckets:
+                return cycle
+            heappop(heap)
+        return None
+
+    def pending_cycles(self) -> list[int]:
+        """Sorted cycles that still hold events (diagnostics/tests)."""
+        return sorted(self._buckets)
+
+    def iter_events(self) -> Iterator:
+        """All pending events, in no particular order (diagnostics)."""
+        for bucket in self._buckets.values():
+            yield from bucket

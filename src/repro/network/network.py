@@ -15,6 +15,8 @@ adds traffic injection, metrics and the warm-up/measurement protocol.
 
 from __future__ import annotations
 
+from bisect import insort
+from heapq import heappush
 from typing import Callable
 
 from repro.engine.config import (
@@ -23,8 +25,13 @@ from repro.engine.config import (
     ESCAPE_PHYSICAL,
     SimulationConfig,
 )
+from repro.network.events import EventWheel
 from repro.network.packet import Packet
 from repro.network.router import (
+    CODE_GLOBAL,
+    CODE_LOCAL,
+    CODE_NODE,
+    CODE_RING,
     KIND_MIS_GLOBAL,
     KIND_MIS_LOCAL,
     KIND_RING_ENTER,
@@ -43,6 +50,12 @@ _EJECT_CAPACITY = 1 << 40
 _EV_ARRIVAL = 0
 _EV_CREDIT = 1
 _EV_EJECT = 2
+# Timed re-arm of a sleeping router: ``(_EV_WAKE, router)``.  Scheduled
+# when every pending head of a router sits behind a busy read slot — the
+# router cannot possibly grant before the earliest slot release, so the
+# allocation sweep skips it until then (skipping a provably zero-grant
+# allocate is invisible: it mutates nothing and consumes no rng).
+_EV_WAKE = 3
 
 
 class Network:
@@ -72,7 +85,15 @@ class Network:
         self.ring_of_channel: dict[tuple[int, int], int] = {}
         # Rings currently refusing new entries (fault-tolerance demos).
         self.disabled_rings: set[int] = set()
-        self._events: dict[int, list[tuple]] = {}
+        # Hashed event wheel: per-cycle FIFO buckets plus a lazy heap
+        # for next-event queries (see repro.network.events).
+        self._events = EventWheel()
+        # Active-set scheduling: router ids with non-empty ``pending``,
+        # kept sorted so the simulator allocates in router-id order
+        # without scanning every router each cycle.  Routers register
+        # here when they gain a head packet (arrival or injection) and
+        # leave when their last buffered packet departs.
+        self._active_routers: list[int] = []
         # Conservation / progress counters.
         self.injected_packets = 0
         self.ejected_packets = 0
@@ -80,13 +101,43 @@ class Network:
         self.ejected_phits = 0
         self.in_flight_packets = 0  # scheduled arrivals not yet delivered
         self.movements = 0  # grants executed (progress watchdog)
+        self.last_eject_cycle = -1  # cycle of the most recent ejection
         self.ring_entries = 0
         self.ring_moves = 0
         self.local_misroutes = 0
         self.global_misroutes = 0
         # Hook invoked as on_eject(packet, eject_cycle).
         self.on_eject: Callable[[Packet, int], None] | None = None
+        # Hot-path constants hoisted from the (frozen) config, plus the
+        # node -> (router, port) attachment tables.
+        self._packet_size = config.packet_size
+        topo = self.topo
+        self._node_router_tab = [topo.node_router(n) for n in range(topo.num_nodes)]
+        self._node_port_tab = [topo.node_port(n) for n in range(topo.num_nodes)]
         self._build()
+        # Precompute the credit-return descriptor per input port:
+        # (upstream output channel, reverse-channel latency).  Holding
+        # the channel object directly lets the event loop skip the
+        # routers[rid].out[port] index chain per credit.
+        for rt in self.routers:
+            rt.up_credit = [
+                None
+                if up is None
+                else (self.routers[up[0]].out[up[1]], self.routers[up[0]].out[up[1]].latency)
+                for up in rt.upstream
+            ]
+        # Destination-side views per inter-router channel: the receiving
+        # Router, its per-VC input buffers and the (port, vc) pending
+        # keys (shared tuples — arrival processing reuses them instead
+        # of allocating a fresh tuple per packet).
+        for rt in self.routers:
+            for ch in rt.out:
+                if ch is None or ch.dest_router < 0:
+                    continue
+                dest = self.routers[ch.dest_router]
+                ch.dest_rt = dest
+                ch.dest_bufs = dest.in_bufs[ch.dest_port]
+                ch.dest_keys = [(ch.dest_port, v) for v in range(ch.num_vcs)]
 
     # ------------------------------------------------------------------
     # Construction
@@ -307,47 +358,160 @@ class Network:
         ]
 
     # ------------------------------------------------------------------
+    # Active-set router scheduling
+    # ------------------------------------------------------------------
+    def _activate_router(self, rt: Router) -> None:
+        """Register ``rt`` on the pending set (it gained a head packet)."""
+        if not rt.scheduled:
+            rt.scheduled = True
+            insort(self._active_routers, rt.rid)
+
+    def _deactivate_router(self, rt: Router) -> None:
+        """Drop ``rt`` from the pending set once it has no buffered work."""
+        if rt.scheduled:
+            rt.scheduled = False
+            self._active_routers.remove(rt.rid)
+
+    def wake_router(self, rt: Router) -> None:
+        """Public registration hook: put ``rt`` on the pending set.
+
+        Normal traffic never needs this — injection, arrivals and wake
+        events all register routers internally.  It exists for code
+        (white-box tests, fault-injection harnesses) that places packets
+        directly into input buffers and then drives the main loop: the
+        active-set sweep only visits registered routers.
+        """
+        self._activate_router(rt)
+
+    def maybe_sleep_router(self, rt: Router, cycle: int) -> None:
+        """Deschedule ``rt`` until its earliest read-slot release when
+        every pending head sits behind a busy read port.
+
+        During packet serialization (``packet_size`` cycles per
+        transfer) a single-head router is re-polled every cycle only to
+        find its read slot busy; such an allocate call is provably a
+        zero-grant no-op (it mutates nothing and consumes no rng), so
+        skipping the router is bit-for-bit invisible.  A timed
+        ``_EV_WAKE`` event re-arms it at the earliest release cycle;
+        packet arrivals re-arm it earlier through the event loop.  Only
+        the classic single-read-slot router is descheduled — multi-read
+        configurations keep polling.
+        """
+        if rt.read_ports != 1 or not rt.scheduled:
+            return
+        pending = rt.pending
+        if not pending:
+            return
+        in_busy = rt.in_busy
+        wake = -1
+        for p, _v in pending:
+            b = in_busy[p][0]
+            if b <= cycle:
+                return  # a head can still move this window: keep polling
+            if wake < 0 or b < wake:
+                wake = b
+        rt.scheduled = False
+        self._active_routers.remove(rt.rid)
+        self._events.schedule(wake, (_EV_WAKE, rt))
+
+    def active_router_ids(self) -> tuple[int, ...]:
+        """Snapshot of routers with pending head packets, in id order.
+
+        The simulator's allocation sweep iterates this instead of every
+        router; the snapshot keeps the sweep stable while grants remove
+        drained routers from the underlying set.
+        """
+        return tuple(self._active_routers)
+
+    # ------------------------------------------------------------------
     # Event wheel
     # ------------------------------------------------------------------
     def schedule(self, cycle: int, event: tuple) -> None:
-        """Queue an event for processing at ``cycle``."""
-        self._events.setdefault(cycle, []).append(event)
+        """Queue an event for processing at ``cycle``.
+
+        Takes the id-based public shapes ``(_EV_ARRIVAL, rid, port, vc,
+        pkt)`` / ``(_EV_CREDIT, rid, port, vc, amount)`` / ``(_EV_EJECT,
+        pkt, cycle)`` and translates them to the object-reference shapes
+        the event loop consumes internally (the hot producers build
+        those directly; this entry point serves tests and tools).
+        """
+        tag = event[0]
+        if tag == _EV_ARRIVAL:
+            _, rid, port, vc, pkt = event
+            rt = self.routers[rid]
+            event = (tag, rt, rt.in_bufs[port][vc], (port, vc), pkt)
+        elif tag == _EV_CREDIT:
+            _, rid, port, vc, amount = event
+            event = (tag, self.routers[rid].out[port], vc, amount)
+        self._events.schedule(cycle, event)
 
     def process_events(self, cycle: int) -> None:
         """Deliver all events due this cycle (arrivals, credits, ejections)."""
-        events = self._events.pop(cycle, None)
+        events = self._events.pop_due(cycle)
         if not events:
             return
-        routers = self.routers
+        active_routers = self._active_routers
+        ev_arrival = _EV_ARRIVAL
+        ev_credit = _EV_CREDIT
+        on_eject = self.on_eject
+        # Counter updates are accumulated locally and written back once
+        # after the loop (dozens of self-attribute writes per cycle
+        # otherwise).
+        arrivals = 0
+        ejected = 0
+        ejected_phits = 0
+        last_eject = -1
         for ev in events:
             tag = ev[0]
-            if tag == _EV_ARRIVAL:
-                _, rid, port, vc, pkt = ev
-                rt = routers[rid]
+            if tag == ev_arrival:
+                _, rt, buf, key, pkt = ev
                 if pkt.intermediate_group == rt.group:
                     pkt.intermediate_group = -1  # Valiant phase complete
-                rt.in_bufs[port][vc].push(pkt)
-                rt.pending.add((port, vc))
-                self.in_flight_packets -= 1
-            elif tag == _EV_CREDIT:
-                _, rid, port, vc, amount = ev
-                ch = routers[rid].out[port]
-                ch.credits[vc] += amount
-                if ch.credits[vc] > ch.capacity:
+                occupancy = buf.occupancy + pkt.size  # Buffer.push, inlined
+                if occupancy > buf.capacity:
                     raise AssertionError(
-                        f"credit overflow on router {rid} port {port} vc {vc}"
+                        f"buffer overflow: {occupancy}/{buf.capacity} phits "
+                        "— credit accounting broke"
                     )
-            else:  # _EV_EJECT
+                buf.occupancy = occupancy
+                buf._fifo.append(pkt)
+                if not rt.scheduled:
+                    rt.scheduled = True
+                    insort(active_routers, rt.rid)
+                rt.pending.add(key)
+                arrivals += 1
+            elif tag == ev_credit:
+                _, ch, vc, amount = ev
+                credits = ch.credits
+                total = credits[vc] + amount
+                credits[vc] = total
+                if total > ch.capacity:
+                    raise AssertionError(
+                        f"credit overflow on port {ch.port} vc {vc}"
+                    )
+            elif tag == _EV_EJECT:
                 _, pkt, eject_cycle = ev
                 pkt.ejected_cycle = eject_cycle
-                self.ejected_packets += 1
-                self.ejected_phits += pkt.size
-                if self.on_eject is not None:
-                    self.on_eject(pkt, eject_cycle)
+                ejected += 1
+                ejected_phits += pkt.size
+                last_eject = eject_cycle
+                if on_eject is not None:
+                    on_eject(pkt, eject_cycle)
+            else:  # _EV_WAKE: timed re-arm of a slot-blocked router
+                rt = ev[1]
+                if rt.pending and not rt.scheduled:
+                    rt.scheduled = True
+                    insort(active_routers, rt.rid)
+        if arrivals:
+            self.in_flight_packets -= arrivals
+        if ejected:
+            self.ejected_packets += ejected
+            self.ejected_phits += ejected_phits
+            self.last_eject_cycle = last_eject
 
     def pending_event_cycles(self) -> list[int]:
         """Cycles that still have scheduled events (diagnostics/tests)."""
-        return sorted(self._events)
+        return self._events.pending_cycles()
 
     def has_pending_events(self) -> bool:
         """Whether any arrivals/credits/ejections are still scheduled."""
@@ -366,73 +530,115 @@ class Network:
         kind: int,
         cycle: int,
     ) -> Packet:
-        """Move the head packet of (in_port, in_vc) through the crossbar."""
-        size = self.config.packet_size
+        """Move the head packet of (in_port, in_vc) through the crossbar.
+
+        This runs once per grant — the second-hottest function of the
+        engine after the allocator — so the buffer pop, read-slot claim
+        and pending bookkeeping are inlined (same behavior as the
+        Buffer/Router helpers they mirror).
+        """
+        size = self._packet_size
+        wheel = self._events
         buf = rt.in_bufs[in_port][in_vc]
-        pkt = buf.pop()
+        fifo = buf._fifo
+        pkt = fifo.popleft()
+        buf.occupancy -= pkt.size
         pkt.head_cycle = -1  # head-wait clock restarts at the next buffer
-        if not buf:
-            rt.pending.discard((in_port, in_vc))
+        if not fifo:
+            pending = rt.pending
+            pending.discard((in_port, in_vc))
+            if not pending and rt.scheduled:
+                rt.scheduled = False
+                self._active_routers.remove(rt.rid)
         # Return credits upstream once the tail leaves this buffer and
-        # the credit signal crosses the reverse channel.
-        up = rt.upstream[in_port]
+        # the credit signal crosses the reverse channel.  Events are
+        # bucketed straight into the wheel's hash table here (the two
+        # schedules per grant are the engine's hottest event source);
+        # semantics are exactly EventWheel.schedule's.
+        buckets = wheel._buckets
+        up = rt.up_credit[in_port]
         if up is not None:
-            urid, uport = up
-            latency = self.routers[urid].out[uport].latency
-            self.schedule(cycle + size + latency, (_EV_CREDIT, urid, uport, in_vc, size))
+            up_ch, latency = up
+            due = cycle + size + latency
+            bucket = buckets.get(due)
+            if bucket is None:
+                buckets[due] = [(_EV_CREDIT, up_ch, in_vc, size)]
+                heappush(wheel._heap, due)
+            else:
+                bucket.append((_EV_CREDIT, up_ch, in_vc, size))
+            wheel._len += 1
         ch = rt.out[out_port]
         ch.busy_until = cycle + size
-        rt.occupy_read_slot(in_port, cycle)
-        ch.credits[out_vc] -= size
-        if ch.credits[out_vc] < 0:
+        if rt.read_ports == 1:
+            rt.in_busy[in_port][0] = cycle + size
+        else:
+            rt.occupy_read_slot(in_port, cycle)
+        credits = ch.credits
+        remaining = credits[out_vc] - size
+        credits[out_vc] = remaining
+        if remaining < 0:
             raise AssertionError(
                 f"credit underflow on router {rt.rid} port {out_port} vc {out_vc}"
             )
         ch.sent_phits += size
-        # Header/state updates.
-        if kind == KIND_MIS_LOCAL:
-            pkt.local_misroute_group = rt.group
-            pkt.misroutes_local += 1
-            self.local_misroutes += 1
-        elif kind == KIND_MIS_GLOBAL:
-            pkt.global_misrouted = True
-            pkt.misroutes_global += 1
-            self.global_misroutes += 1
-        elif kind == KIND_RING_ENTER:
-            pkt.on_ring = True
-            pkt.used_ring = True
-            pkt.ring_id = self.ring_of_channel[(rt.rid, out_port)]
-            self.ring_entries += 1
-        elif kind == KIND_RING_MOVE:
-            self.ring_moves += 1
-        elif kind == KIND_RING_EXIT:
-            pkt.on_ring = False
-            pkt.ring_id = -1
-            pkt.ring_exits += 1
-        # Hop accounting.
+        # Header/state updates and hop accounting.  Minimal grants
+        # (``kind`` 0, the vast majority) skip the whole chain with a
+        # single truthiness test.
         pkt.hops += 1
-        if kind in (KIND_RING_ENTER, KIND_RING_MOVE):
-            pkt.ring_hops += 1
-        elif ch.kind is PortKind.LOCAL:
+        kind_code = ch.kind_code
+        if kind:
+            if kind == KIND_MIS_LOCAL:
+                pkt.local_misroute_group = rt.group
+                pkt.misroutes_local += 1
+                self.local_misroutes += 1
+            elif kind == KIND_MIS_GLOBAL:
+                pkt.global_misrouted = True
+                pkt.misroutes_global += 1
+                self.global_misroutes += 1
+            elif kind == KIND_RING_ENTER:
+                pkt.on_ring = True
+                pkt.used_ring = True
+                pkt.ring_id = self.ring_of_channel[(rt.rid, out_port)]
+                self.ring_entries += 1
+            elif kind == KIND_RING_MOVE:
+                self.ring_moves += 1
+            elif kind == KIND_RING_EXIT:
+                pkt.on_ring = False
+                pkt.ring_id = -1
+                pkt.ring_exits += 1
+            if kind == KIND_RING_ENTER or kind == KIND_RING_MOVE:
+                pkt.ring_hops += 1
+            elif kind_code == CODE_LOCAL:
+                pkt.local_hops += 1
+            elif kind_code == CODE_GLOBAL:
+                pkt.global_hops += 1
+            elif kind_code == CODE_RING:
+                pkt.ring_hops += 1
+        elif kind_code == CODE_LOCAL:
             pkt.local_hops += 1
-        elif ch.kind is PortKind.GLOBAL:
+        elif kind_code == CODE_GLOBAL:
             pkt.global_hops += 1
-        elif ch.kind is PortKind.RING:
+        elif kind_code == CODE_RING:
             pkt.ring_hops += 1
         # Departure.
-        if ch.kind is PortKind.NODE:
+        if kind_code == CODE_NODE:
             pkt.hops -= 1  # ejection is not a router-to-router hop
             if pkt.on_ring:
                 pkt.on_ring = False  # final ring exit at the destination
                 pkt.ring_id = -1
-            eject_cycle = cycle + ch.latency + size
-            self.schedule(eject_cycle, (_EV_EJECT, pkt, eject_cycle))
+            due = cycle + ch.latency + size
+            event = (_EV_EJECT, pkt, due)
         else:
             self.in_flight_packets += 1
-            self.schedule(
-                cycle + ch.latency + size,
-                (_EV_ARRIVAL, ch.dest_router, ch.dest_port, out_vc, pkt),
-            )
+            due = cycle + ch.latency + size
+            event = (_EV_ARRIVAL, ch.dest_rt, ch.dest_bufs[out_vc], ch.dest_keys[out_vc], pkt)
+        bucket = buckets.get(due)
+        if bucket is None:
+            buckets[due] = [event]
+            heappush(wheel._heap, due)
+        else:
+            bucket.append(event)
+        wheel._len += 1
         self.movements += 1
         return pkt
 
@@ -445,25 +651,31 @@ class Network:
         Chooses the injection VC with the most free space; returns False
         when no VC can hold the whole packet (the node retries later).
         """
-        topo = self.topo
-        rid = topo.node_router(pkt.src)
-        port = topo.node_port(pkt.src)
+        src = pkt.src
+        rid = self._node_router_tab[src]
+        port = self._node_port_tab[src]
         rt = self.routers[rid]
-        if self.config.congestion_control and self.router_occupancy(rt, cycle) > (
-            self.config.congestion_threshold
+        # Read the threshold from config at call time: tests flip
+        # ``network.config`` mid-run to relax the restriction.
+        config = self.config
+        if config.congestion_control and self.router_occupancy(rt, cycle) > (
+            config.congestion_threshold
         ):
             return False  # injection restriction (§VII extension)
         bufs = rt.in_bufs[port]
         best_vc = -1
         best_free = pkt.size - 1
         for vc, buf in enumerate(bufs):
-            free = buf.free_phits()
+            free = buf.capacity - buf.occupancy
             if free > best_free:
                 best_free = free
                 best_vc = vc
         if best_vc < 0:
             return False
         bufs[best_vc].push(pkt)
+        if not rt.scheduled:
+            rt.scheduled = True
+            insort(self._active_routers, rid)
         rt.pending.add((port, best_vc))
         pkt.injected_cycle = cycle
         self.injected_packets += 1
@@ -502,7 +714,7 @@ class Network:
     def check_conservation(self) -> None:
         """Assert the packet conservation invariant (tests/debug)."""
         pending_ejects = sum(
-            1 for evs in self._events.values() for ev in evs if ev[0] == _EV_EJECT
+            1 for ev in self._events.iter_events() if ev[0] == _EV_EJECT
         )
         accounted = (
             self.ejected_packets

@@ -38,6 +38,19 @@ KIND_RING_ENTER = 3  # deflection into the escape ring (needs a bubble)
 KIND_RING_MOVE = 4  # advance along the escape ring
 KIND_RING_EXIT = 5  # leave the escape ring through a minimal output
 
+# OutputChannel.kind_code values (see OutputChannel.__init__).
+CODE_NODE = 0
+CODE_LOCAL = 1
+CODE_GLOBAL = 2
+CODE_RING = 3
+
+_KIND_CODES = {
+    PortKind.NODE: CODE_NODE,
+    PortKind.LOCAL: CODE_LOCAL,
+    PortKind.GLOBAL: CODE_GLOBAL,
+    PortKind.RING: CODE_RING,
+}
+
 KIND_NAMES = {
     KIND_MIN: "min",
     KIND_MIS_LOCAL: "misroute-local",
@@ -68,8 +81,16 @@ class OutputChannel:
         "credits",
         "busy_until",
         "ring_vc",
+        "kind_code",
         "data_vcs",
         "data_capacity",
+        "nd",
+        "dv0",
+        "dv1",
+        "dv2",
+        "dest_rt",
+        "dest_bufs",
+        "dest_keys",
         "sent_phits",
         "failed",
     )
@@ -88,6 +109,10 @@ class OutputChannel:
     ) -> None:
         self.port = port
         self.kind = kind
+        # Small-int mirror of ``kind`` (index into _KIND_CODES) for the
+        # grant executor's hot path — int compares beat enum identity
+        # chains there.
+        self.kind_code = _KIND_CODES[kind]
         self.latency = latency
         self.dest_router = dest_router
         self.dest_port = dest_port
@@ -101,7 +126,24 @@ class OutputChannel:
         # thresholds and VC selection must not consume escape resources.
         self.data_vcs = [v for v in range(num_vcs) if v != ring_vc]
         self.data_capacity = capacity * len(self.data_vcs)
+        # Unrolled mirrors of ``data_vcs`` for the routing hot path: the
+        # credit-sum and best-VC scans over 1-3 data VCs are executed
+        # hundreds of times per cycle, and indexing ``dv0``/``dv1``/
+        # ``dv2`` directly beats iterating the list.  ``nd`` is the
+        # data-VC count; unused slots hold -1.
+        dv = self.data_vcs
+        self.nd = len(dv)
+        self.dv0 = dv[0] if len(dv) > 0 else -1
+        self.dv1 = dv[1] if len(dv) > 1 else -1
+        self.dv2 = dv[2] if len(dv) > 2 else -1
         self.sent_phits = 0
+        # Destination-side views, wired by Network after construction
+        # for inter-router channels (None for ejection channels and
+        # stand-alone unit tests): the receiving Router, its per-VC
+        # input-buffer list and shared (port, vc) pending-key tuples.
+        self.dest_rt = None
+        self.dest_bufs = None
+        self.dest_keys = None
         # Fault injection (§VII reliability): a failed channel accepts
         # no transfers and reports full occupancy, so adaptive routing
         # steers around it.
@@ -117,10 +159,18 @@ class OutputChannel:
         """
         if self.failed or self.data_capacity == 0:
             return 1.0
-        free = 0
         credits = self.credits
-        for v in self.data_vcs:
-            free += credits[v]
+        nd = self.nd
+        if nd == 3:
+            free = credits[self.dv0] + credits[self.dv1] + credits[self.dv2]
+        elif nd == 2:
+            free = credits[self.dv0] + credits[self.dv1]
+        elif nd == 1:
+            free = credits[self.dv0]
+        else:
+            free = 0
+            for v in self.data_vcs:
+                free += credits[v]
         return 1.0 - free / self.data_capacity
 
     def best_data_vc(self, size: int) -> int:
@@ -133,9 +183,32 @@ class OutputChannel:
         """
         if self.failed:
             return -1
+        credits = self.credits
+        nd = self.nd
+        # Unrolled first-max scans (ties toward the earliest data VC,
+        # exactly like the generic loop below).
+        if nd == 3:
+            best = self.dv0
+            best_credits = credits[best]
+            c = credits[self.dv1]
+            if c > best_credits:
+                best_credits = c
+                best = self.dv1
+            c = credits[self.dv2]
+            if c > best_credits:
+                best_credits = c
+                best = self.dv2
+            return best if best_credits >= size else -1
+        if nd == 2:
+            c0 = credits[self.dv0]
+            c1 = credits[self.dv1]
+            if c1 > c0:
+                return self.dv1 if c1 >= size else -1
+            return self.dv0 if c0 >= size else -1
+        if nd == 1:
+            return self.dv0 if credits[self.dv0] >= size else -1
         best = -1
         best_credits = size - 1
-        credits = self.credits
         for v in self.data_vcs:
             c = credits[v]
             if c > best_credits:
@@ -159,10 +232,13 @@ class Router:
         "index",
         "in_bufs",
         "in_kind",
+        "in_kind_codes",
         "in_busy",
         "upstream",
+        "up_credit",
         "out",
         "pending",
+        "scheduled",
         "_in_arbiters",
         "_out_arbiters",
         "iterations",
@@ -190,6 +266,8 @@ class Router:
         self.read_ports = read_ports
         self.in_bufs: list[list[Buffer]] = []
         self.in_kind: list[PortKind] = []
+        # Small-int mirror (see _KIND_CODES) for hot-path comparisons.
+        self.in_kind_codes: list[int] = []
         # Per input port: busy-until time of each read slot.  A port can
         # start one transfer per free slot per cycle (§VIII multi-read-
         # port extension; the classic router has one slot).
@@ -197,8 +275,15 @@ class Router:
         # (upstream router id, upstream output port) per input port, or
         # None for injection and physical-ring-head ports handled elsewhere.
         self.upstream: list[tuple[int, int] | None] = []
+        # (upstream output channel, reverse latency) per input port,
+        # precomputed by the Network once wiring is complete (the grant
+        # executor's credit return needs both every transfer).
+        self.up_credit: list[tuple[OutputChannel, int] | None] = []
         self.out: list[OutputChannel | None] = []
         self.pending: set[tuple[int, int]] = set()
+        # Whether the network's active-set scheduler currently tracks
+        # this router (kept in lockstep with ``pending`` by Network).
+        self.scheduled = False
         self._in_arbiters: dict[int, LRSArbiter] = {}
         self._out_arbiters: dict[int, LRSArbiter] = {}
         self._claimed_out: set[int] = set()
@@ -220,6 +305,7 @@ class Router:
         port = len(self.in_bufs)
         self.in_bufs.append([Buffer(capacity) for _ in range(num_vcs)])
         self.in_kind.append(kind)
+        self.in_kind_codes.append(_KIND_CODES[kind])
         self.in_busy.append([0] * self.read_ports)
         self.upstream.append(upstream)
         return port
@@ -278,40 +364,194 @@ class Router:
         layer executes the transfer (credit bookkeeping, event
         scheduling, metric updates).
         """
-        if not self.pending:
+        pending = self.pending
+        if not pending:
             return 0
+        in_bufs = self.in_bufs
+        in_busy = self.in_busy
+        route = routing.route
+        iterations = self.iterations
+        single_read = self.read_ports == 1
+        if len(pending) == 1 and iterations > 0:
+            # Fast path: one waiting head packet means at most one grant
+            # and no arbitration, so the whole proposals/winners
+            # machinery reduces to a single route call.  (On iteration 2
+            # the matched pair would be skipped and the loop would break
+            # with no further requests — identical behavior.)
+            for key in pending:
+                break
+            in_port, in_vc = key
+            if single_read:
+                if in_busy[in_port][0] > cycle:
+                    return 0
+            elif self.free_read_slots(in_port, cycle) <= 0:
+                return 0
+            fifo = in_bufs[in_port][in_vc]._fifo
+            if not fifo:
+                return 0
+            req = route(self, in_port, in_vc, fifo[0], cycle)
+            if req is None:
+                return 0
+            network.execute_grant(self, in_port, in_vc, req[0], req[1], req[2], cycle)
+            return 1
         claimed_out = self._claimed_out
         matched_vc = self._matched_in  # (port, vc) pairs granted this cycle
         claimed_out.clear()
         matched_vc.clear()
-        in_bufs = self.in_bufs
+        execute_grant = network.execute_grant
         grants = 0
-        # Per-port read budget this cycle (multi-read-port extension:
-        # a port may launch one transfer per free read slot).
+        if single_read:
+            # Flattened allocator for the classic one-read-port router.
+            # Stage 1 collects all requests into a flat list while two
+            # int bitmasks watch for input (same in_port twice) and
+            # output (same out_port twice) collisions; when none occur —
+            # the overwhelmingly common case — every request wins its
+            # arbiter trivially and the grants execute in list order,
+            # which equals the winners-dict insertion order of the
+            # classic formulation (each in_port appears once, so
+            # first-appearance order is list order).  On a collision the
+            # iteration falls back to the exact proposals/winners/LRS
+            # machinery, rebuilt from the same list in the same order.
+            checked_ready = 0  # ports whose read slot was tested this cycle
+            ready = 0  # ports whose single read slot is free
+            reqs: list[tuple[int, int, int, int, int]] = []
+            for _ in range(iterations):
+                any_request = False
+                conflict = False
+                stalled = False
+                seen_in = 0
+                seen_out = 0
+                reqs.clear()
+                for key in pending:
+                    if key in matched_vc:
+                        continue
+                    in_port, in_vc = key
+                    bit = 1 << in_port
+                    if not checked_ready & bit:
+                        checked_ready |= bit
+                        if in_busy[in_port][0] <= cycle:
+                            ready |= bit
+                    if not ready & bit:
+                        continue
+                    fifo = in_bufs[in_port][in_vc]._fifo
+                    if not fifo:
+                        continue
+                    req = route(self, in_port, in_vc, fifo[0], cycle)
+                    if req is None:
+                        stalled = True
+                        continue
+                    any_request = True
+                    out_port, out_vc, kind = req
+                    reqs.append((in_port, in_vc, out_port, out_vc, kind))
+                    out_bit = 1 << out_port
+                    if seen_in & bit or seen_out & out_bit:
+                        conflict = True
+                    seen_in |= bit
+                    seen_out |= out_bit
+                if not any_request:
+                    break
+                if not conflict:
+                    for in_port, in_vc, out_port, out_vc, kind in reqs:
+                        claimed_out.add(out_port)
+                        matched_vc.add((in_port, in_vc))
+                        ready &= ~(1 << in_port)
+                        grants += 1
+                        execute_grant(self, in_port, in_vc, out_port, out_vc, kind, cycle)
+                    if stalled:
+                        # A stalled head may become routable after these
+                        # grants (e.g. a relative misroute threshold that
+                        # loosens as the minimal channel drains credits),
+                        # so the next iteration must re-ask it.
+                        continue
+                    # Every unmatched head was granted: the next
+                    # iteration could only walk matched / read-busy /
+                    # empty entries and break with no requests — skip it.
+                    break
+                # Collision: run the separable stages over the same
+                # requests (identical proposal order, arbiters, grants).
+                proposals: dict[int, list[tuple[int, int, int, int]]] = {}
+                for in_port, in_vc, out_port, out_vc, kind in reqs:
+                    entry = (in_vc, out_port, out_vc, kind)
+                    lst = proposals.get(in_port)
+                    if lst is None:
+                        proposals[in_port] = [entry]
+                    else:
+                        lst.append(entry)
+                winners: dict[int, list[tuple[int, int, int, int]]] = {}
+                for in_port, in_reqs in proposals.items():
+                    if len(in_reqs) == 1:
+                        pick = in_reqs[0]
+                    else:
+                        arb = self._in_arbiters.get(in_port)
+                        if arb is None:
+                            arb = self._in_arbiters[in_port] = LRSArbiter()
+                        vc_pick = arb.grant([r[0] for r in in_reqs])
+                        pick = next(r for r in in_reqs if r[0] == vc_pick)
+                    entry = (in_port, pick[0], pick[2], pick[3])
+                    lst = winners.get(pick[1])
+                    if lst is None:
+                        winners[pick[1]] = [entry]
+                    else:
+                        lst.append(entry)
+                for out_port, cands in winners.items():
+                    if out_port in claimed_out:
+                        continue
+                    if len(cands) == 1:
+                        in_port, in_vc, out_vc, kind = cands[0]
+                    else:
+                        arb = self._out_arbiters.get(out_port)
+                        if arb is None:
+                            arb = self._out_arbiters[out_port] = LRSArbiter()
+                        key = arb.grant([c[0] for c in cands])
+                        in_port, in_vc, out_vc, kind = next(
+                            c for c in cands if c[0] == key
+                        )
+                    claimed_out.add(out_port)
+                    matched_vc.add((in_port, in_vc))
+                    ready &= ~(1 << in_port)
+                    grants += 1
+                    execute_grant(self, in_port, in_vc, out_port, out_vc, kind, cycle)
+            claimed_out.clear()
+            matched_vc.clear()
+            return grants
+        # Multi-read-port general path (§VIII extension): per-port read
+        # budgets need counting, so keep the classic dict formulation.
+        # Per-port read budget this cycle (a port may launch one
+        # transfer per free read slot).
         reads_left: dict[int, int] = {}
-        for _ in range(self.iterations):
+        reads_get = reads_left.get
+        for _ in range(iterations):
             # Stage 1 — input arbitration: each input port with a free
             # read slot proposes at most one (vc, request) among its
             # head packets that found a usable output this iteration.
             proposals: dict[int, list[tuple[int, int, int, int]]] = {}
             any_request = False
-            for in_port, in_vc in self.pending:
-                if (in_port, in_vc) in matched_vc:
+            for key in pending:
+                if key in matched_vc:
                     continue
-                left = reads_left.get(in_port)
+                in_port, in_vc = key
+                left = reads_get(in_port)
                 if left is None:
-                    left = reads_left[in_port] = self.free_read_slots(in_port, cycle)
+                    if single_read:
+                        left = 1 if in_busy[in_port][0] <= cycle else 0
+                    else:
+                        left = self.free_read_slots(in_port, cycle)
+                    reads_left[in_port] = left
                 if left <= 0:
                     continue
-                buf = in_bufs[in_port][in_vc]
-                pkt = buf.head()
-                if pkt is None:
+                fifo = in_bufs[in_port][in_vc]._fifo
+                if not fifo:
                     continue
-                req = routing.route(self, in_port, in_vc, pkt, cycle)
+                req = route(self, in_port, in_vc, fifo[0], cycle)
                 if req is None:
                     continue
                 any_request = True
-                proposals.setdefault(in_port, []).append((in_vc, req[0], req[1], req[2]))
+                lst = proposals.get(in_port)
+                entry = (in_vc, req[0], req[1], req[2])
+                if lst is None:
+                    proposals[in_port] = [entry]
+                else:
+                    lst.append(entry)
             if not any_request:
                 break
             # Input stage: LRS among the requesting VCs of each port.
@@ -325,7 +565,12 @@ class Router:
                         arb = self._in_arbiters[in_port] = LRSArbiter()
                     vc_pick = arb.grant([r[0] for r in reqs])
                     pick = next(r for r in reqs if r[0] == vc_pick)
-                winners.setdefault(pick[1], []).append((in_port, pick[0], pick[2], pick[3]))
+                entry = (in_port, pick[0], pick[2], pick[3])
+                lst = winners.get(pick[1])
+                if lst is None:
+                    winners[pick[1]] = [entry]
+                else:
+                    lst.append(entry)
             # Stage 2 — output arbitration: LRS among proposing inputs.
             for out_port, cands in winners.items():
                 if out_port in claimed_out:
@@ -342,7 +587,7 @@ class Router:
                 matched_vc.add((in_port, in_vc))
                 reads_left[in_port] -= 1
                 grants += 1
-                network.execute_grant(self, in_port, in_vc, out_port, out_vc, kind, cycle)
+                execute_grant(self, in_port, in_vc, out_port, out_vc, kind, cycle)
         claimed_out.clear()
         matched_vc.clear()
         return grants

@@ -41,6 +41,12 @@ class RoutingAlgorithm(ABC):
         self.topo = network.topo
         self.config = network.config
         self.rng = rng
+        # Minimal-output memo tables: the topology oracle is a pure
+        # closed form, so (router, destination) pairs can be tabulated
+        # as they occur.  Keys are flattened ints (cheaper to hash than
+        # tuples on the allocator's hot path).
+        self._min_port_cache: dict[int, int] = {}
+        self._group_port_cache: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Hooks
@@ -70,13 +76,23 @@ class RoutingAlgorithm(ABC):
         the allocator re-asks on every iteration of every cycle.
         """
         ig = pkt.intermediate_group
-        if pkt.cache_rid == rt.rid and pkt.cache_ig == ig:
+        rid = rt.rid
+        if pkt.cache_rid == rid and pkt.cache_ig == ig:
             return pkt.cache_port
+        topo = self.topo
         if ig >= 0 and ig != rt.group:
-            port = self.topo.min_output_port_to_group(rt.rid, ig)
+            key = rid * topo.num_groups + ig
+            port = self._group_port_cache.get(key)
+            if port is None:
+                port = topo.min_output_port_to_group(rid, ig)
+                self._group_port_cache[key] = port
         else:
-            port = self.topo.min_output_port(rt.rid, pkt.dst)
-        pkt.cache_rid = rt.rid
+            key = rid * topo.num_nodes + pkt.dst
+            port = self._min_port_cache.get(key)
+            if port is None:
+                port = topo.min_output_port(rid, pkt.dst)
+                self._min_port_cache[key] = port
+        pkt.cache_rid = rid
         pkt.cache_ig = ig
         pkt.cache_port = port
         return port

@@ -18,6 +18,7 @@ def block_everything(sim, rt, pkt, port):
     """Starve all data outputs so only the ring remains."""
     rt.in_bufs[port][0].push(pkt)
     rt.pending.add((port, 0))
+    sim.network.wake_router(rt)  # manual plant bypasses try_inject
     up = rt.upstream[port]
     sim.network.routers[up[0]].out[up[1]].credits[0] -= pkt.size
     sim.network.injected_packets += 1

@@ -35,6 +35,7 @@ def plant(sim, rt, pkt, port=None, vc=0):
         port = sim.network.topo.local_port(rt.index, (rt.index + 1) % 2)
     rt.in_bufs[port][vc].push(pkt)
     rt.pending.add((port, vc))
+    sim.network.wake_router(rt)  # manual plant bypasses try_inject
     up = rt.upstream[port]
     if up is not None:
         urid, uport = up

@@ -23,6 +23,30 @@ class TestParallelSweep:
         for a, b in zip(seq, par):
             assert a == b  # LoadPoint is a plain dataclass: full equality
 
+    def test_matches_sequential_ofar_adversarial(self):
+        """Determinism regression for the active-set engine: the
+        adversarial OFAR path (misroute rng, escape ring, wake events)
+        must give bit-identical LoadPoints in workers and in-process."""
+        loads = [0.1, 0.35]
+        seq = run_load_sweep(cfg("ofar"), "ADV+2", loads, warmup=200, measure=200)
+        par = run_load_sweep_parallel(
+            cfg("ofar"), "ADV+2", loads, warmup=200, measure=200, workers=2
+        )
+        for a, b in zip(seq, par):
+            assert a == b
+
+    def test_matches_sequential_with_empty_window(self):
+        """NaN-bearing LoadPoints (zero-load window: no ejections) still
+        compare equal across sequential/parallel via as_row, where NaN
+        averages are normalized to None."""
+        seq = run_load_sweep(cfg(), "UN", [0.0], warmup=50, measure=50)
+        par = run_load_sweep_parallel(
+            cfg(), "UN", [0.0], warmup=50, measure=50, workers=2
+        )
+        assert seq[0].ejected_packets == 0  # the edge being pinned
+        assert seq[0].as_row() == par[0].as_row()
+        assert seq[0].as_row()["latency"] is None
+
     def test_order_preserved(self):
         loads = [0.3, 0.1, 0.2]
         pts = run_load_sweep_parallel(

@@ -111,6 +111,32 @@ class TestDraining:
         sim = make_sim()
         assert sim.run_until_drained(10) == sim.cycle - 1
 
+    def test_already_drained_returns_minus_one(self):
+        """A fresh simulator has no last ejection: the sentinel is -1,
+        not a stale ``cycle - 1`` that happens to coincide with it."""
+        sim = make_sim()
+        assert sim.run_until_drained(10) == -1
+        assert sim.cycle == 0  # the loop body never ran
+
+    def test_returns_exact_last_ejection_cycle(self):
+        """The return value is the cycle of the last ejection event —
+        not the cycle the loop noticed the network was empty."""
+        sim = make_sim()
+        pkts = [sim.create_packet(i, 71 - i) for i in range(4)]
+        end = sim.run_until_drained(100_000)
+        assert end == max(p.ejected_cycle for p in pkts)
+        assert end == sim.network.last_eject_cycle
+
+    def test_repeat_drain_keeps_completion_cycle(self):
+        """Draining an already-drained simulator reports the previous
+        completion cycle (credit flushing must not disturb it)."""
+        sim = make_sim()
+        sim.create_packet(3, 40)
+        first = sim.run_until_drained(100_000)
+        assert first > 0
+        assert sim.run_until_drained(100) == first
+        assert not sim.network.has_pending_events()
+
 
 class TestWatchdog:
     def test_deadlock_detected_when_routing_stalls(self):
