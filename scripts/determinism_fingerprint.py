@@ -12,13 +12,22 @@ bit-for-bit behavior-preserving::
     # ... apply the refactor ...
     PYTHONPATH=src python scripts/determinism_fingerprint.py > after.json
     diff before.json after.json
+
+``--orchestrated`` routes every steady-state point through a
+store-backed :class:`~repro.engine.orchestrator.Orchestrator` (process
+pool + content-addressed cache in a temp dir), runs the grid twice —
+fresh, then resumed entirely from cache — asserts the two passes agree,
+and emits the same document.  ``diff`` against a plain run must come
+back empty; that is the cache-hit/resume bit-identity check.
 """
 
 from __future__ import annotations
 
+import argparse
 import dataclasses
 import json
 import sys
+import tempfile
 
 from repro.engine.config import SimulationConfig
 from repro.engine.runner import run_burst, run_steady_state, run_transient
@@ -29,14 +38,35 @@ def _point_dict(pt) -> dict:
     return {k: repr(v) for k, v in dataclasses.asdict(pt).items()}
 
 
-def steady_grid() -> dict:
+def orchestrated_runner(store, workers: int = 2):
+    """A drop-in for ``run_steady_state`` that routes each point through
+    a store-backed orchestrator (worker processes + cache).
+
+    ``store`` is a :class:`~repro.analysis.store.ResultStore` or a
+    directory path for one.
+    """
+    from repro.analysis.store import ResultStore
+    from repro.engine.orchestrator import Orchestrator
+    from repro.engine.runspec import RunSpec
+
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    orch = Orchestrator(workers=workers, store=store, retries=0)
+
+    def run(config, pattern, load, warmup, measure):
+        return orch.run_points([RunSpec(config, pattern, load, warmup, measure)])[0]
+
+    return run
+
+
+def steady_grid(run=run_steady_state) -> dict:
     out = {}
     for routing in ("min", "val", "ugal", "pb", "par", "ofar", "ofar-l"):
         for pattern in ("UN", "ADV+1"):
             for load in (0.1, 0.35):
                 overrides = {"local_vcs": 4} if routing == "par" else {}
                 cfg = SimulationConfig.small(h=2, routing=routing, seed=7, **overrides)
-                pt = run_steady_state(cfg, pattern, load, warmup=300, measure=300)
+                pt = run(cfg, pattern, load, warmup=300, measure=300)
                 out[f"{routing}/{pattern}/{load}"] = _point_dict(pt)
     # A larger instance and the embedded-ring / multiring / read-port /
     # congestion-control variants, OFAR only.
@@ -52,7 +82,7 @@ def steady_grid() -> dict:
         ),
     }
     for name, cfg in variants.items():
-        pt = run_steady_state(cfg, "ADV+2", 0.3, warmup=300, measure=300)
+        pt = run(cfg, "ADV+2", 0.3, warmup=300, measure=300)
         out[f"variant/{name}"] = _point_dict(pt)
     return out
 
@@ -88,8 +118,34 @@ def drain_and_counters() -> dict:
     return out
 
 
-def main() -> None:
-    doc = {"steady": steady_grid(), "drain": drain_and_counters()}
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="emit the engine behavior fingerprint as JSON"
+    )
+    parser.add_argument(
+        "--orchestrated", action="store_true",
+        help="run the steady grid through a store-backed orchestrator, "
+             "twice (fresh + resumed from cache), asserting both passes "
+             "agree; the output must diff clean against a plain run",
+    )
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes in --orchestrated mode")
+    args = parser.parse_args(argv)
+
+    if args.orchestrated:
+        from repro.analysis.store import ResultStore
+
+        with tempfile.TemporaryDirectory() as tmp:
+            store = ResultStore(tmp)
+            fresh = steady_grid(run=orchestrated_runner(store, args.workers))
+            resumed = steady_grid(run=orchestrated_runner(store, args.workers))
+            if fresh != resumed:
+                sys.exit("resumed sweep diverged from the fresh orchestrated sweep")
+            steady = resumed
+    else:
+        steady = steady_grid()
+
+    doc = {"steady": steady, "drain": drain_and_counters()}
     json.dump(doc, sys.stdout, indent=1, sort_keys=True)
     sys.stdout.write("\n")
 

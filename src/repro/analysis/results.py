@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import csv
 import io
+import json
 from dataclasses import dataclass, field
 
 from repro.engine.metrics import LoadPoint
@@ -48,6 +49,32 @@ class Series:
             if p.avg_latency > latency_factor * base:
                 return p.offered_load
         return self.points[-1].offered_load
+
+    # ------------------------------------------------------------------
+    # Lossless JSON round-trip (result store, provenance files)
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> dict:
+        return {
+            "name": self.name,
+            "points": [p.to_jsonable() for p in self.points],
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "Series":
+        if not isinstance(data, dict) or set(data) != {"name", "points"}:
+            raise ValueError("Series JSON must be {name, points}")
+        return cls(
+            name=data["name"],
+            points=[LoadPoint.from_jsonable(p) for p in data["points"]],
+        )
+
+    def to_json(self) -> str:
+        """NaN-safe JSON (NaN averages of empty windows become null)."""
+        return json.dumps(self.to_jsonable(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Series":
+        return cls.from_jsonable(json.loads(text))
 
 
 @dataclass

@@ -1,0 +1,128 @@
+"""Content-addressed on-disk store of steady-state results.
+
+Every completed :class:`~repro.engine.runspec.RunSpec` point can be
+persisted as one JSON file keyed by the spec's
+:meth:`~repro.engine.runspec.RunSpec.fingerprint`.  Because the key is
+a content hash of the *complete* simulation input, the store doubles as
+
+- a **cache** — re-running a sweep (or an overlapping one) hits
+  existing entries instead of re-simulating, and the cached
+  :class:`~repro.engine.metrics.LoadPoint` is bit-identical to a fresh
+  run (the engine is deterministic in the spec; JSON round-trips Python
+  floats exactly);
+- a **checkpoint** — entries are written atomically the moment a point
+  completes, so a killed sweep resumes at the first missing fingerprint
+  with no separate checkpoint file to maintain.
+
+Layout::
+
+    <root>/objects/<fp[:2]>/<fp>.json
+
+Each entry records the full spec (provenance + corruption guard), the
+exact point, and bookkeeping metadata.  A corrupt, truncated, or
+foreign entry is treated as a miss — the point re-runs and the entry is
+overwritten — never as an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.engine.metrics import LoadPoint
+from repro.engine.runspec import RunSpec
+
+STORE_FORMAT = 1
+
+
+@dataclass
+class StoreStats:
+    """Read-side counters, for observability and tests."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0  # present but unreadable/foreign (counted as misses too)
+    writes: int = 0
+
+
+class ResultStore:
+    """Fingerprint-keyed store of (RunSpec -> LoadPoint) entries."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    def path_for(self, fingerprint: str) -> Path:
+        return self.root / "objects" / fingerprint[:2] / f"{fingerprint}.json"
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return self.path_for(spec.fingerprint()).exists()
+
+    def __len__(self) -> int:
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return 0
+        return sum(1 for _ in objects.glob("*/*.json"))
+
+    # ------------------------------------------------------------------
+    def get(self, spec: RunSpec) -> LoadPoint | None:
+        """Cached point for ``spec``, or None on any kind of miss.
+
+        Corruption tolerance is deliberate: a truncated file (killed
+        writer on a non-atomic filesystem), invalid JSON, a wrong
+        format version, or an entry whose recorded spec does not match
+        (hash collision, stale fingerprint scheme) all read as a miss,
+        so the point simply re-runs.
+        """
+        path = self.path_for(spec.fingerprint())
+        try:
+            text = path.read_text()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            entry = json.loads(text)
+            if entry["format"] != STORE_FORMAT:
+                raise ValueError(f"unknown store format {entry['format']!r}")
+            if entry["spec"] != spec.to_jsonable():
+                raise ValueError("stored spec does not match fingerprint")
+            point = LoadPoint.from_jsonable(entry["point"])
+        except (ValueError, KeyError, TypeError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return point
+
+    def put(self, spec: RunSpec, point: LoadPoint, wall_time: float | None = None) -> Path:
+        """Persist one completed point atomically (tmp file + rename)."""
+        fingerprint = spec.fingerprint()
+        path = self.path_for(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": STORE_FORMAT,
+            "fingerprint": fingerprint,
+            "spec": spec.to_jsonable(),
+            "point": point.to_jsonable(),
+            "wall_time": wall_time,
+            "created": time.time(),
+        }
+        blob = json.dumps(entry, indent=1, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                f.write(blob)
+            os.replace(tmp, path)  # atomic on POSIX: readers see old or new, never partial
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path

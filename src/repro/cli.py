@@ -31,8 +31,15 @@ from repro.analysis.bounds import (
 )
 from repro.analysis.results import Table
 from repro.engine.config import SimulationConfig
+from repro.engine.orchestrator import summarize
 from repro.engine.runner import run_burst, run_steady_state, run_transient
-from repro.experiments.common import get_scale
+from repro.engine.runspec import RunSpec
+from repro.experiments.common import (
+    get_scale,
+    orchestration,
+    orchestration_options,
+    orchestrator_from_args,
+)
 from repro.topology.dragonfly import Dragonfly
 
 
@@ -63,12 +70,29 @@ def cmd_info(args) -> None:
 def cmd_sweep(args) -> None:
     cfg = _config(args)
     loads = [float(x) for x in args.loads.split(",")]
+    specs = [
+        RunSpec(cfg, args.pattern, load, args.warmup, args.measure) for load in loads
+    ]
     table = Table(f"{args.routing} on {args.pattern} (h={cfg.h})")
-    points = []
-    for load in loads:
-        pt = run_steady_state(cfg, args.pattern, load, args.warmup, args.measure)
-        points.append(pt)
-        table.add_row(pt.as_row())
+    orchestrator = orchestrator_from_args(args)
+    if orchestrator is None:
+        points = [run_steady_state(cfg, args.pattern, load, args.warmup, args.measure)
+                  for load in loads]
+        for pt in points:
+            table.add_row(pt.as_row())
+    else:
+        results = orchestrator.run(specs)
+        points = []
+        for res in results:
+            if res.ok:
+                points.append(res.point)
+                table.add_row(res.point.as_row())
+            else:
+                table.add_row({"load": round(res.spec.load, 4),
+                               "error": res.error.strip().splitlines()[-1]})
+        counts = summarize(results)
+        print(f"[sweep] {counts['done']} run, {counts['cached']} cached, "
+              f"{counts['failed']} failed")
     print(table.to_text())
     if args.chart:
         from repro.analysis.plots import throughput_chart
@@ -110,6 +134,12 @@ def cmd_offsets(args) -> None:
 
 
 def cmd_figure(args) -> None:
+    scale = get_scale(args.scale)
+    with orchestration(orchestrator_from_args(args)):
+        _dispatch_figure(args, scale)
+
+
+def _dispatch_figure(args, scale) -> None:
     from repro.experiments import (
         ablations,
         congestion,
@@ -124,7 +154,6 @@ def cmd_figure(args) -> None:
         mapping_study,
     )
 
-    scale = get_scale(args.scale)
     name = args.name.lower()
     if name == "fig2":
         print(fig2_offsets.run(scale).to_text())
@@ -189,7 +218,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--h", type=int, default=6)
     p.set_defaults(func=cmd_info)
 
-    p = sub.add_parser("sweep", help="steady-state load sweep")
+    p = sub.add_parser("sweep", help="steady-state load sweep",
+                       parents=[orchestration_options()])
     common(p)
     p.add_argument("--pattern", default="UN")
     p.add_argument("--loads", default="0.1,0.2,0.3,0.4,0.5")
@@ -217,7 +247,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--load", type=float, default=0.5)
     p.set_defaults(func=cmd_offsets)
 
-    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p = sub.add_parser("figure", help="regenerate a paper figure",
+                       parents=[orchestration_options()])
     p.add_argument("name", help="fig2..fig9, ablations, congestion, mapping")
     p.add_argument("--scale", default="medium",
                    choices=["tiny", "small", "medium", "large", "paper"])

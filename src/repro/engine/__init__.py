@@ -3,21 +3,29 @@ experiment runners (steady-state load sweeps, transients, bursts)."""
 
 from repro.engine.config import SimulationConfig, ThresholdConfig
 from repro.engine.metrics import Metrics, LoadPoint
+from repro.engine.runspec import RunSpec
 from repro.engine.simulator import Simulator, DeadlockError
 from repro.engine.runner import (
+    run_spec,
     run_steady_state,
     run_load_sweep,
     run_transient,
     run_burst,
 )
+from repro.engine.orchestrator import Orchestrator, OrchestratorError, PointResult
 
 __all__ = [
     "SimulationConfig",
     "ThresholdConfig",
     "Metrics",
     "LoadPoint",
+    "RunSpec",
     "Simulator",
     "DeadlockError",
+    "Orchestrator",
+    "OrchestratorError",
+    "PointResult",
+    "run_spec",
     "run_steady_state",
     "run_load_sweep",
     "run_transient",

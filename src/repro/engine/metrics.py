@@ -15,7 +15,8 @@ The paper reports three kinds of numbers, all supported here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import dataclass, field, fields
 
 from repro.network.packet import Packet
 
@@ -63,6 +64,47 @@ class LoadPoint:
             "mis_global": cell(self.global_misroute_rate, 3),
             "packets": self.ejected_packets,
         }
+
+    # ------------------------------------------------------------------
+    # Lossless JSON round-trip (result store, provenance files)
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> dict:
+        """Exact (unrounded) dict form; NaN encoded as ``null``.
+
+        NaN marks the per-packet averages of an empty measurement
+        window (PR 1 semantics) but is not valid JSON, so it maps to
+        ``null`` on the way out and back to NaN on the way in — the
+        round-trip is bit-identical, NaN windows included.
+        """
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = None if value != value else value  # NaN-safe
+        return out
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "LoadPoint":
+        """Inverse of :meth:`to_jsonable`; unknown/missing keys are errors."""
+        if not isinstance(data, dict):
+            raise ValueError("LoadPoint JSON must be an object")
+        names = {f.name for f in fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ValueError(f"unknown LoadPoint keys: {sorted(unknown)}")
+        missing = names - set(data)
+        if missing:
+            raise ValueError(f"missing LoadPoint keys: {sorted(missing)}")
+        return cls(**{
+            name: float("nan") if data[name] is None else data[name]
+            for name in names
+        })
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_jsonable(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "LoadPoint":
+        return cls.from_jsonable(json.loads(text))
 
 
 @dataclass

@@ -2,26 +2,28 @@
 
 Every steady-state point is an independent single-threaded simulation,
 so load sweeps and figure grids parallelize embarrassingly across
-processes.  This module wraps :func:`concurrent.futures` with the
-pickle-friendly plumbing (configs are frozen dataclasses; the worker is
-a module-level function), preserving the exact same results as the
-sequential runner — determinism comes from the per-point seed, not from
-execution order.
+processes.  The heavy lifting lives in
+:mod:`repro.engine.orchestrator`; this module keeps the historical
+sweep signatures as thin wrappers over it (strict mode: a failure
+raises, like the sequential runner) plus the worker-count heuristics
+the orchestrator itself uses.  Determinism comes from the per-point
+seed, not from execution order: parallel results are bit-identical to
+sequential ones.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 
 from repro.engine.config import SimulationConfig
 from repro.engine.metrics import LoadPoint
-from repro.engine.runner import run_steady_state
+from repro.engine.runner import run_spec
+from repro.engine.runspec import RunSpec
 
 
-def _point(task: tuple[SimulationConfig, str, float, int, int]) -> LoadPoint:
-    config, pattern, load, warmup, measure = task
-    return run_steady_state(config, pattern, load, warmup, measure)
+def _point(spec: RunSpec) -> LoadPoint:
+    """Worker shim kept for back-compat; consumes a :class:`RunSpec`."""
+    return run_spec(spec)
 
 
 def available_cpus() -> int:
@@ -47,6 +49,16 @@ def default_workers() -> int:
     return max(1, available_cpus() // 2)
 
 
+def _run_specs(specs: list[RunSpec], workers: int | None) -> list[LoadPoint]:
+    from repro.engine.orchestrator import Orchestrator
+
+    if workers is None:
+        workers = default_workers()
+    if workers <= 1 or len(specs) <= 1:
+        workers = 0  # in-process: no subprocess overhead for trivial grids
+    return Orchestrator(workers=workers, retries=0).run_points(specs)
+
+
 def run_load_sweep_parallel(
     config: SimulationConfig,
     pattern_spec: str,
@@ -60,13 +72,10 @@ def run_load_sweep_parallel(
     Results are returned in ``loads`` order and are identical to the
     sequential runner's (same seeds, same simulations).
     """
-    tasks = [(config, pattern_spec, load, warmup, measure) for load in loads]
-    if workers is None:
-        workers = default_workers()
-    if workers <= 1 or len(tasks) <= 1:
-        return [_point(t) for t in tasks]
-    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-        return list(pool.map(_point, tasks))
+    specs = [
+        RunSpec(config, pattern_spec, load, warmup, measure) for load in loads
+    ]
+    return _run_specs(specs, workers)
 
 
 def run_grid_parallel(
@@ -80,10 +89,7 @@ def run_grid_parallel(
     Useful for figure drivers that sweep routings x loads; results come
     back in task order.
     """
-    full = [(cfg, pattern, load, warmup, measure) for cfg, pattern, load in tasks]
-    if workers is None:
-        workers = default_workers()
-    if workers <= 1 or len(full) <= 1:
-        return [_point(t) for t in full]
-    with ProcessPoolExecutor(max_workers=min(workers, len(full))) as pool:
-        return list(pool.map(_point, full))
+    specs = [
+        RunSpec(cfg, pattern, load, warmup, measure) for cfg, pattern, load in tasks
+    ]
+    return _run_specs(specs, workers)

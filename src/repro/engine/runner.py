@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from repro.engine.config import SimulationConfig
 from repro.engine.metrics import LoadPoint
+from repro.engine.runspec import RunSpec
 from repro.engine.simulator import Simulator
 from repro.traffic.generators import BernoulliTraffic, BurstTraffic, TransientTraffic
 from repro.traffic.patterns import make_pattern
@@ -23,6 +24,25 @@ def _pattern_rng(config: SimulationConfig, salt: int) -> random.Random:
     return random.Random((config.seed << 16) ^ salt)
 
 
+def run_spec(spec: RunSpec) -> LoadPoint:
+    """Warm up, measure, and summarize one :class:`RunSpec` point.
+
+    This is the canonical steady-state entry point; everything else
+    (:func:`run_steady_state`, the parallel pool, the orchestrator) is a
+    wrapper that constructs a ``RunSpec`` and lands here.
+    """
+    config = spec.config
+    sim = Simulator(config)
+    pattern = make_pattern(sim.network.topo, _pattern_rng(config, 0xA5), spec.pattern_spec)
+    sim.generator = BernoulliTraffic(
+        pattern, spec.load, config.packet_size, sim.network.topo.num_nodes,
+        config.seed ^ 0x5A5A,
+    )
+    sim.warm_up(spec.warmup)
+    sim.run(spec.measure)
+    return sim.metrics.load_point(spec.load, sim.cycle)
+
+
 def run_steady_state(
     config: SimulationConfig,
     pattern_spec: str,
@@ -30,15 +50,8 @@ def run_steady_state(
     warmup: int = 2_000,
     measure: int = 2_000,
 ) -> LoadPoint:
-    """Warm up, measure, and summarize one (config, pattern, load) point."""
-    sim = Simulator(config)
-    pattern = make_pattern(sim.network.topo, _pattern_rng(config, 0xA5), pattern_spec)
-    sim.generator = BernoulliTraffic(
-        pattern, load, config.packet_size, sim.network.topo.num_nodes, config.seed ^ 0x5A5A
-    )
-    sim.warm_up(warmup)
-    sim.run(measure)
-    return sim.metrics.load_point(load, sim.cycle)
+    """Keyword-style shim over :func:`run_spec`."""
+    return run_spec(RunSpec(config, pattern_spec, load, warmup, measure))
 
 
 def run_load_sweep(
@@ -48,10 +61,16 @@ def run_load_sweep(
     warmup: int = 2_000,
     measure: int = 2_000,
 ) -> list[LoadPoint]:
-    """One steady-state point per offered load (fresh simulator each)."""
-    return [
-        run_steady_state(config, pattern_spec, load, warmup, measure) for load in loads
-    ]
+    """One steady-state point per offered load (fresh simulator each).
+
+    A thin wrapper over the orchestrator's in-process mode: identical
+    results to calling :func:`run_spec` in a loop, with failures
+    propagating as the original exception.
+    """
+    from repro.engine.orchestrator import Orchestrator
+
+    specs = [RunSpec(config, pattern_spec, load, warmup, measure) for load in loads]
+    return Orchestrator(workers=0, retries=0).run_points(specs)
 
 
 @dataclass

@@ -1,0 +1,106 @@
+"""The single currency of the run layer: :class:`RunSpec`.
+
+A steady-state simulation point is fully determined by five values —
+the :class:`~repro.engine.config.SimulationConfig`, the traffic-pattern
+spec string, the offered load, and the warm-up / measurement windows.
+``RunSpec`` freezes them into one hashable value that the runner, the
+parallel pool, the orchestrator and the on-disk result store all
+consume, so "the same point" means the same thing everywhere.
+
+Two derived encodings matter:
+
+- :meth:`RunSpec.fingerprint` — a stable content hash used as the
+  result-store key.  Two specs collide iff they describe the same
+  simulation, across processes and sessions (the hash covers a
+  canonical JSON form, not Python object identity).
+- :meth:`RunSpec.to_json` / :meth:`RunSpec.from_json` — a lossless
+  round-trip used for provenance inside store entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.engine.config import SimulationConfig
+
+# Bump when the meaning of a fingerprinted field changes so stale store
+# entries become misses instead of wrong answers.
+FINGERPRINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One steady-state (config, pattern, load, windows) point."""
+
+    config: SimulationConfig
+    pattern_spec: str
+    load: float
+    warmup: int = 2_000
+    measure: int = 2_000
+
+    def __post_init__(self) -> None:
+        if self.load < 0:
+            raise ValueError(f"load must be >= 0, got {self.load}")
+        if self.warmup < 0 or self.measure < 0:
+            raise ValueError("warmup and measure must be >= 0")
+
+    # ------------------------------------------------------------------
+    def label(self) -> str:
+        """Short human-readable tag for logs and progress lines."""
+        return (
+            f"{self.config.routing}/{self.pattern_spec}/{self.load:g}"
+            f" (h={self.config.h})"
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> dict:
+        return {
+            "config": json.loads(self.config.to_json()),
+            "pattern_spec": self.pattern_spec,
+            "load": self.load,
+            "warmup": self.warmup,
+            "measure": self.measure,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "RunSpec":
+        if not isinstance(data, dict):
+            raise ValueError("RunSpec JSON must be an object")
+        known = {"config", "pattern_spec", "load", "warmup", "measure"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown RunSpec keys: {sorted(unknown)}")
+        return cls(
+            config=SimulationConfig.from_json(json.dumps(data["config"])),
+            pattern_spec=data["pattern_spec"],
+            load=data["load"],
+            warmup=data["warmup"],
+            measure=data["measure"],
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_jsonable(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        return cls.from_jsonable(json.loads(text))
+
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable content hash of this spec (the result-store key).
+
+        The hash covers the canonical JSON form with sorted keys, so it
+        is independent of field declaration order, process, platform and
+        session.  Floats round-trip through ``repr`` inside ``json``, so
+        distinct loads (0.1 vs 0.1000001) never collide.
+        """
+        payload = self.to_jsonable()
+        payload["v"] = FINGERPRINT_VERSION
+        blob = json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -1,16 +1,25 @@
-"""Per-packet hop tracing.
+"""Observability: per-packet hop tracing and sweep progress reporting.
 
-Wraps a network's grant executor to record every hop of selected (or
-all) packets: (cycle, router, output port, port kind, VC, request
-kind).  Used by examples and tests to *show* a path — e.g. that an OFAR
-packet detoured around a hot link, or that a ring packet circled to its
-destination — instead of inferring it from counters.
+Two independent facilities live here:
+
+- :class:`Tracer` wraps a network's grant executor to record every hop
+  of selected (or all) packets: (cycle, router, output port, port kind,
+  VC, request kind).  Used by examples and tests to *show* a path —
+  e.g. that an OFAR packet detoured around a hot link — instead of
+  inferring it from counters.
+- :class:`SweepProgress` / :class:`ConsoleProgress` are the
+  orchestrator's observability hook: after every resolved grid point
+  the orchestrator emits a progress snapshot (done/cached/failed
+  counts, rate, ETA, per-point wall time) to whatever observer the
+  caller installed.  ``ConsoleProgress`` renders it as one stderr line
+  per point; tests install plain lists.
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, TextIO
 
 from repro.network.network import Network
 from repro.network.router import KIND_NAMES
@@ -117,6 +126,69 @@ class Tracer:
     def trace(self, pid: int) -> PacketTrace:
         """Trace of one packet (empty if it never moved)."""
         return self.traces.get(pid, PacketTrace(pid))
+
+
+# ----------------------------------------------------------------------
+# Sweep progress (the orchestrator's observability hook)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One snapshot of an orchestrated sweep, emitted per resolved point.
+
+    ``done + cached + failed`` counts resolved points; ``total`` is the
+    grid size.  ``rate`` is resolved points per second of wall time and
+    ``eta_seconds`` the remaining-work extrapolation (0.0 once done,
+    NaN before the first point resolves).
+    """
+
+    total: int
+    done: int  # freshly simulated
+    cached: int  # served from the result store
+    failed: int  # exhausted retries (recorded, not fatal)
+    elapsed: float  # seconds since the grid started
+    last_label: str  # RunSpec.label() of the point just resolved
+    last_status: str  # "done" | "cached" | "failed"
+    last_wall_time: float  # seconds spent on that point
+
+    @property
+    def resolved(self) -> int:
+        return self.done + self.cached + self.failed
+
+    @property
+    def rate(self) -> float:
+        return self.resolved / self.elapsed if self.elapsed > 0 else float("nan")
+
+    @property
+    def eta_seconds(self) -> float:
+        rate = self.rate
+        if rate != rate or rate == 0:
+            return float("nan")
+        return (self.total - self.resolved) / rate
+
+    def render(self) -> str:
+        eta = self.eta_seconds
+        eta_text = f"{eta:.0f}s" if eta == eta else "?"
+        return (
+            f"[sweep {self.resolved}/{self.total}] "
+            f"done={self.done} cached={self.cached} failed={self.failed} "
+            f"{self.rate:.2f} pt/s eta {eta_text} | "
+            f"{self.last_label}: {self.last_status} in {self.last_wall_time:.2f}s"
+        )
+
+
+# An observer is any callable taking one SweepProgress.
+ProgressObserver = Callable[[SweepProgress], None]
+
+
+class ConsoleProgress:
+    """Progress observer that prints one line per resolved point."""
+
+    def __init__(self, stream: TextIO | None = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+
+    def __call__(self, progress: SweepProgress) -> None:
+        print(progress.render(), file=self.stream, flush=True)
 
 
 def describe_route(network: Network, trace: PacketTrace) -> str:

@@ -22,8 +22,7 @@ from __future__ import annotations
 
 from repro.analysis.results import Table
 from repro.engine.config import ThresholdConfig
-from repro.engine.runner import run_steady_state
-from repro.experiments.common import Scale, cli_scale
+from repro.experiments.common import Scale, cli_scale, run_specs
 
 
 def threshold_policies() -> list[tuple[str, ThresholdConfig]]:
@@ -41,35 +40,47 @@ def run_thresholds(scale: Scale, loads: list[float] | None = None) -> Table:
     if loads is None:
         loads = [0.25, 0.45]
     table = Table(f"Ablation — misroute thresholds (h={scale.h})")
-    for name, th in threshold_policies():
-        for pattern in ("UN", f"ADV+{scale.h}"):
-            for load in loads:
-                cfg = scale.config("ofar", thresholds=th)
-                pt = run_steady_state(cfg, pattern, load, scale.warmup, scale.measure)
-                table.add(
-                    policy=name,
-                    pattern=pattern,
-                    load=load,
-                    throughput=round(pt.throughput, 4),
-                    latency=round(pt.avg_latency, 1),
-                    mis_rate=round(pt.local_misroute_rate + pt.global_misroute_rate, 3),
-                )
+    cells = [
+        (name, th, pattern, load)
+        for name, th in threshold_policies()
+        for pattern in ("UN", f"ADV+{scale.h}")
+        for load in loads
+    ]
+    points = run_specs([
+        scale.spec("ofar", pattern, load, thresholds=th)
+        for _, th, pattern, load in cells
+    ])
+    for (name, th, pattern, load), pt in zip(cells, points):
+        table.add(
+            policy=name,
+            pattern=pattern,
+            load=load,
+            throughput=round(pt.throughput, 4),
+            latency=round(pt.avg_latency, 1),
+            mis_rate=round(pt.local_misroute_rate + pt.global_misroute_rate, 3),
+        )
     return table
 
 
 def run_allocator_iterations(scale: Scale, load: float = 0.45) -> Table:
     """§V: iterations of the separable allocator."""
     table = Table(f"Ablation — allocator iterations (h={scale.h}, load={load})")
-    for iters in (1, 2, 3, 4):
-        for pattern in ("UN", f"ADV+{scale.h}"):
-            cfg = scale.config("ofar", allocator_iterations=iters)
-            pt = run_steady_state(cfg, pattern, load, scale.warmup, scale.measure)
-            table.add(
-                iterations=iters,
-                pattern=pattern,
-                throughput=round(pt.throughput, 4),
-                latency=round(pt.avg_latency, 1),
-            )
+    cells = [
+        (iters, pattern)
+        for iters in (1, 2, 3, 4)
+        for pattern in ("UN", f"ADV+{scale.h}")
+    ]
+    points = run_specs([
+        scale.spec("ofar", pattern, load, allocator_iterations=iters)
+        for iters, pattern in cells
+    ])
+    for (iters, pattern), pt in zip(cells, points):
+        table.add(
+            iterations=iters,
+            pattern=pattern,
+            throughput=round(pt.throughput, 4),
+            latency=round(pt.avg_latency, 1),
+        )
     return table
 
 
@@ -77,9 +88,12 @@ def run_ring_exits(scale: Scale, load: float = 0.5) -> Table:
     """§IV-C: the livelock bound on abandoning the escape ring."""
     table = Table(f"Ablation — max ring exits (h={scale.h}, load={load})")
     pattern = f"ADV+{scale.h}"
-    for exits in (0, 1, 4, 16):
-        cfg = scale.config("ofar", max_ring_exits=exits)
-        pt = run_steady_state(cfg, pattern, load, scale.warmup, scale.measure)
+    exit_bounds = (0, 1, 4, 16)
+    points = run_specs([
+        scale.spec("ofar", pattern, load, max_ring_exits=exits)
+        for exits in exit_bounds
+    ])
+    for exits, pt in zip(exit_bounds, points):
         table.add(
             max_exits=exits,
             throughput=round(pt.throughput, 4),
@@ -96,12 +110,16 @@ def run_mechanism_family(scale: Scale, loads: list[float] | None = None) -> Tabl
         loads = [0.2, 0.4]
     pattern = f"ADV+{scale.h}"
     table = Table(f"Ablation — mechanism family on {pattern} (h={scale.h})")
-    for routing in ("min", "val", "ugal", "par", "pb", "ofar-l", "ofar"):
-        overrides = {"local_vcs": 4} if routing == "par" else {}
-        cfg = scale.config(routing, **overrides)
+    routings = ("min", "val", "ugal", "par", "pb", "ofar-l", "ofar")
+    points = iter(run_specs([
+        scale.spec(routing, pattern, load,
+                   **({"local_vcs": 4} if routing == "par" else {}))
+        for routing in routings for load in loads
+    ]))
+    for routing in routings:
         row: dict = {"routing": routing}
         for load in loads:
-            pt = run_steady_state(cfg, pattern, load, scale.warmup, scale.measure)
+            pt = next(points)
             row[f"thr@{load}"] = round(pt.throughput, 4)
             row[f"lat@{load}"] = round(pt.avg_latency, 1)
         table.add_row(row)

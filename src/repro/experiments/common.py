@@ -1,13 +1,34 @@
-"""Shared scaffolding for the per-figure experiment drivers."""
+"""Shared scaffolding for the per-figure experiment drivers.
+
+Besides the :class:`Scale` presets this module owns the drivers'
+execution context: every driver funnels its steady-state points through
+:func:`run_specs`, which either runs them in-process (the default — the
+exact legacy sequential behavior benchmarks rely on) or through an
+installed :class:`~repro.engine.orchestrator.Orchestrator` (parallel
+workers, result-store caching, resume, per-point fault tolerance).
+
+The ``--workers/--resume/--store/--no-cache/--progress/--timeout``
+options every ``python -m repro.experiments.figX`` entry point (and the
+``repro sweep`` / ``repro figure`` CLI) accepts come from the single
+argparse parent built by :func:`orchestration_options`; drivers never
+copy those flags per file.
+"""
 
 from __future__ import annotations
 
 import argparse
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.analysis.results import Series
 from repro.engine.config import SimulationConfig
-from repro.engine.runner import run_steady_state
+from repro.engine.orchestrator import Orchestrator
+from repro.engine.runner import run_spec
+from repro.engine.runspec import RunSpec
+
+#: Default result-store directory used by ``--resume`` when no
+#: ``--store`` is given.
+DEFAULT_STORE = ".repro-store"
 
 
 @dataclass(frozen=True)
@@ -41,6 +62,14 @@ class Scale:
             round(saturating * 1.3, 4)
         ]
 
+    def spec(self, routing: str, pattern: str, load: float,
+             **config_overrides) -> RunSpec:
+        """One steady-state :class:`RunSpec` at this scale's windows."""
+        return RunSpec(
+            self.config(routing, **config_overrides), pattern, load,
+            self.warmup, self.measure,
+        )
+
 
 TINY = Scale("tiny", h=2, warmup=300, measure=400, burst_packets_per_node=5,
              transient_warmup=600, transient_post=800)
@@ -65,6 +94,53 @@ def get_scale(name: str) -> Scale:
         raise ValueError(f"unknown scale {name!r}; choose from {sorted(_SCALES)}") from None
 
 
+# ----------------------------------------------------------------------
+# Orchestration context
+# ----------------------------------------------------------------------
+
+_ORCHESTRATOR: Orchestrator | None = None
+
+
+def set_orchestrator(orchestrator: Orchestrator | None) -> None:
+    """Install the orchestrator every driver's :func:`run_specs` uses.
+
+    ``None`` (the default) means plain in-process sequential execution —
+    bit-identical to calling :func:`repro.engine.runner.run_spec` in a
+    loop, which is what tests and benchmarks expect.
+    """
+    global _ORCHESTRATOR
+    _ORCHESTRATOR = orchestrator
+
+
+def current_orchestrator() -> Orchestrator | None:
+    return _ORCHESTRATOR
+
+
+@contextmanager
+def orchestration(orchestrator: Orchestrator | None):
+    """Scoped :func:`set_orchestrator` (restores the previous context)."""
+    previous = _ORCHESTRATOR
+    set_orchestrator(orchestrator)
+    try:
+        yield orchestrator
+    finally:
+        set_orchestrator(previous)
+
+
+def run_specs(specs: list[RunSpec]) -> list:
+    """Resolve steady-state points through the installed context.
+
+    This is the drivers' single entry to the run layer: with no
+    orchestrator installed it is a sequential in-process loop; with one
+    installed the grid gets workers, caching, retry and progress.  A
+    failed point raises either way (figure tables need every cell).
+    """
+    orchestrator = _ORCHESTRATOR
+    if orchestrator is None:
+        return [run_spec(s) for s in specs]
+    return orchestrator.run_points(specs)
+
+
 def sweep(
     scale: Scale,
     routing: str,
@@ -73,20 +149,96 @@ def sweep(
     **config_overrides,
 ) -> Series:
     """One latency/throughput curve for (routing, pattern)."""
-    cfg = scale.config(routing, **config_overrides)
+    specs = [
+        scale.spec(routing, pattern, load, **config_overrides) for load in loads
+    ]
     series = Series(name=routing)
-    for load in loads:
-        series.add(run_steady_state(cfg, pattern, load, scale.warmup, scale.measure))
+    for point in run_specs(specs):
+        series.add(point)
     return series
 
 
+# ----------------------------------------------------------------------
+# Shared CLI options
+# ----------------------------------------------------------------------
+
+def orchestration_options() -> argparse.ArgumentParser:
+    """The argparse *parent* carrying the shared sweep-execution flags."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("sweep execution")
+    group.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for grid points (default: in-process sequential)",
+    )
+    group.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="result-store directory for caching/checkpointing completed points",
+    )
+    group.add_argument(
+        "--resume", action="store_true",
+        help=f"resume from the result store (default dir {DEFAULT_STORE!r} "
+             "when --store is not given): completed points are cache hits, "
+             "only missing points run",
+    )
+    group.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore existing store entries (re-run and overwrite them)",
+    )
+    group.add_argument(
+        "--progress", action="store_true",
+        help="print one progress line per resolved point (stderr)",
+    )
+    group.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-point wall-clock limit (requires --workers >= 1)",
+    )
+    group.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="extra attempts after a failed/crashed/timed-out point (default 1)",
+    )
+    return parent
+
+
+def orchestrator_from_args(args: argparse.Namespace) -> Orchestrator | None:
+    """Build the orchestrator an option namespace asks for (None = legacy)."""
+    from repro.analysis.store import ResultStore
+    from repro.engine.tracing import ConsoleProgress
+
+    store_dir = args.store or (DEFAULT_STORE if args.resume else None)
+    wants = (
+        args.workers is not None
+        or store_dir is not None
+        or args.progress
+        or args.timeout is not None
+    )
+    if not wants:
+        return None
+    return Orchestrator(
+        workers=args.workers if args.workers is not None else 0,
+        store=ResultStore(store_dir) if store_dir is not None else None,
+        use_cache=not args.no_cache,
+        retries=args.retries,
+        timeout=args.timeout,
+        observer=ConsoleProgress() if args.progress else None,
+    )
+
+
 def cli_scale(description: str) -> Scale:
-    """Parse ``--scale`` for the ``python -m repro.experiments.figX`` CLIs."""
-    parser = argparse.ArgumentParser(description=description)
+    """Parse the ``python -m repro.experiments.figX`` command line.
+
+    Returns the selected :class:`Scale` and, as a side effect, installs
+    the orchestration context requested by the shared
+    ``--workers/--resume/--store/--no-cache/--progress`` flags.
+    """
+    parser = argparse.ArgumentParser(
+        description=description, parents=[orchestration_options()]
+    )
     parser.add_argument(
         "--scale",
         default="medium",
         choices=sorted(_SCALES),
         help="network size / run length preset (default: medium, h=3)",
     )
-    return get_scale(parser.parse_args().scale)
+    args = parser.parse_args()
+    set_orchestrator(orchestrator_from_args(args))
+    return get_scale(args.scale)

@@ -20,8 +20,7 @@ throughput with it.
 from __future__ import annotations
 
 from repro.analysis.results import Table
-from repro.engine.runner import run_steady_state
-from repro.experiments.common import Scale, cli_scale
+from repro.experiments.common import Scale, cli_scale, run_specs
 
 
 def run(scale: Scale, loads: list[float] | None = None) -> Table:
@@ -35,14 +34,16 @@ def run(scale: Scale, loads: list[float] | None = None) -> Table:
         ("full-vcs", {}),
         ("reduced-vcs", dict(local_vcs=2, global_vcs=1, injection_vcs=2)),
     ]
+    points = iter(run_specs([
+        scale.spec("ofar", pattern, load,
+                   escape="embedded", congestion_control=cc, **overrides)
+        for _, overrides in cases for load in loads for cc in (False, True)
+    ]))
     for name, overrides in cases:
         for load in loads:
             row: dict = {"config": name, "load": load}
             for cc in (False, True):
-                cfg = scale.config(
-                    "ofar", escape="embedded", congestion_control=cc, **overrides
-                )
-                pt = run_steady_state(cfg, pattern, load, scale.warmup, scale.measure)
+                pt = next(points)
                 tag = "cc" if cc else "none"
                 row[f"{tag}_thr"] = round(pt.throughput, 4)
                 row[f"{tag}_ring"] = round(pt.ring_fraction, 4)

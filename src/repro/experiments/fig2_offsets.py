@@ -15,8 +15,7 @@ import random
 from repro.analysis.offsets import max_l2_concentration, valiant_offset_bound
 from repro.analysis.results import Table
 from repro.analysis.static_load import predicted_saturation
-from repro.engine.runner import run_steady_state
-from repro.experiments.common import Scale, cli_scale
+from repro.experiments.common import Scale, cli_scale, run_specs
 from repro.topology.dragonfly import Dragonfly
 from repro.traffic.patterns import AdversarialPattern
 
@@ -38,10 +37,9 @@ def run(scale: Scale, load: float = 0.5, offsets: list[int] | None = None) -> Ta
     topo = Dragonfly(scale.h)
     if offsets is None:
         offsets = default_offsets(scale.h)
-    cfg = scale.config("val")
     table = Table(f"Fig 2b — VAL throughput vs ADV offset (h={scale.h}, load={load})")
-    for n in offsets:
-        point = run_steady_state(cfg, f"ADV+{n}", load, scale.warmup, scale.measure)
+    points = run_specs([scale.spec("val", f"ADV+{n}", load) for n in offsets])
+    for n, point in zip(offsets, points):
         predicted = predicted_saturation(
             topo, AdversarialPattern(topo, random.Random(n), n), "val",
             samples=8_000, seed=n,

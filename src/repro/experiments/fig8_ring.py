@@ -11,8 +11,7 @@ the per-load deltas plus how often the ring was actually used.
 from __future__ import annotations
 
 from repro.analysis.results import Table
-from repro.engine.runner import run_steady_state
-from repro.experiments.common import Scale, cli_scale
+from repro.experiments.common import Scale, cli_scale, run_specs
 
 VARIANTS = ("physical", "embedded")
 
@@ -23,12 +22,19 @@ def run(scale: Scale, loads: list[float] | None = None,
     if loads is None:
         loads = scale.loads(saturating=0.5, points=5)
     table = Table(f"Fig 8 — OFAR with physical vs embedded escape ring (h={scale.h})")
+    cells = [
+        (pattern, load, variant)
+        for pattern in patterns for load in loads for variant in VARIANTS
+    ]
+    points = iter(run_specs([
+        scale.spec("ofar", pattern, load, escape=variant)
+        for pattern, load, variant in cells
+    ]))
     for pattern in patterns:
         for load in loads:
             row: dict = {"pattern": pattern, "load": load}
             for variant in VARIANTS:
-                cfg = scale.config("ofar", escape=variant)
-                pt = run_steady_state(cfg, pattern, load, scale.warmup, scale.measure)
+                pt = next(points)
                 row[f"{variant}_thr"] = round(pt.throughput, 4)
                 row[f"{variant}_lat"] = round(pt.avg_latency, 1)
                 row[f"{variant}_ring"] = round(pt.ring_fraction, 4)

@@ -15,8 +15,8 @@ congested runs — the smoking gun that the canonical network stalled.
 from __future__ import annotations
 
 from repro.analysis.results import Table
-from repro.engine.runner import run_steady_state
-from repro.experiments.common import Scale, cli_scale
+from repro.engine.runspec import RunSpec
+from repro.experiments.common import Scale, cli_scale, run_specs
 
 
 def reduced_config(scale: Scale, routing: str = "ofar"):
@@ -40,10 +40,14 @@ def run(scale: Scale, loads: list[float] | None = None,
     table = Table(f"Fig 9 — OFAR with reduced VCs (2 local / 1 global, embedded ring, h={scale.h})")
     cfg = reduced_config(scale)
     full_cfg = scale.config("ofar", escape="embedded")
+    points = iter(run_specs([
+        RunSpec(c, pattern, load, scale.warmup, scale.measure)
+        for pattern in patterns for load in loads for c in (cfg, full_cfg)
+    ]))
     for pattern in patterns:
         for load in loads:
-            reduced = run_steady_state(cfg, pattern, load, scale.warmup, scale.measure)
-            full = run_steady_state(full_cfg, pattern, load, scale.warmup, scale.measure)
+            reduced = next(points)
+            full = next(points)
             table.add(
                 pattern=pattern,
                 load=load,

@@ -25,8 +25,8 @@ from __future__ import annotations
 
 from repro.analysis.results import Table
 from repro.engine.config import SimulationConfig
-from repro.engine.runner import run_steady_state
-from repro.experiments.common import Scale, cli_scale
+from repro.engine.runspec import RunSpec
+from repro.experiments.common import Scale, cli_scale, run_specs
 
 
 def designs(scale: Scale) -> list[tuple[str, SimulationConfig]]:
@@ -51,17 +51,24 @@ def run(scale: Scale, loads: list[float] | None = None) -> Table:
     if loads is None:
         loads = [0.25, 0.45]
     table = Table(f"Extension — §VIII router designs, equal total buffering (h={scale.h})")
-    for name, cfg in designs(scale):
-        for pattern in ("UN", f"ADV+{scale.h}"):
-            for load in loads:
-                pt = run_steady_state(cfg, pattern, load, scale.warmup, scale.measure)
-                table.add(
-                    design=name,
-                    pattern=pattern,
-                    load=load,
-                    throughput=round(pt.throughput, 4),
-                    latency=round(pt.avg_latency, 1),
-                )
+    cells = [
+        (name, cfg, pattern, load)
+        for name, cfg in designs(scale)
+        for pattern in ("UN", f"ADV+{scale.h}")
+        for load in loads
+    ]
+    points = run_specs([
+        RunSpec(cfg, pattern, load, scale.warmup, scale.measure)
+        for _, cfg, pattern, load in cells
+    ])
+    for (name, cfg, pattern, load), pt in zip(cells, points):
+        table.add(
+            design=name,
+            pattern=pattern,
+            load=load,
+            throughput=round(pt.throughput, 4),
+            latency=round(pt.avg_latency, 1),
+        )
     return table
 
 

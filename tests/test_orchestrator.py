@@ -1,0 +1,286 @@
+"""Tests for the fault-tolerant, cache-aware sweep orchestrator.
+
+Covers the failure paths the grid must survive (a worker that raises, a
+worker killed mid-point, a stuck worker hitting the timeout, a corrupt
+store entry) and the determinism contract: cache hits and resumed
+sweeps produce LoadPoints bit-identical to a sequential fresh run.
+"""
+
+import importlib.util
+import os
+import pathlib
+import signal
+import time
+
+import pytest
+
+from repro.analysis.store import ResultStore
+from repro.engine.config import SimulationConfig
+from repro.engine.orchestrator import (
+    Orchestrator,
+    OrchestratorError,
+    summarize,
+)
+from repro.engine.runner import run_spec
+from repro.engine.runspec import RunSpec
+from repro.experiments.common import TINY
+
+# ----------------------------------------------------------------------
+# Module-level fault-injection workers (must be addressable by name in
+# forked worker processes).
+# ----------------------------------------------------------------------
+
+INJECTED_BAD_LOAD = 0.2
+
+
+def _fail_on_bad_load(spec):
+    if spec.load == INJECTED_BAD_LOAD:
+        raise RuntimeError("injected worker failure")
+    return run_spec(spec)
+
+
+def _kill_on_bad_load(spec):
+    if spec.load == INJECTED_BAD_LOAD:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return run_spec(spec)
+
+
+def _sleep_forever(spec):
+    time.sleep(300)
+
+
+def _raise_value_error(spec):
+    raise ValueError("inline boom")
+
+
+_FLAKY_DIR = None  # set by the retry test; inherited by forked workers
+
+
+def _flaky_once(spec):
+    marker = pathlib.Path(_FLAKY_DIR) / spec.fingerprint()
+    if not marker.exists():
+        marker.write_text("first attempt")
+        raise RuntimeError("flaky first attempt")
+    return run_spec(spec)
+
+
+def specs(loads, routing="min", seed=3):
+    cfg = SimulationConfig.small(h=2, routing=routing, seed=seed)
+    return [RunSpec(cfg, "UN", load, 100, 100) for load in loads]
+
+
+class TestSequentialEquivalence:
+    def test_inline_matches_direct(self):
+        grid = specs([0.1, 0.3])
+        assert Orchestrator(workers=0).run_points(grid) == [run_spec(s) for s in grid]
+
+    def test_process_pool_matches_direct(self):
+        grid = specs([0.1, 0.3], routing="ofar")
+        assert Orchestrator(workers=2).run_points(grid) == [run_spec(s) for s in grid]
+
+    def test_results_in_spec_order(self):
+        grid = specs([0.3, 0.1, 0.2])
+        results = Orchestrator(workers=3).run(grid)
+        assert [r.spec.load for r in results] == [0.3, 0.1, 0.2]
+        assert all(r.status == "done" for r in results)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Orchestrator(workers=-1)
+        with pytest.raises(ValueError):
+            Orchestrator(retries=-1)
+        with pytest.raises(ValueError):
+            Orchestrator(timeout=0)
+
+
+class TestFailurePaths:
+    def test_raising_worker_recorded_not_fatal(self):
+        grid = specs([0.1, INJECTED_BAD_LOAD, 0.3])
+        results = Orchestrator(
+            workers=2, retries=1, worker=_fail_on_bad_load
+        ).run(grid)
+        assert [r.status for r in results] == ["done", "failed", "done"]
+        bad = results[1]
+        assert bad.attempts == 2  # retried once, then recorded
+        assert "injected worker failure" in bad.error
+        # The healthy points are untouched by the neighbour's failure.
+        assert results[0].point == run_spec(grid[0])
+        assert results[2].point == run_spec(grid[2])
+
+    def test_worker_killed_mid_point_recovers(self):
+        """SIGKILL (OOM-killer style) degrades to a recorded failure."""
+        grid = specs([0.1, INJECTED_BAD_LOAD])
+        results = Orchestrator(
+            workers=2, retries=1, worker=_kill_on_bad_load
+        ).run(grid)
+        assert results[0].status == "done"
+        assert results[0].point == run_spec(grid[0])
+        assert results[1].status == "failed"
+        assert results[1].attempts == 2
+        assert "worker died" in results[1].error
+
+    def test_timeout_kills_stuck_worker(self):
+        grid = specs([0.1])
+        t0 = time.monotonic()
+        results = Orchestrator(
+            workers=1, retries=0, timeout=0.3, worker=_sleep_forever
+        ).run(grid)
+        assert time.monotonic() - t0 < 30  # killed, not waited out
+        assert results[0].status == "failed"
+        assert "timed out" in results[0].error
+
+    def test_retry_succeeds_after_transient_failure(self, tmp_path):
+        global _FLAKY_DIR
+        _FLAKY_DIR = str(tmp_path)
+        grid = specs([0.1])
+        results = Orchestrator(workers=1, retries=1, worker=_flaky_once).run(grid)
+        assert results[0].status == "done"
+        assert results[0].attempts == 2
+        assert results[0].point == run_spec(grid[0])
+
+    def test_strict_mode_raises_original_exception_inline(self):
+        with pytest.raises(ValueError, match="inline boom"):
+            Orchestrator(workers=0, retries=0, worker=_raise_value_error).run_points(
+                specs([0.1])
+            )
+
+    def test_strict_mode_raises_orchestrator_error_from_pool(self):
+        with pytest.raises(OrchestratorError, match="failed after 1 attempt"):
+            Orchestrator(workers=1, retries=0, worker=_fail_on_bad_load).run_points(
+                specs([INJECTED_BAD_LOAD])
+            )
+
+
+class TestCacheAndResume:
+    def test_cache_hits_bit_identical(self, tmp_path):
+        store = ResultStore(tmp_path)
+        grid = specs([0.1, 0.3], routing="ofar")
+        fresh = Orchestrator(workers=2, store=store).run(grid)
+        again = Orchestrator(workers=2, store=store).run(grid)
+        assert [r.status for r in fresh] == ["done", "done"]
+        assert [r.status for r in again] == ["cached", "cached"]
+        assert [r.point for r in again] == [run_spec(s) for s in grid]
+
+    def test_resume_picks_up_at_first_missing_point(self, tmp_path):
+        store = ResultStore(tmp_path)
+        grid = specs([0.1, 0.2, 0.3])
+        # Simulate a sweep killed after two points: only they are stored.
+        Orchestrator(workers=0, store=store).run(grid[:2])
+        assert len(store) == 2
+        resumed = Orchestrator(workers=0, store=store).run(grid)
+        assert [r.status for r in resumed] == ["cached", "cached", "done"]
+        assert [r.point for r in resumed] == [run_spec(s) for s in grid]
+        assert len(store) == 3
+
+    def test_corrupt_store_entry_reruns(self, tmp_path):
+        store = ResultStore(tmp_path)
+        grid = specs([0.1])
+        Orchestrator(workers=0, store=store).run(grid)
+        store.path_for(grid[0].fingerprint()).write_text("{ truncated")
+        results = Orchestrator(workers=0, store=store).run(grid)
+        assert results[0].status == "done"  # re-ran, did not crash
+        assert results[0].point == run_spec(grid[0])
+        assert store.get(grid[0]) == results[0].point  # entry healed
+
+    def test_no_cache_recomputes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        grid = specs([0.1])
+        Orchestrator(workers=0, store=store).run(grid)
+        results = Orchestrator(workers=0, store=store, use_cache=False).run(grid)
+        assert results[0].status == "done"
+        assert store.stats.writes == 2
+
+    def test_overlapping_sweep_reuses_points(self, tmp_path):
+        store = ResultStore(tmp_path)
+        Orchestrator(workers=0, store=store).run(specs([0.1, 0.2]))
+        wider = Orchestrator(workers=0, store=store).run(specs([0.1, 0.2, 0.3, 0.4]))
+        assert [r.status for r in wider] == ["cached", "cached", "done", "done"]
+
+
+class TestObservability:
+    def test_progress_events(self, tmp_path):
+        events = []
+        store = ResultStore(tmp_path)
+        grid = specs([0.1, INJECTED_BAD_LOAD, 0.3])
+        Orchestrator(
+            workers=0, retries=0, store=store, observer=events.append,
+            worker=_fail_on_bad_load,
+        ).run(grid)
+        assert len(events) == 3  # one snapshot per resolved point
+        assert [e.resolved for e in events] == [1, 2, 3]
+        last = events[-1]
+        assert (last.done, last.cached, last.failed) == (2, 0, 1)
+        assert last.total == 3
+        assert last.eta_seconds == 0.0
+        assert last.render().startswith("[sweep 3/3]")
+
+    def test_summarize(self):
+        results = Orchestrator(workers=0, retries=0, worker=_fail_on_bad_load).run(
+            specs([0.1, INJECTED_BAD_LOAD])
+        )
+        counts = summarize(results)
+        assert counts["total"] == 2
+        assert counts["done"] == 1
+        assert counts["failed"] == 1
+        assert counts["cached"] == 0
+
+
+class TestTier1Smoke:
+    def test_two_point_orchestrated_sweep(self, tmp_path):
+        """The satellite smoke: a two-point TINY sweep with workers=2,
+        one injected worker failure and one cached point, completing
+        fast and leaving the healthy grid intact."""
+        store = ResultStore(tmp_path)
+        good = TINY.spec("ofar", "UN", 0.1)
+        bad = TINY.spec("ofar", "UN", INJECTED_BAD_LOAD)
+        sequential = run_spec(good)
+        store.put(good, sequential)  # pre-completed: the cached point
+        results = Orchestrator(
+            workers=2, retries=0, store=store, worker=_fail_on_bad_load
+        ).run([good, bad])
+        assert [r.status for r in results] == ["cached", "failed"]
+        assert results[0].point == sequential  # cache hit == fresh run
+        assert "injected worker failure" in results[1].error
+        counts = summarize(results)
+        assert (counts["cached"], counts["failed"]) == (1, 1)
+
+
+# ----------------------------------------------------------------------
+# Cache-hit / resume determinism through the fingerprint script's lens
+# ----------------------------------------------------------------------
+
+def _load_fingerprint_script():
+    path = (
+        pathlib.Path(__file__).resolve().parents[1]
+        / "scripts" / "determinism_fingerprint.py"
+    )
+    loaded = importlib.util.spec_from_file_location("determinism_fingerprint", path)
+    module = importlib.util.module_from_spec(loaded)
+    loaded.loader.exec_module(module)
+    return module
+
+
+class TestFingerprintDeterminism:
+    def test_resumed_sweep_fingerprint_equals_fresh(self, tmp_path):
+        """The acceptance check: the exact-value fingerprint of a
+        store-backed resumed sweep equals a sequential fresh run's."""
+        df = _load_fingerprint_script()
+        grid = specs([0.1, 0.35], routing="ofar", seed=7)
+
+        def call(run, s):
+            return df._point_dict(
+                run(s.config, s.pattern_spec, s.load, warmup=s.warmup,
+                    measure=s.measure)
+            )
+
+        sequential = {s.fingerprint(): df._point_dict(run_spec(s)) for s in grid}
+
+        store = ResultStore(tmp_path)
+        run_a = df.orchestrated_runner(store, workers=2)
+        fresh = {s.fingerprint(): call(run_a, s) for s in grid}
+        run_b = df.orchestrated_runner(store, workers=2)  # resume: all cache hits
+        resumed = {s.fingerprint(): call(run_b, s) for s in grid}
+
+        assert fresh == sequential
+        assert resumed == sequential
+        assert store.stats.hits == len(grid)  # the resume really was cached

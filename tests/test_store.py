@@ -1,0 +1,84 @@
+"""Tests for the content-addressed result store."""
+
+import json
+
+from repro.analysis.store import ResultStore
+from repro.engine.config import SimulationConfig
+from repro.engine.runner import run_spec
+from repro.engine.runspec import RunSpec
+
+
+def spec(load=0.2, seed=3):
+    return RunSpec(
+        SimulationConfig.small(h=2, routing="min", seed=seed), "UN", load, 100, 100
+    )
+
+
+class TestResultStore:
+    def test_miss_then_hit_bit_identical(self, tmp_path):
+        store = ResultStore(tmp_path / "st")
+        s = spec()
+        assert store.get(s) is None
+        assert s not in store
+        point = run_spec(s)
+        store.put(s, point, wall_time=0.1)
+        assert s in store
+        assert store.get(s) == point  # exact dataclass equality
+        assert len(store) == 1
+        assert store.stats.hits == 1 and store.stats.writes == 1
+
+    def test_distinct_specs_distinct_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        a, b = spec(load=0.1), spec(load=0.2)
+        store.put(a, run_spec(a))
+        assert store.get(b) is None
+        assert len(store) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        s = spec()
+        path = store.put(s, run_spec(s))
+        path.write_text("{ not json")
+        assert store.get(s) is None
+        assert store.stats.corrupt == 1
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        s = spec()
+        path = store.put(s, run_spec(s))
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert store.get(s) is None
+        assert store.stats.corrupt == 1
+
+    def test_foreign_spec_under_right_fingerprint_is_a_miss(self, tmp_path):
+        """A fingerprint collision (or tampered entry) must not serve a
+        point for a different simulation."""
+        store = ResultStore(tmp_path)
+        s, other = spec(load=0.1), spec(load=0.2)
+        path = store.put(other, run_spec(other))
+        hijacked = store.path_for(s.fingerprint())
+        hijacked.parent.mkdir(parents=True, exist_ok=True)
+        hijacked.write_text(path.read_text())  # entry records `other`'s spec
+        assert store.get(s) is None
+        assert store.stats.corrupt == 1
+
+    def test_unknown_format_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        s = spec()
+        path = store.put(s, run_spec(s))
+        entry = json.loads(path.read_text())
+        entry["format"] = 999
+        path.write_text(json.dumps(entry))
+        assert store.get(s) is None
+
+    def test_put_overwrites_corrupt_entry(self, tmp_path):
+        store = ResultStore(tmp_path)
+        s = spec()
+        point = run_spec(s)
+        path = store.put(s, point)
+        path.write_text("garbage")
+        store.put(s, point)
+        assert store.get(s) == point
+
+    def test_empty_store_len(self, tmp_path):
+        assert len(ResultStore(tmp_path / "nowhere")) == 0
