@@ -22,10 +22,19 @@ Usage::
     PYTHONPATH=src python scripts/bench_engine.py --out out.json
     PYTHONPATH=src python scripts/bench_engine.py \
         --compare-tree /tmp/seed_tree/src                        # A/B vs seed
+    PYTHONPATH=src python scripts/bench_engine.py --telemetry    # sampler cost
 
 ``--check`` runs a few hundred cycles per phase only — enough to catch
 a broken or pathologically slow engine in the tier-1 suite without
 turning the test run into a benchmark session.
+
+``--telemetry`` measures the in-run telemetry sampler
+(:mod:`repro.telemetry`) on the same pinned workload: sampling off vs
+on at interval 100, alternating in-process like ``--compare-tree``, and
+cross-checking ejected counts (sampling must never perturb the run).
+Writes ``BENCH_telemetry.json``; the *off* numbers double as the proof
+that the dormant hook costs nothing beyond noise vs
+``BENCH_engine.json``.
 
 ``--compare-tree PATH`` measures a second source tree (e.g. a ``git
 archive`` of the pre-optimization commit, unpacked so that ``PATH``
@@ -211,6 +220,100 @@ def run_compare(tree: str, warmup: int, cycles: int, rounds: int) -> dict:
     }
 
 
+def _time_phase_telemetry(
+    eng, pattern_spec: str, load: float, warmup: int, cycles: int, interval: int
+) -> tuple[float, int, int]:
+    """Like :func:`_time_phase` but with a telemetry sampler attached
+    for the timed window; also returns the sample count."""
+    sampler_mod = importlib.import_module("repro.telemetry.sampler")
+    config_mod = importlib.import_module("repro.telemetry.config")
+    sim = _build_sim(eng, pattern_spec, load)
+    sim.run(warmup)
+    sampler = sampler_mod.TelemetrySampler(
+        sim, config_mod.TelemetryConfig(interval=interval)
+    )
+    sampler.attach()
+    start = time.perf_counter()
+    sim.run(cycles)
+    elapsed = time.perf_counter() - start
+    series = sampler.finish()
+    return elapsed, sim.network.ejected_packets, len(series.samples)
+
+
+def run_telemetry_bench(
+    warmup: int, cycles: int, rounds: int, interval: int = 100
+) -> dict:
+    """Sampling-off vs sampling-on (interval ``interval``), alternating.
+
+    Measures the telemetry subsystem's two cost claims on the pinned
+    workload: *off* must be within noise of the plain engine (the hook
+    is one attribute check per cycle — compare against
+    ``BENCH_engine.json``), and *on* must stay a small, bounded
+    per-window cost.  The ejected-packet cross-check enforces the
+    stronger claim: sampling does not change the simulation at all.
+    """
+    eng = _load_engine(None)
+    keys = [f"{p}@{load:.2f}" for p, load in PHASES]
+    best = {
+        "off": dict.fromkeys(keys, float("inf")),
+        "on": dict.fromkeys(keys, float("inf")),
+    }
+    ejected: dict[str, dict[str, int]] = {"off": {}, "on": {}}
+    samples: dict[str, int] = {}
+    for rnd in range(rounds):
+        for (pattern_spec, load), key in zip(PHASES, keys):
+            elapsed, ej = _time_phase(eng, pattern_spec, load, warmup, cycles)
+            best["off"][key] = min(best["off"][key], elapsed)
+            ejected["off"][key] = ej
+            elapsed, ej, ns = _time_phase_telemetry(
+                eng, pattern_spec, load, warmup, cycles, interval
+            )
+            best["on"][key] = min(best["on"][key], elapsed)
+            ejected["on"][key] = ej
+            samples[key] = ns
+        print(f"[round {rnd + 1}/{rounds} done]", file=sys.stderr)
+    phases = []
+    for (pattern_spec, load), key in zip(PHASES, keys):
+        if ejected["off"][key] != ejected["on"][key]:
+            raise SystemExit(
+                f"telemetry perturbed the simulation on {key}: "
+                f"{ejected['off'][key]} ejected without vs "
+                f"{ejected['on'][key]} with sampling"
+            )
+        off, on = best["off"][key], best["on"][key]
+        phases.append(
+            {
+                "pattern": pattern_spec,
+                "load": load,
+                "warmup": warmup,
+                "cycles": cycles,
+                "rounds": rounds,
+                "interval": interval,
+                "samples": samples[key],
+                "off_cycles_per_sec": round(cycles / off, 1),
+                "cycles_per_sec": round(cycles / on, 1),
+                "overhead": round(on / off - 1.0, 4),
+                "ejected_packets": ejected["on"][key],
+            }
+        )
+    total_cycles = len(PHASES) * cycles
+    off_seconds = sum(best["off"][k] for k in keys)
+    on_seconds = sum(best["on"][k] for k in keys)
+    return {
+        "workload": _workload_stanza(),
+        "machine": _machine_stanza(),
+        "method": (
+            "alternating same-process off/on rounds, best of "
+            f"{rounds} per mode per phase; overhead = on/off - 1; "
+            "ejected counts cross-checked (sampling must not perturb)"
+        ),
+        "phases": phases,
+        "off_combined_cycles_per_sec": round(total_cycles / off_seconds, 1),
+        "combined_cycles_per_sec": round(total_cycles / on_seconds, 1),
+        "combined_overhead": round(on_seconds / off_seconds - 1.0, 4),
+    }
+
+
 def _workload_stanza() -> dict:
     return {
         "h": BENCH_H,
@@ -244,6 +347,12 @@ def main(argv: list[str] | None = None) -> int:
         help="path to an alternate source tree (containing the repro "
         "package) to benchmark against, alternating in-process",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="measure telemetry overhead: sampling off vs on (interval "
+        "100), alternating in-process; writes BENCH_telemetry.json",
+    )
     parser.add_argument("--out", default=None, help="output JSON path")
     parser.add_argument("--warmup", type=int, default=None)
     parser.add_argument("--cycles", type=int, default=None)
@@ -262,11 +371,14 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.compare_tree is not None:
         result = run_compare(args.compare_tree, warmup, cycles, args.rounds)
+    elif args.telemetry:
+        rounds = args.rounds if not args.check else 1
+        result = run_telemetry_bench(warmup, cycles, rounds)
     else:
         result = run_benchmark(warmup, cycles, repeats)
     out = args.out
     if out is None and not args.check:
-        out = "BENCH_engine.json"
+        out = "BENCH_telemetry.json" if args.telemetry else "BENCH_engine.json"
     if out is not None:
         with open(out, "w") as f:
             json.dump(result, f, indent=2, sort_keys=True)
@@ -282,10 +394,17 @@ def main(argv: list[str] | None = None) -> int:
                 f"  (baseline {ph['baseline_cycles_per_sec']:.1f}, "
                 f"speedup {ph['speedup']:.2f}x)"
             )
+        if "overhead" in ph:
+            line += (
+                f"  (off {ph['off_cycles_per_sec']:.1f}, "
+                f"sampling overhead {100 * ph['overhead']:+.1f}%)"
+            )
         print(line)
     line = f"combined: {result['combined_cycles_per_sec']:.1f} cycles/sec"
     if "combined_speedup" in result:
         line += f"  (speedup {result['combined_speedup']:.2f}x)"
+    if "combined_overhead" in result:
+        line += f"  (sampling overhead {100 * result['combined_overhead']:+.1f}%)"
     print(line)
     return 0
 

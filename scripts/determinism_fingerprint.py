@@ -19,6 +19,14 @@ pool + content-addressed cache in a temp dir), runs the grid twice —
 fresh, then resumed entirely from cache — asserts the two passes agree,
 and emits the same document.  ``diff`` against a plain run must come
 back empty; that is the cache-hit/resume bit-identity check.
+
+``--telemetry`` attaches an in-run telemetry sampler
+(:mod:`repro.telemetry`, interval 50, per-link detail on) to every
+steady-state point and the transient, and emits the same document from
+the telemetered runs.  ``diff`` against a plain run must come back
+empty; that is the observation-never-perturbs check — the sampler reads
+counters and chains the ejection hook, so every LoadPoint, series value
+and network counter must be bit-identical with it attached.
 """
 
 from __future__ import annotations
@@ -59,6 +67,26 @@ def orchestrated_runner(store, workers: int = 2):
     return run
 
 
+def telemetry_runner():
+    """A drop-in for ``run_steady_state`` that runs each point with a
+    telemetry sampler attached (and discards the series: only the
+    LoadPoint enters the fingerprint, and it must not change)."""
+    from repro.engine.runner import run_spec_with_telemetry
+    from repro.engine.runspec import RunSpec
+    from repro.telemetry.config import TelemetryConfig
+
+    tcfg = TelemetryConfig(interval=50, per_link=True)
+
+    def run(config, pattern, load, warmup, measure):
+        point, series = run_spec_with_telemetry(
+            RunSpec(config, pattern, load, warmup, measure), tcfg
+        )
+        assert series is not None and series.samples, "sampler produced nothing"
+        return point
+
+    return run
+
+
 def steady_grid(run=run_steady_state) -> dict:
     out = {}
     for routing in ("min", "val", "ugal", "pb", "par", "ofar", "ofar-l"):
@@ -87,11 +115,16 @@ def steady_grid(run=run_steady_state) -> dict:
     return out
 
 
-def drain_and_counters() -> dict:
+def drain_and_counters(telemetry: bool = False) -> dict:
     out = {}
     cfg = SimulationConfig.small(h=2, routing="ofar", seed=11)
     burst = run_burst(cfg, "ADV+2", packets_per_node=4)
     out["burst"] = {k: repr(v) for k, v in dataclasses.asdict(burst).items()}
+    tcfg = None
+    if telemetry:
+        from repro.telemetry.config import TelemetryConfig
+
+        tcfg = TelemetryConfig(interval=50, per_link=True)
     tr = run_transient(
         SimulationConfig.small(h=2, routing="ofar", seed=13),
         "UN",
@@ -101,7 +134,10 @@ def drain_and_counters() -> dict:
         post=400,
         drain_margin=600,
         bucket=20,
+        telemetry=tcfg,
     )
+    if telemetry:
+        assert tr.telemetry is not None and tr.telemetry.samples
     out["transient"] = [(c, repr(v)) for c, v in tr.series]
     sim = Simulator(SimulationConfig.small(h=2, routing="min", seed=2))
     for i in range(8):
@@ -130,7 +166,15 @@ def main(argv: list[str] | None = None) -> None:
     )
     parser.add_argument("--workers", type=int, default=2,
                         help="worker processes in --orchestrated mode")
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="attach a telemetry sampler (interval 50, per-link) to every "
+             "steady point and the transient; the output must diff clean "
+             "against a plain run (observation never perturbs)",
+    )
     args = parser.parse_args(argv)
+    if args.orchestrated and args.telemetry:
+        sys.exit("--orchestrated and --telemetry are separate checks; pick one")
 
     if args.orchestrated:
         from repro.analysis.store import ResultStore
@@ -142,10 +186,12 @@ def main(argv: list[str] | None = None) -> None:
             if fresh != resumed:
                 sys.exit("resumed sweep diverged from the fresh orchestrated sweep")
             steady = resumed
+    elif args.telemetry:
+        steady = steady_grid(run=telemetry_runner())
     else:
         steady = steady_grid()
 
-    doc = {"steady": steady, "drain": drain_and_counters()}
+    doc = {"steady": steady, "drain": drain_and_counters(telemetry=args.telemetry)}
     json.dump(doc, sys.stdout, indent=1, sort_keys=True)
     sys.stdout.write("\n")
 

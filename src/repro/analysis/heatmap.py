@@ -1,0 +1,211 @@
+"""Congestion heatmaps and settle times from telemetry series.
+
+Renders :class:`~repro.telemetry.sampler.TelemetrySeries` data as ASCII
+heatmaps (the repo is plot-free by design — tables and text renderings
+everywhere), and extracts the quantities the paper argues about:
+
+- **router × class over time** (:func:`render_router_heatmap`): one row
+  per router, one column per sampling window.  Under ADV+h the paper's
+  §III funneling is directly visible — the h routers holding the
+  group-to-group global links saturate their local rows while the rest
+  idle.
+- **group × group** (:func:`render_group_heatmap` /
+  :func:`group_matrix`): mean global-link utilization from group i to
+  group j over a cycle range; compare a pre-switch and post-switch
+  range of a Fig. 6 transient to watch the traffic matrix rotate.
+- **settle time from utilization** (:func:`settle_from_utilization`):
+  the first window after a disturbance from which a link-utilization
+  statistic stays near its final level — an independent cross-check of
+  the send-latency-based ``TransientResult.settle_cycle`` (Fig. 6's
+  adaptation period), measured from a different signal.
+
+Per-link renderings need series recorded with
+``TelemetryConfig(per_link=True)``; class-level statistics work on any
+series.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.telemetry.sampler import TelemetrySample, TelemetrySeries
+
+#: Glyph ramp, darkest last; index = value / vmax scaled to the ramp.
+GLYPHS = " .:-=+*#%@"
+
+
+def _glyph(value: float, vmax: float) -> str:
+    if vmax <= 0 or value != value or value <= 0:
+        return GLYPHS[0]
+    idx = int(value / vmax * (len(GLYPHS) - 1) + 0.5)
+    return GLYPHS[min(idx, len(GLYPHS) - 1)]
+
+
+def _per_link_samples(series: TelemetrySeries) -> list[TelemetrySample]:
+    samples = [s for s in series.samples if s.router_util is not None]
+    if not samples:
+        raise ValueError(
+            "series has no per-link detail — record with "
+            "TelemetryConfig(per_link=True)"
+        )
+    return samples
+
+
+# ----------------------------------------------------------------------
+# Router × class over time
+# ----------------------------------------------------------------------
+def render_router_heatmap(
+    series: TelemetrySeries,
+    kind: str = "local",
+    mark_cycle: int | None = None,
+) -> str:
+    """One row per router, one column per window, darkness = mean
+    utilization of the router's ``kind`` links in that window.
+
+    ``mark_cycle`` inserts a ``|`` column before the first window ending
+    at or after that cycle (e.g. a transient's switch cycle).
+    """
+    samples = _per_link_samples(series)
+    if kind not in samples[0].router_util:
+        raise ValueError(
+            f"no {kind!r} links in series "
+            f"(have {sorted(samples[0].router_util)})"
+        )
+    grid = [s.router_util[kind] for s in samples]  # [sample][router]
+    num_routers = len(grid[0])
+    vmax = max((v for row in grid for v in row), default=0.0)
+    mark_at = None
+    if mark_cycle is not None:
+        for i, s in enumerate(samples):
+            if s.cycle >= mark_cycle:
+                mark_at = i
+                break
+    lines = [
+        f"{kind}-link utilization by router over time "
+        f"(interval={series.config.interval}, max={vmax:.3f})"
+    ]
+    width = len(str(num_routers - 1))
+    for rid in range(num_routers):
+        cells = []
+        for i, row in enumerate(grid):
+            if i == mark_at:
+                cells.append("|")
+            cells.append(_glyph(row[rid], vmax))
+        lines.append(f"r{rid:>{width}} {''.join(cells)}")
+    first, last = samples[0].cycle, samples[-1].cycle
+    tail = f"  ('|' = cycle {mark_cycle})" if mark_at is not None else ""
+    lines.append(f"{'':>{width + 1}} cycles {first}..{last}{tail}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Group × group
+# ----------------------------------------------------------------------
+def group_matrix(
+    series: TelemetrySeries,
+    start: int | None = None,
+    end: int | None = None,
+) -> list[list[float]]:
+    """Mean group→group global-link utilization over sample cycles in
+    [start, end) (whole series by default)."""
+    samples = [
+        s for s in _per_link_samples(series)
+        if s.group_util is not None
+        and (start is None or s.cycle >= start)
+        and (end is None or s.cycle < end)
+    ]
+    if not samples:
+        raise ValueError(f"no per-link samples in cycle range [{start}, {end})")
+    n = len(samples[0].group_util)
+    acc = [[0.0] * n for _ in range(n)]
+    for s in samples:
+        for i, row in enumerate(s.group_util):
+            for j, v in enumerate(row):
+                acc[i][j] += v
+    return [[v / len(samples) for v in row] for row in acc]
+
+
+def render_group_heatmap(
+    series: TelemetrySeries,
+    start: int | None = None,
+    end: int | None = None,
+) -> str:
+    """src-group × dst-group grid of mean global-link utilization."""
+    matrix = group_matrix(series, start, end)
+    n = len(matrix)
+    vmax = max((v for row in matrix for v in row), default=0.0)
+    lo = "start" if start is None else start
+    hi = "end" if end is None else end
+    width = len(str(n - 1))
+    lines = [
+        f"group→group global-link utilization, cycles [{lo}, {hi}) "
+        f"(max={vmax:.3f})",
+        f"{'':>{width + 1}} " + "".join(str(j % 10) for j in range(n)),
+    ]
+    for i, row in enumerate(matrix):
+        lines.append(f"g{i:>{width}} " + "".join(_glyph(v, vmax) for v in row))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Settle time from utilization
+# ----------------------------------------------------------------------
+def settle_from_utilization(
+    series: TelemetrySeries,
+    after: int,
+    kind: str = "local",
+    stat: Callable[[TelemetrySample], float] | None = None,
+    factor: float = 1.5,
+    tail: int = 3,
+) -> int | None:
+    """First sample cycle >= ``after`` from which ``stat`` stays within
+    ``factor`` × its settled level (the mean of the last ``tail``
+    samples); None when it never settles.
+
+    Defaults to per-window p99 ``kind``-link utilization — the signal
+    the ISSUE's acceptance demo watches.  Mirrors the semantics of
+    ``TransientResult.settle_cycle`` so the two settle times are
+    directly comparable: latency and link load should agree on when the
+    routing adapted (Fig. 6).
+    """
+    if stat is None:
+        def stat(s: TelemetrySample) -> float:
+            return s.link_util[kind].p99
+
+    points = [(s.cycle, stat(s)) for s in series.samples]
+    if len(points) < tail:
+        raise ValueError(f"need at least tail={tail} samples, have {len(points)}")
+    settled_level = sum(v for _, v in points[-tail:]) / tail
+    target = factor * settled_level
+    settled_from = None
+    for cyc, v in points:
+        if cyc < after:
+            continue
+        if v <= target:
+            if settled_from is None:
+                settled_from = cyc
+        else:
+            settled_from = None
+    return settled_from
+
+
+# ----------------------------------------------------------------------
+# Scalar sparkline (CLI summaries)
+# ----------------------------------------------------------------------
+def render_series(
+    points: list[tuple[int, float]],
+    label: str,
+    mark_cycle: int | None = None,
+) -> str:
+    """One-line glyph sparkline of (cycle, value) points."""
+    if not points:
+        return f"{label}: (no samples)"
+    vmax = max(v for _, v in points)
+    cells = []
+    marked = False
+    for cyc, v in points:
+        if mark_cycle is not None and not marked and cyc >= mark_cycle:
+            cells.append("|")
+            marked = True
+        cells.append(_glyph(v, vmax))
+    return f"{label} [{''.join(cells)}] max={vmax:.3f}"

@@ -6,6 +6,11 @@ simulator's output channels count every phit they send
 (``OutputChannel.sent_phits``), so after a run we can reconstruct the
 utilization distribution per link class and find the funnels directly —
 the dynamic counterpart of :mod:`repro.analysis.offsets`.
+
+This is a single-window, end-of-run view.  For the same counters
+sampled *over time* (per-window deltas, heatmaps, settle times), see
+the telemetry subsystem (:mod:`repro.telemetry`), which diffs
+``sent_phits`` exactly the way :meth:`LinkMonitor.loads` does.
 """
 
 from __future__ import annotations
@@ -66,10 +71,12 @@ class LinkMonitor:
         self.network = network
         self._baseline: dict[tuple[int, int], int] = {}
         self._start_cycle = 0
+        self._started = False
 
     def start(self, cycle: int) -> None:
         """Mark the beginning of the measurement window."""
         self._start_cycle = cycle
+        self._started = True
         self._baseline = {
             (rt.rid, ch.port): ch.sent_phits
             for rt in self.network.routers
@@ -79,6 +86,14 @@ class LinkMonitor:
 
     def loads(self, cycle: int, kinds: tuple[PortKind, ...] = (PortKind.LOCAL, PortKind.GLOBAL)) -> list[LinkLoad]:
         """Per-channel utilization since :meth:`start`."""
+        if not self._started:
+            # Without a baseline this would silently report lifetime
+            # counters over a bogus max(1, cycle) window — make the
+            # misuse loud instead.
+            raise RuntimeError(
+                "LinkMonitor.start(cycle) must be called before reading "
+                "loads/stats: no baseline window is defined yet"
+            )
         window = max(1, cycle - self._start_cycle)
         out: list[LinkLoad] = []
         for rt in self.network.routers:

@@ -5,6 +5,9 @@ Commands
 - ``info``      — topology facts and analytic bounds for a given h;
 - ``sweep``     — latency/throughput load sweep for one routing+pattern;
 - ``transient`` — Fig. 6-style pattern-switch experiment;
+- ``telemetry`` — pattern-switch experiment with an in-run telemetry
+  sampler: exports the windowed series (JSONL/CSV) and renders
+  utilization heatmaps/sparklines around the switch;
 - ``burst``     — Fig. 7-style burst-consumption experiment;
 - ``offsets``   — Fig. 2-style ADV offset study (simulated + analytic);
 - ``figure``    — regenerate a paper figure by name (fig2..fig9, ablations,
@@ -15,6 +18,10 @@ Examples::
     python -m repro info --h 6
     python -m repro sweep --routing ofar --pattern ADV+3 --h 3 \
         --loads 0.1,0.2,0.3,0.4
+    python -m repro sweep --routing ofar --pattern UN --h 2 \
+        --store /tmp/st --telemetry 100
+    python -m repro telemetry --routing pb --before UN --after ADV+2 \
+        --out series.jsonl --heatmap
     python -m repro figure fig5 --scale medium
 """
 
@@ -114,6 +121,47 @@ def cmd_transient(args) -> None:
     for cyc, lat in result.series:
         table.add(send_cycle=cyc, avg_latency=round(lat, 1))
     print(table.to_text())
+
+
+def cmd_telemetry(args) -> None:
+    from repro.analysis import heatmap
+    from repro.telemetry import TelemetryConfig
+
+    cfg = _config(args)
+    tcfg = TelemetryConfig(interval=args.interval, per_link=True)
+    result = run_transient(
+        cfg, args.before, args.after, args.load,
+        warmup=args.warmup, post=args.measure, bucket=args.bucket,
+        telemetry=tcfg,
+    )
+    series = result.telemetry
+    switch = result.switch_cycle
+    series.write_jsonl(args.out)
+    print(f"{args.routing}: {args.before} -> {args.after} at load {args.load}, "
+          f"switch at cycle {switch}")
+    print(f"wrote {len(series.samples)} samples "
+          f"(interval {tcfg.interval}, {series.dropped} dropped) to {args.out}")
+    if args.csv:
+        series.write_csv(args.csv)
+        print(f"wrote CSV to {args.csv}")
+    print(heatmap.render_series(
+        series.link_p99("local"), "local-link p99 util", mark_cycle=switch))
+    print(heatmap.render_series(
+        series.series(lambda s: float(s.injection_backlog)),
+        "injection backlog   ", mark_cycle=switch))
+    settle = heatmap.settle_from_utilization(series, after=switch)
+    if settle is None:
+        print("local-link p99 utilization never settles in the recorded window")
+    else:
+        print(f"local-link p99 utilization settles at cycle {settle} "
+              f"({settle - switch} cycles after the switch)")
+    if args.heatmap:
+        print()
+        print(heatmap.render_router_heatmap(series, "local", mark_cycle=switch))
+        print()
+        print(heatmap.render_group_heatmap(series, end=switch))
+        print()
+        print(heatmap.render_group_heatmap(series, start=switch))
 
 
 def cmd_burst(args) -> None:
@@ -234,6 +282,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--load", type=float, default=0.14)
     p.add_argument("--bucket", type=int, default=50)
     p.set_defaults(func=cmd_transient)
+
+    p = sub.add_parser("telemetry",
+                       help="pattern-switch experiment with in-run telemetry")
+    common(p)
+    p.add_argument("--before", default="UN")
+    p.add_argument("--after", default="ADV+2")
+    p.add_argument("--load", type=float, default=0.14)
+    p.add_argument("--bucket", type=int, default=50)
+    p.add_argument("--interval", type=int, default=100,
+                   help="telemetry sampling window in cycles (default 100)")
+    p.add_argument("--out", default="telemetry.jsonl",
+                   help="JSONL series output path (default telemetry.jsonl)")
+    p.add_argument("--csv", default=None, metavar="FILE",
+                   help="also export the flat CSV view")
+    p.add_argument("--heatmap", action="store_true",
+                   help="render router×time and group×group heatmaps")
+    p.set_defaults(func=cmd_telemetry)
 
     p = sub.add_parser("burst", help="burst-consumption experiment")
     common(p)

@@ -219,7 +219,13 @@ class OFARRouting(RoutingAlgorithm):
             cycle - pkt.head_cycle >= self._escape_patience
             and ch.best_data_vc(size) < 0
         ):
-            return self._enter_ring(rt, cycle, size)
+            req = self._enter_ring(rt, cycle, size)
+            if req is None:
+                # Bubble flow control refused the entry: no ring output
+                # here has room for packet + bubble.  Counter only —
+                # telemetry watches ring pressure through it.
+                self.network.ring_entry_stalls += 1
+            return req
         return None
 
     # ------------------------------------------------------------------

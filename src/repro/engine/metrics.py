@@ -21,6 +21,32 @@ from dataclasses import dataclass, field, fields
 from repro.network.packet import Packet
 
 
+def percentile_from_histogram(
+    histogram: dict[int, int], bucket_width: int, fraction: float
+) -> float:
+    """Percentile estimate from a bucketed histogram.
+
+    ``histogram`` maps bucket index -> count, where bucket ``b`` covers
+    values ``[b * bucket_width, (b + 1) * bucket_width)``.  Returns the
+    upper edge of the bucket containing the requested fraction of the
+    population; 0.0 when the histogram is empty.  Shared by
+    :meth:`Metrics.latency_percentile` and the telemetry sampler's
+    per-window latency digest, so the two report comparable numbers.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    total = sum(histogram.values())
+    if total == 0:
+        return 0.0
+    need = fraction * total
+    seen = 0
+    for bucket in sorted(histogram):
+        seen += histogram[bucket]
+        if seen >= need:
+            return (bucket + 1) * bucket_width
+    return (max(histogram) + 1) * bucket_width
+
+
 @dataclass
 class LoadPoint:
     """One point of a latency/throughput-vs-load curve."""
@@ -201,18 +227,9 @@ class Metrics:
         Returns the upper edge of the bucket containing the requested
         fraction of ejected packets; 0.0 when nothing was measured.
         """
-        if not 0.0 < fraction <= 1.0:
-            raise ValueError("fraction must be in (0, 1]")
-        total = sum(self.latency_histogram.values())
-        if total == 0:
-            return 0.0
-        need = fraction * total
-        seen = 0
-        for bucket in sorted(self.latency_histogram):
-            seen += self.latency_histogram[bucket]
-            if seen >= need:
-                return (bucket + 1) * self.histogram_bucket
-        return (max(self.latency_histogram) + 1) * self.histogram_bucket
+        return percentile_from_histogram(
+            self.latency_histogram, self.histogram_bucket, fraction
+        )
 
     def load_point(self, offered_load: float, cycle: int) -> LoadPoint:
         """Summarize the window that started at the last reset.

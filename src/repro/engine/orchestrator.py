@@ -18,7 +18,9 @@ an arbitrary grid with the properties a long sweep needs:
 - **observability** — after every resolved point the orchestrator emits
   a :class:`~repro.engine.tracing.SweepProgress` snapshot
   (done/cached/failed, rate, ETA, per-point wall time) to the installed
-  observer.
+  observer.  With a ``telemetry`` config, points additionally record an
+  in-run time series (:mod:`repro.telemetry`) persisted next to the
+  store under the same fingerprint.
 
 ``workers=0`` runs points in-process (no subprocess, no crash
 protection) — exactly the legacy sequential runner, and the mode the
@@ -29,12 +31,14 @@ count, retries and cache hits cannot change a LoadPoint.
 
 from __future__ import annotations
 
+import functools
 import multiprocessing as mp
 import time
 import traceback
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _wait_connections
+from pathlib import Path
 from typing import Callable
 
 from repro.analysis.store import ResultStore
@@ -91,6 +95,34 @@ def _execute_spec(spec: RunSpec) -> LoadPoint:
     return run_spec(spec)
 
 
+def _execute_spec_telemetry(
+    telemetry_dir: str | None, telemetry, spec: RunSpec
+) -> LoadPoint:
+    """Default worker with telemetry: run the point, persist its series.
+
+    Module-level + bound via ``functools.partial`` so it pickles into
+    worker processes.  The effective sampling config is the spec's own
+    ``telemetry`` field, else the orchestrator-wide one; with neither
+    this is exactly :func:`_execute_spec`.  The series lands at
+    ``<telemetry_dir>/<fp[:2]>/<fp>.jsonl`` — the result store's layout
+    and atomicity conventions, keyed by the same fingerprint as the
+    point's store entry.  The returned LoadPoint is bit-identical to an
+    untelemetered run (observation never perturbs), which is why the
+    series file can ride alongside the cache without forking its keys.
+    """
+    cfg = spec.telemetry if spec.telemetry is not None else telemetry
+    if cfg is None:
+        return run_spec(spec)
+    from repro.engine.runner import run_spec_with_telemetry
+    from repro.telemetry.export import write_jsonl
+
+    point, series = run_spec_with_telemetry(spec, cfg)
+    if telemetry_dir is not None and series is not None:
+        fp = spec.fingerprint()
+        write_jsonl(series, Path(telemetry_dir) / fp[:2] / f"{fp}.jsonl")
+    return point
+
+
 def _child_main(conn, worker, spec) -> None:
     """Subprocess body: run one point, ship the result or the traceback."""
     try:
@@ -144,6 +176,22 @@ class Orchestrator:
         module-level (picklable) function; the default is the real
         runner.  Overriding it is the fault-injection hook the failure
         tests use.
+    telemetry:
+        Optional :class:`~repro.telemetry.config.TelemetryConfig`
+        applied to every point that does not carry its own
+        ``spec.telemetry``.  Points with an effective config run through
+        :func:`~repro.engine.runner.run_spec_with_telemetry` and their
+        series are persisted under ``telemetry_dir`` (same
+        ``<fp[:2]>/<fp>`` layout and atomic writes as the result store,
+        ``.jsonl`` suffix).  LoadPoints — and therefore store entries
+        and fingerprints — are unchanged.  Cache *hits* skip execution,
+        so they never (re)generate series files; use ``use_cache=False``
+        to re-observe already-stored points.  Ignored when a custom
+        ``worker`` is installed.
+    telemetry_dir:
+        Where series files go; defaults to ``<store>/telemetry`` when a
+        store is attached.  With neither, series are computed and
+        dropped (the LoadPoint still comes back).
     """
 
     def __init__(
@@ -155,6 +203,8 @@ class Orchestrator:
         timeout: float | None = None,
         observer: ProgressObserver | None = None,
         worker: Callable[[RunSpec], LoadPoint] = _execute_spec,
+        telemetry=None,
+        telemetry_dir: str | Path | None = None,
     ) -> None:
         if workers is None:
             workers = default_workers()
@@ -170,6 +220,18 @@ class Orchestrator:
         self.retries = retries
         self.timeout = timeout
         self.observer = observer
+        if telemetry_dir is None and store is not None:
+            telemetry_dir = store.root / "telemetry"
+        self.telemetry = telemetry
+        self.telemetry_dir = Path(telemetry_dir) if telemetry_dir is not None else None
+        if worker is _execute_spec:
+            # The default worker honors telemetry (orchestrator-wide or
+            # per-spec); the partial keeps it picklable for the pool.
+            worker = functools.partial(
+                _execute_spec_telemetry,
+                str(self.telemetry_dir) if self.telemetry_dir is not None else None,
+                telemetry,
+            )
         self.worker = worker
 
     # ------------------------------------------------------------------

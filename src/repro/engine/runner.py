@@ -10,6 +10,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 from repro.engine.config import SimulationConfig
 from repro.engine.metrics import LoadPoint
 from repro.engine.runspec import RunSpec
@@ -17,11 +19,27 @@ from repro.engine.simulator import Simulator
 from repro.traffic.generators import BernoulliTraffic, BurstTraffic, TransientTraffic
 from repro.traffic.patterns import make_pattern
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.config import TelemetryConfig
+    from repro.telemetry.sampler import TelemetrySeries
+
 
 def _pattern_rng(config: SimulationConfig, salt: int) -> random.Random:
     """Dedicated RNG for destination choices, decoupled from the
     router-level RNG so routing decisions don't perturb the workload."""
     return random.Random((config.seed << 16) ^ salt)
+
+
+def _build_steady_sim(spec: RunSpec) -> Simulator:
+    """Fresh simulator + Bernoulli generator for one steady-state spec."""
+    config = spec.config
+    sim = Simulator(config)
+    pattern = make_pattern(sim.network.topo, _pattern_rng(config, 0xA5), spec.pattern_spec)
+    sim.generator = BernoulliTraffic(
+        pattern, spec.load, config.packet_size, sim.network.topo.num_nodes,
+        config.seed ^ 0x5A5A,
+    )
+    return sim
 
 
 def run_spec(spec: RunSpec) -> LoadPoint:
@@ -31,16 +49,37 @@ def run_spec(spec: RunSpec) -> LoadPoint:
     (:func:`run_steady_state`, the parallel pool, the orchestrator) is a
     wrapper that constructs a ``RunSpec`` and lands here.
     """
-    config = spec.config
-    sim = Simulator(config)
-    pattern = make_pattern(sim.network.topo, _pattern_rng(config, 0xA5), spec.pattern_spec)
-    sim.generator = BernoulliTraffic(
-        pattern, spec.load, config.packet_size, sim.network.topo.num_nodes,
-        config.seed ^ 0x5A5A,
-    )
+    sim = _build_steady_sim(spec)
     sim.warm_up(spec.warmup)
     sim.run(spec.measure)
     return sim.metrics.load_point(spec.load, sim.cycle)
+
+
+def run_spec_with_telemetry(
+    spec: RunSpec, telemetry: "TelemetryConfig | None" = None
+):
+    """:func:`run_spec` with an in-run telemetry sampler attached.
+
+    Returns ``(LoadPoint, TelemetrySeries | None)``.  The sampler covers
+    the *measurement* window (attached after warm-up, exactly when the
+    metrics window resets).  The effective config is ``telemetry`` if
+    given, else ``spec.telemetry``; when both are None the series is
+    None and this is exactly :func:`run_spec`.  The LoadPoint is
+    bit-identical either way — observation never perturbs (the
+    determinism fingerprint's ``--telemetry`` mode asserts this).
+    """
+    from repro.telemetry.sampler import TelemetrySampler
+
+    cfg = telemetry if telemetry is not None else spec.telemetry
+    if cfg is None:
+        return run_spec(spec), None
+    sim = _build_steady_sim(spec)
+    sim.warm_up(spec.warmup)
+    sampler = TelemetrySampler(sim, cfg)
+    sampler.attach()
+    sim.run(spec.measure)
+    point = sim.metrics.load_point(spec.load, sim.cycle)
+    return point, sampler.finish()
 
 
 def run_steady_state(
@@ -79,6 +118,9 @@ class TransientResult:
 
     switch_cycle: int
     series: list[tuple[int, float]]  # (send cycle bucket, avg latency)
+    # In-run telemetry covering the whole transient (None unless
+    # run_transient was given a TelemetryConfig).
+    telemetry: "TelemetrySeries | None" = None
 
     def average_latency(self, start: int, end: int) -> float:
         """Mean of the series over send cycles in [start, end)."""
@@ -114,12 +156,18 @@ def run_transient(
     post: int = 3_000,
     drain_margin: int = 4_000,
     bucket: int = 20,
+    telemetry: "TelemetryConfig | None" = None,
 ) -> TransientResult:
     """Fig. 6 protocol: warm up with one pattern, switch, watch latency.
 
     The returned series covers send cycles in [0, warmup + post); the
     simulation continues ``drain_margin`` extra cycles so late packets
     from the reported range are (almost) all accounted.
+
+    With a ``telemetry`` config, a sampler watches the *whole* run
+    (warm-up, switch, drain) so the utilization spike at the switch is
+    in the series; sample cycles line up directly with send cycles
+    (both count from 0) and ``switch_cycle`` marks the transition.
     """
     sim = Simulator(config, record_send_latency=True, send_bucket=bucket)
     topo = sim.network.topo
@@ -130,11 +178,21 @@ def run_transient(
     sim.generator = TransientTraffic(
         phases, load, config.packet_size, topo.num_nodes, config.seed ^ 0x7171
     )
+    sampler = None
+    if telemetry is not None:
+        from repro.telemetry.sampler import TelemetrySampler
+
+        sampler = TelemetrySampler(sim, telemetry)
+        sampler.attach()
     sim.run(warmup + post + drain_margin)
     series = [
         (cyc, lat) for cyc, lat in sim.metrics.send_latency_series() if cyc < warmup + post
     ]
-    return TransientResult(switch_cycle=warmup, series=series)
+    return TransientResult(
+        switch_cycle=warmup,
+        series=series,
+        telemetry=sampler.finish() if sampler is not None else None,
+    )
 
 
 @dataclass

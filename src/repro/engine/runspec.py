@@ -15,6 +15,11 @@ Two derived encodings matter:
   canonical JSON form, not Python object identity).
 - :meth:`RunSpec.to_json` / :meth:`RunSpec.from_json` — a lossless
   round-trip used for provenance inside store entries.
+
+The optional ``telemetry`` field is the one exception to "everything is
+identity": it requests in-run observation (:mod:`repro.telemetry`) and
+is excluded from both encodings, because a sampler never changes what
+the simulation computes.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ import json
 from dataclasses import dataclass
 
 from repro.engine.config import SimulationConfig
+from repro.telemetry.config import TelemetryConfig
 
 # Bump when the meaning of a fingerprinted field changes so stale store
 # entries become misses instead of wrong answers.
@@ -39,6 +45,12 @@ class RunSpec:
     load: float
     warmup: int = 2_000
     measure: int = 2_000
+    # Observation sidecar, NOT identity: a sampler never perturbs the
+    # simulation, so ``telemetry`` is deliberately excluded from
+    # ``to_jsonable()``/``fingerprint()`` — enabling it neither
+    # invalidates cached results nor forks the store key.  (Rationale in
+    # repro.telemetry.config.)
+    telemetry: TelemetryConfig | None = None
 
     def __post_init__(self) -> None:
         if self.load < 0:

@@ -88,6 +88,9 @@ class Simulator:
         self._routing_ticks = type(self.routing).tick is not RoutingAlgorithm.tick
         # Total packets created (≥ injected: source queues buffer excess).
         self.created_packets = 0
+        # Optional TelemetrySampler (repro.telemetry); None costs one
+        # attribute check per cycle — the whole price of having the hook.
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     # Packet creation / injection
@@ -195,6 +198,11 @@ class Simulator:
             and cycle - self._progress_cycle > self.config.deadlock_cycles
         ):
             raise DeadlockError(self._progress_cycle, self.outstanding_packets())
+        # Telemetry observes the settled end-of-cycle state; the sampler
+        # only reads, so a telemetered run is bit-identical to a plain one.
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.on_cycle(cycle)
         self.cycle = cycle + 1
 
     def run(self, cycles: int) -> None:

@@ -1,15 +1,22 @@
 """Observability: per-packet hop tracing and sweep progress reporting.
 
-Two independent facilities live here:
+Two of the run layer's three observability facilities live here; the
+third is the in-run telemetry subsystem (:mod:`repro.telemetry`).  Each
+watches a different timescale:
 
-- :class:`Tracer` wraps a network's grant executor to record every hop
-  of selected (or all) packets: (cycle, router, output port, port kind,
-  VC, request kind).  Used by examples and tests to *show* a path —
-  e.g. that an OFAR packet detoured around a hot link — instead of
-  inferring it from counters.
-- :class:`SweepProgress` / :class:`ConsoleProgress` are the
-  orchestrator's observability hook: after every resolved grid point
-  the orchestrator emits a progress snapshot (done/cached/failed
+- :class:`Tracer` (per *event*) wraps a network's grant executor to
+  record every hop of selected (or all) packets: (cycle, router, output
+  port, port kind, VC, request kind).  Used by examples and tests to
+  *show* a path — e.g. that an OFAR packet detoured around a hot link —
+  instead of inferring it from counters.
+- :class:`~repro.telemetry.sampler.TelemetrySampler` (per *window*,
+  in :mod:`repro.telemetry`) snapshots windowed link utilization,
+  buffer occupancy, ring pressure and latency digests every ``interval``
+  cycles of a single run — the time-resolved middle ground between a
+  hop trace and an end-of-run LoadPoint.
+- :class:`SweepProgress` / :class:`ConsoleProgress` (per *grid point*)
+  are the orchestrator's observability hook: after every resolved grid
+  point the orchestrator emits a progress snapshot (done/cached/failed
   counts, rate, ETA, per-point wall time) to whatever observer the
   caller installed.  ``ConsoleProgress`` renders it as one stderr line
   per point; tests install plain lists.

@@ -7,11 +7,11 @@ exact legacy sequential behavior benchmarks rely on) or through an
 installed :class:`~repro.engine.orchestrator.Orchestrator` (parallel
 workers, result-store caching, resume, per-point fault tolerance).
 
-The ``--workers/--resume/--store/--no-cache/--progress/--timeout``
-options every ``python -m repro.experiments.figX`` entry point (and the
-``repro sweep`` / ``repro figure`` CLI) accepts come from the single
-argparse parent built by :func:`orchestration_options`; drivers never
-copy those flags per file.
+The ``--workers/--resume/--store/--no-cache/--progress/--timeout/
+--telemetry`` options every ``python -m repro.experiments.figX`` entry
+point (and the ``repro sweep`` / ``repro figure`` CLI) accepts come
+from the single argparse parent built by
+:func:`orchestration_options`; drivers never copy those flags per file.
 """
 
 from __future__ import annotations
@@ -196,6 +196,18 @@ def orchestration_options() -> argparse.ArgumentParser:
         "--retries", type=int, default=1, metavar="N",
         help="extra attempts after a failed/crashed/timed-out point (default 1)",
     )
+    group.add_argument(
+        "--telemetry", type=int, nargs="?", const=100, default=None,
+        metavar="INTERVAL",
+        help="record an in-run telemetry series per point (sampling window "
+             "in cycles, default 100); series files land in the telemetry "
+             "directory, keyed by spec fingerprint",
+    )
+    group.add_argument(
+        "--telemetry-dir", default=None, metavar="DIR",
+        help="where per-point telemetry series go (default: "
+             "<store>/telemetry, or .repro-store/telemetry without a store)",
+    )
     return parent
 
 
@@ -204,12 +216,24 @@ def orchestrator_from_args(args: argparse.Namespace) -> Orchestrator | None:
     from repro.analysis.store import ResultStore
     from repro.engine.tracing import ConsoleProgress
 
+    from repro.telemetry.config import TelemetryConfig
+
     store_dir = args.store or (DEFAULT_STORE if args.resume else None)
+    telemetry = (
+        TelemetryConfig(interval=args.telemetry)
+        if getattr(args, "telemetry", None) is not None else None
+    )
+    telemetry_dir = getattr(args, "telemetry_dir", None)
+    if telemetry is not None and telemetry_dir is None and store_dir is None:
+        # --telemetry with neither a store nor an explicit directory
+        # still needs somewhere for the series files.
+        telemetry_dir = f"{DEFAULT_STORE}/telemetry"
     wants = (
         args.workers is not None
         or store_dir is not None
         or args.progress
         or args.timeout is not None
+        or telemetry is not None
     )
     if not wants:
         return None
@@ -220,6 +244,8 @@ def orchestrator_from_args(args: argparse.Namespace) -> Orchestrator | None:
         retries=args.retries,
         timeout=args.timeout,
         observer=ConsoleProgress() if args.progress else None,
+        telemetry=telemetry,
+        telemetry_dir=telemetry_dir,
     )
 
 

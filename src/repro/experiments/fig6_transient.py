@@ -14,13 +14,26 @@ cycle.  Three transitions, as in the paper:
 The summary table reports the settled latency before the switch, the
 post-switch latency spike, and the settle time back to within 1.5x of
 the new steady level.
+
+With in-run telemetry (:mod:`repro.telemetry`) the same transition can
+be watched from the *link* side: :func:`run_one` accepts a
+``TelemetryConfig``, and :func:`settle_crosscheck` compares the
+latency-based settle time with the one
+:func:`repro.analysis.heatmap.settle_from_utilization` extracts from
+per-window local-link p99 utilization — two independent signals that
+should agree on when the routing adapted.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.analysis.results import Table
 from repro.engine.runner import TransientResult, run_transient
 from repro.experiments.common import Scale, cli_scale
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.config import TelemetryConfig
 
 ROUTINGS = ("pb", "ofar", "ofar-l")
 
@@ -35,7 +48,12 @@ def transitions(h: int) -> list[tuple[str, str, float]]:
 
 
 def run_one(
-    scale: Scale, routing: str, before: str, after: str, load: float
+    scale: Scale,
+    routing: str,
+    before: str,
+    after: str,
+    load: float,
+    telemetry: "TelemetryConfig | None" = None,
 ) -> TransientResult:
     cfg = scale.config(routing)
     return run_transient(
@@ -46,6 +64,7 @@ def run_one(
         warmup=scale.transient_warmup,
         post=scale.transient_post,
         bucket=max(10, scale.transient_post // 100),
+        telemetry=telemetry,
     )
 
 
@@ -65,6 +84,33 @@ def summarize(result: TransientResult, tail: int = 500) -> dict:
         "spike_latency": round(spike, 1),
         "settled_latency": round(settled_level, 1),
         "settle_cycles": (settle - switch) if settle is not None else None,
+    }
+
+
+def settle_crosscheck(result: TransientResult, tail: int = 500) -> dict:
+    """Latency-based vs utilization-based settle time for one transient.
+
+    Requires a :class:`TransientResult` produced with telemetry.  Both
+    numbers use the same semantics (first point after the switch from
+    which the signal stays within 1.5× its final level), so they should
+    land within a sampling window of each other when latency and link
+    load settle together — a disagreement means the network found a new
+    equilibrium where one signal recovered but the other did not.
+    """
+    from repro.analysis.heatmap import settle_from_utilization
+
+    if result.telemetry is None:
+        raise ValueError("run the transient with a TelemetryConfig first")
+    summary = summarize(result, tail=tail)
+    latency_settle = summary["settle_cycles"]
+    util_settle = settle_from_utilization(
+        result.telemetry, after=result.switch_cycle, kind="local"
+    )
+    return {
+        "settle_latency": latency_settle,
+        "settle_util": (
+            util_settle - result.switch_cycle if util_settle is not None else None
+        ),
     }
 
 

@@ -104,6 +104,8 @@ class Network:
         self.last_eject_cycle = -1  # cycle of the most recent ejection
         self.ring_entries = 0
         self.ring_moves = 0
+        self.ring_packets = 0  # packets currently riding an escape ring
+        self.ring_entry_stalls = 0  # ring entries refused for lack of a bubble
         self.local_misroutes = 0
         self.global_misroutes = 0
         # Hook invoked as on_eject(packet, eject_cycle).
@@ -600,12 +602,14 @@ class Network:
                 pkt.used_ring = True
                 pkt.ring_id = self.ring_of_channel[(rt.rid, out_port)]
                 self.ring_entries += 1
+                self.ring_packets += 1
             elif kind == KIND_RING_MOVE:
                 self.ring_moves += 1
             elif kind == KIND_RING_EXIT:
                 pkt.on_ring = False
                 pkt.ring_id = -1
                 pkt.ring_exits += 1
+                self.ring_packets -= 1
             if kind == KIND_RING_ENTER or kind == KIND_RING_MOVE:
                 pkt.ring_hops += 1
             elif kind_code == CODE_LOCAL:
@@ -626,6 +630,7 @@ class Network:
             if pkt.on_ring:
                 pkt.on_ring = False  # final ring exit at the destination
                 pkt.ring_id = -1
+                self.ring_packets -= 1
             due = cycle + ch.latency + size
             event = (_EV_EJECT, pkt, due)
         else:

@@ -1,0 +1,51 @@
+"""In-run telemetry: windowed time-series observation of a simulation.
+
+The third observability facility of the run layer (beside the
+event-level :class:`~repro.engine.tracing.Tracer` and the sweep-level
+:class:`~repro.engine.tracing.SweepProgress`): a
+:class:`~repro.telemetry.sampler.TelemetrySampler` attached to a
+:class:`~repro.engine.simulator.Simulator` snapshots windowed link
+utilization, buffer occupancy, ring pressure, misroute rates and a
+latency digest every ``interval`` cycles into a bounded
+:class:`~repro.telemetry.sampler.TelemetrySeries`, exported as NaN-safe
+JSONL/CSV (:mod:`repro.telemetry.export`) and rendered by
+:mod:`repro.analysis.heatmap`.
+
+Zero-cost when off, perturbation-free when on — see the module
+docstrings of :mod:`repro.telemetry.sampler` and
+:mod:`repro.telemetry.config` for the contracts.
+"""
+
+from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.export import (
+    SERIES_FORMAT,
+    from_jsonl,
+    read_jsonl,
+    to_csv,
+    to_jsonl,
+    write_csv,
+    write_jsonl,
+)
+from repro.telemetry.sampler import (
+    BufferStats,
+    ClassStats,
+    TelemetrySample,
+    TelemetrySampler,
+    TelemetrySeries,
+)
+
+__all__ = [
+    "TelemetryConfig",
+    "TelemetrySampler",
+    "TelemetrySample",
+    "TelemetrySeries",
+    "ClassStats",
+    "BufferStats",
+    "SERIES_FORMAT",
+    "to_jsonl",
+    "from_jsonl",
+    "read_jsonl",
+    "to_csv",
+    "write_jsonl",
+    "write_csv",
+]

@@ -1,0 +1,73 @@
+"""Telemetry sampling configuration.
+
+:class:`TelemetryConfig` is deliberately dependency-free (no imports
+from the engine or network layers) so that low-level modules —
+:mod:`repro.engine.runspec` in particular — can reference it without
+creating an import cycle.
+
+A crucial design decision lives here, documented once: **telemetry is
+an observation sidecar, not part of a simulation's identity.**  A
+:class:`~repro.engine.runspec.RunSpec` carrying a ``TelemetryConfig``
+describes the *same* simulation point as one without — the sampler
+reads counters, it never perturbs the run — so telemetry is excluded
+from ``RunSpec.to_jsonable()`` and ``RunSpec.fingerprint()``.  Cached
+results stay valid whether or not telemetry was on when they were
+produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """How a :class:`~repro.telemetry.sampler.TelemetrySampler` samples.
+
+    Parameters
+    ----------
+    interval:
+        Cycles per sampling window.  Every ``interval`` cycles the
+        sampler snapshots windowed counter deltas and instantaneous
+        occupancies into one :class:`~repro.telemetry.sampler.TelemetrySample`.
+    capacity:
+        Ring-buffer bound on retained samples.  When a run produces
+        more windows than ``capacity``, the *oldest* samples are
+        dropped (and counted in ``TelemetrySeries.dropped``) — memory
+        stays bounded no matter how long the run is.
+    per_link:
+        Record per-router / group×group utilization detail in every
+        sample (what the heatmap renderers in
+        :mod:`repro.analysis.heatmap` consume).  Off by default: the
+        detail costs O(routers) memory per sample.
+    """
+
+    interval: int = 100
+    capacity: int = 4096
+    per_link: bool = False
+
+    def __post_init__(self) -> None:
+        if self.interval < 1:
+            raise ValueError(f"telemetry interval must be >= 1, got {self.interval}")
+        if self.capacity < 1:
+            raise ValueError(f"telemetry capacity must be >= 1, got {self.capacity}")
+
+    # ------------------------------------------------------------------
+    # Serialization (series-file provenance headers)
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> dict:
+        return {
+            "interval": self.interval,
+            "capacity": self.capacity,
+            "per_link": self.per_link,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "TelemetryConfig":
+        if not isinstance(data, dict):
+            raise ValueError("TelemetryConfig JSON must be an object")
+        known = {"interval", "capacity", "per_link"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown TelemetryConfig keys: {sorted(unknown)}")
+        return cls(**data)

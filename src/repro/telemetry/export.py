@@ -1,0 +1,159 @@
+"""Telemetry series export: NaN-safe JSONL and CSV.
+
+File conventions follow :mod:`repro.analysis.store`:
+
+- **JSONL** is the canonical on-disk form.  Line 1 is a header object
+  (``format`` version, the :class:`TelemetryConfig`, ``start_cycle``,
+  ``dropped``); every following line is one
+  :class:`~repro.telemetry.sampler.TelemetrySample` in time order.
+  NaN round-trips as ``null`` (``allow_nan=False`` on encode, exactly
+  like ``LoadPoint.to_json``), keys are sorted, one object per line so
+  a truncated file is detectable and every prefix is valid.
+- **CSV** is a flat convenience view for spreadsheets/pandas: scalar
+  columns plus per-class ``<kind>_util_{mean,max,p99}`` and
+  ``<kind>_fill_{mean,max}`` columns; NaN renders as an empty cell
+  (the ``LoadPoint.as_row`` convention).  Per-link detail
+  (``router_util``/``group_util``) is JSONL-only.
+- Writers are **atomic**: temp file in the target directory +
+  ``os.replace``, so a crashed export never leaves a half-written
+  series where a reader expects a whole one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.sampler import TelemetrySample, TelemetrySeries
+
+#: Bumped when the series schema changes incompatibly.
+SERIES_FORMAT = 1
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def _dumps(obj) -> str:
+    return json.dumps(obj, sort_keys=True, allow_nan=False)
+
+
+def to_jsonl(series: TelemetrySeries) -> str:
+    """Serialize a series: header line + one line per sample."""
+    lines = [_dumps({
+        "format": SERIES_FORMAT,
+        "kind": "telemetry-series",
+        "config": series.config.to_jsonable(),
+        "start_cycle": series.start_cycle,
+        "dropped": series.dropped,
+        "samples": len(series.samples),
+    })]
+    lines.extend(_dumps(s.to_jsonable()) for s in series.samples)
+    return "\n".join(lines) + "\n"
+
+
+def from_jsonl(text: str) -> TelemetrySeries:
+    """Parse :func:`to_jsonl` output back into a series."""
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        raise ValueError("empty telemetry series file")
+    header = json.loads(lines[0])
+    if not isinstance(header, dict) or header.get("kind") != "telemetry-series":
+        raise ValueError("not a telemetry series file (bad header line)")
+    if header.get("format") != SERIES_FORMAT:
+        raise ValueError(
+            f"unsupported telemetry series format {header.get('format')!r} "
+            f"(expected {SERIES_FORMAT})"
+        )
+    samples = [TelemetrySample.from_jsonable(json.loads(ln)) for ln in lines[1:]]
+    declared = header.get("samples")
+    if declared is not None and declared != len(samples):
+        raise ValueError(
+            f"truncated telemetry series: header declares {declared} samples, "
+            f"file holds {len(samples)}"
+        )
+    return TelemetrySeries(
+        config=TelemetryConfig.from_jsonable(header["config"]),
+        start_cycle=header["start_cycle"],
+        samples=samples,
+        dropped=header.get("dropped", 0),
+    )
+
+
+# ----------------------------------------------------------------------
+# CSV
+# ----------------------------------------------------------------------
+_SCALARS = (
+    "cycle", "window",
+    "injection_backlog", "injection_backlog_max",
+    "created", "injected", "ejected",
+    "ring_packets", "ring_entries", "ring_moves", "bubble_stalls",
+    "misroutes_local", "misroutes_global",
+    "misroute_rate_local", "misroute_rate_global",
+    "latency_mean", "latency_p50", "latency_p99",
+)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN -> empty cell, as LoadPoint.as_row does
+            return ""
+        return f"{value:.6g}"
+    return str(value)
+
+
+def to_csv(series: TelemetrySeries) -> str:
+    """Flat CSV view (scalars + per-class summary columns)."""
+    link_kinds = sorted({k for s in series.samples for k in s.link_util})
+    fill_kinds = sorted({k for s in series.samples for k in s.buffer_fill})
+    header = list(_SCALARS)
+    for kind in link_kinds:
+        header += [f"{kind}_util_mean", f"{kind}_util_max", f"{kind}_util_p99"]
+    for kind in fill_kinds:
+        header += [f"{kind}_fill_mean", f"{kind}_fill_max"]
+    rows = [",".join(header)]
+    for s in series.samples:
+        cells = [_cell(getattr(s, name)) for name in _SCALARS]
+        for kind in link_kinds:
+            st = s.link_util.get(kind)
+            cells += ["", "", ""] if st is None else [
+                _cell(st.mean), _cell(st.maximum), _cell(st.p99)
+            ]
+        for kind in fill_kinds:
+            st = s.buffer_fill.get(kind)
+            cells += ["", ""] if st is None else [_cell(st.mean), _cell(st.maximum)]
+        rows.append(",".join(cells))
+    return "\n".join(rows) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Atomic file writers
+# ----------------------------------------------------------------------
+def _write_atomic(text: str, path) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def write_jsonl(series: TelemetrySeries, path) -> None:
+    _write_atomic(to_jsonl(series), path)
+
+
+def write_csv(series: TelemetrySeries, path) -> None:
+    _write_atomic(to_csv(series), path)
+
+
+def read_jsonl(path) -> TelemetrySeries:
+    return from_jsonl(Path(path).read_text())

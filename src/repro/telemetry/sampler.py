@@ -1,0 +1,537 @@
+"""In-run telemetry: windowed time-series sampling of a live simulation.
+
+The paper's central claims are *dynamic* — ADV+h funnels phits through
+a handful of intermediate-group local links (§III), OFAR adapts within
+cycles of a traffic switch while PB shows a visible adaptation period
+(Fig. 6), the escape ring absorbs transient congestion (§IV-C) — but
+end-of-run aggregates (:class:`~repro.engine.metrics.LoadPoint`,
+:class:`~repro.analysis.linkstats.LinkMonitor` window diffs) can only
+show their time-average.  The :class:`TelemetrySampler` watches them
+happen: hooked into :meth:`Simulator.step
+<repro.engine.simulator.Simulator.step>`, every ``interval`` cycles it
+snapshots one :class:`TelemetrySample` of
+
+- **windowed deltas** of per-class link utilization (diffing
+  ``OutputChannel.sent_phits`` exactly the way ``LinkMonitor`` does),
+  injection/ejection/misroute/ring counters, and a streaming latency
+  digest (mean/p50/p99 of the packets ejected *in the window*);
+- **instantaneous occupancies**: VC/buffer fill histograms per input
+  class, per-node injection-queue backlog, packets currently riding an
+  escape ring.
+
+Samples live in a bounded ring buffer (oldest dropped, drop count
+recorded), so memory stays constant regardless of run length.
+
+Two contracts, both enforced by tests:
+
+- **zero cost when off** — an unattached simulator pays exactly one
+  attribute check per cycle (``if self.telemetry is not None``), no
+  allocation, no call;
+- **observation never perturbs** — the sampler only *reads* engine
+  state (and chains the ejection hook, calling the original first); it
+  touches no RNG and mutates nothing the engine reads, so a telemetered
+  run is bit-for-bit identical to a plain one
+  (``scripts/determinism_fingerprint.py --telemetry`` asserts this).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.engine.metrics import percentile_from_histogram
+from repro.telemetry.config import TelemetryConfig
+from repro.topology.dragonfly import PortKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.simulator import Simulator
+    from repro.network.packet import Packet
+
+#: Cycles per bucket of the windowed latency digest (matches
+#: ``Metrics.histogram_bucket`` so percentiles are comparable).
+LATENCY_BUCKET = 4
+
+#: Bins of the buffer fill-fraction histogram ([0, 1] in equal bins).
+FILL_BINS = 10
+
+
+def _nan_safe(value: float) -> float | None:
+    """NaN -> None (the JSON encoding convention of the result store)."""
+    return None if value != value else value
+
+
+def _from_nullable(value) -> float:
+    return float("nan") if value is None else value
+
+
+@dataclass(frozen=True)
+class ClassStats:
+    """Distribution summary of one link class over one window."""
+
+    count: int
+    mean: float
+    maximum: float
+    p99: float
+
+    @staticmethod
+    def of(values: list[float]) -> "ClassStats":
+        if not values:
+            return ClassStats(count=0, mean=0.0, maximum=0.0, p99=0.0)
+        ordered = sorted(values)
+        p99_idx = min(len(ordered) - 1, int(0.99 * len(ordered)))
+        return ClassStats(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            maximum=ordered[-1],
+            p99=ordered[p99_idx],
+        )
+
+    def to_jsonable(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "max": self.maximum,
+            "p99": self.p99,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "ClassStats":
+        return cls(
+            count=data["count"], mean=data["mean"],
+            maximum=data["max"], p99=data["p99"],
+        )
+
+
+@dataclass(frozen=True)
+class BufferStats:
+    """Instantaneous fill of one input-buffer class at a sample instant."""
+
+    count: int  # (port, VC) buffers in the class
+    mean: float  # mean fill fraction
+    maximum: float
+    hist: tuple[int, ...]  # FILL_BINS equal fill-fraction bins over [0, 1]
+
+    @staticmethod
+    def of(fills: list[float]) -> "BufferStats":
+        hist = [0] * FILL_BINS
+        if not fills:
+            return BufferStats(count=0, mean=0.0, maximum=0.0, hist=tuple(hist))
+        for f in fills:
+            hist[min(FILL_BINS - 1, int(f * FILL_BINS))] += 1
+        return BufferStats(
+            count=len(fills),
+            mean=sum(fills) / len(fills),
+            maximum=max(fills),
+            hist=tuple(hist),
+        )
+
+    def to_jsonable(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "max": self.maximum,
+            "hist": list(self.hist),
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "BufferStats":
+        return cls(
+            count=data["count"], mean=data["mean"],
+            maximum=data["max"], hist=tuple(data["hist"]),
+        )
+
+
+@dataclass
+class TelemetrySample:
+    """One telemetry window: deltas over ``window`` cycles ending at
+    ``cycle`` (inclusive) plus instantaneous occupancies at that instant.
+    """
+
+    cycle: int
+    window: int
+    # -- windowed link utilization per class ("local"/"global"/"ring") --
+    link_util: dict[str, ClassStats]
+    # -- instantaneous buffer fill per input class
+    #    ("injection"/"local"/"global"/"ring") --
+    buffer_fill: dict[str, BufferStats]
+    # -- instantaneous injection-queue backlog (source-queue packets) --
+    injection_backlog: int
+    injection_backlog_max: int
+    # -- windowed packet-flow deltas --
+    created: int
+    injected: int
+    ejected: int
+    # -- escape ring --
+    ring_packets: int  # instantaneous: packets riding a ring right now
+    ring_entries: int  # windowed deltas
+    ring_moves: int
+    bubble_stalls: int  # refused ring-entry requests (no bubble anywhere)
+    # -- misrouting --
+    misroutes_local: int
+    misroutes_global: int
+    misroute_rate_local: float  # per packet ejected in the window (NaN if none)
+    misroute_rate_global: float
+    # -- streaming latency digest of the window's ejections --
+    latency_mean: float  # NaN when nothing was ejected in the window
+    latency_p50: float
+    latency_p99: float
+    # -- per-link detail (``TelemetryConfig.per_link`` only) --
+    router_util: dict[str, list[float]] | None = None  # kind -> util by router id
+    group_util: list[list[float]] | None = None  # [src group][dst group] global util
+
+    def to_jsonable(self) -> dict:
+        """Exact nested dict form; NaN encoded as ``null`` (store rules)."""
+        return {
+            "cycle": self.cycle,
+            "window": self.window,
+            "link_util": {k: v.to_jsonable() for k, v in self.link_util.items()},
+            "buffer_fill": {k: v.to_jsonable() for k, v in self.buffer_fill.items()},
+            "injection_backlog": self.injection_backlog,
+            "injection_backlog_max": self.injection_backlog_max,
+            "created": self.created,
+            "injected": self.injected,
+            "ejected": self.ejected,
+            "ring_packets": self.ring_packets,
+            "ring_entries": self.ring_entries,
+            "ring_moves": self.ring_moves,
+            "bubble_stalls": self.bubble_stalls,
+            "misroutes_local": self.misroutes_local,
+            "misroutes_global": self.misroutes_global,
+            "misroute_rate_local": _nan_safe(self.misroute_rate_local),
+            "misroute_rate_global": _nan_safe(self.misroute_rate_global),
+            "latency_mean": _nan_safe(self.latency_mean),
+            "latency_p50": _nan_safe(self.latency_p50),
+            "latency_p99": _nan_safe(self.latency_p99),
+            "router_util": self.router_util,
+            "group_util": self.group_util,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "TelemetrySample":
+        if not isinstance(data, dict):
+            raise ValueError("TelemetrySample JSON must be an object")
+        return cls(
+            cycle=data["cycle"],
+            window=data["window"],
+            link_util={
+                k: ClassStats.from_jsonable(v) for k, v in data["link_util"].items()
+            },
+            buffer_fill={
+                k: BufferStats.from_jsonable(v) for k, v in data["buffer_fill"].items()
+            },
+            injection_backlog=data["injection_backlog"],
+            injection_backlog_max=data["injection_backlog_max"],
+            created=data["created"],
+            injected=data["injected"],
+            ejected=data["ejected"],
+            ring_packets=data["ring_packets"],
+            ring_entries=data["ring_entries"],
+            ring_moves=data["ring_moves"],
+            bubble_stalls=data["bubble_stalls"],
+            misroutes_local=data["misroutes_local"],
+            misroutes_global=data["misroutes_global"],
+            misroute_rate_local=_from_nullable(data["misroute_rate_local"]),
+            misroute_rate_global=_from_nullable(data["misroute_rate_global"]),
+            latency_mean=_from_nullable(data["latency_mean"]),
+            latency_p50=_from_nullable(data["latency_p50"]),
+            latency_p99=_from_nullable(data["latency_p99"]),
+            router_util=data.get("router_util"),
+            group_util=data.get("group_util"),
+        )
+
+
+@dataclass
+class TelemetrySeries:
+    """The bounded sample series of one run, plus provenance."""
+
+    config: TelemetryConfig
+    start_cycle: int  # first cycle the first retained window covers
+    samples: list[TelemetrySample] = field(default_factory=list)
+    dropped: int = 0  # oldest samples evicted by the ring-buffer bound
+
+    def series(self, value: Callable[[TelemetrySample], float]) -> list[tuple[int, float]]:
+        """(cycle, value(sample)) pairs in time order."""
+        return [(s.cycle, value(s)) for s in self.samples]
+
+    def link_p99(self, kind: str = "local") -> list[tuple[int, float]]:
+        """Per-window p99 utilization of one link class over time."""
+        return self.series(lambda s: s.link_util[kind].p99)
+
+    # Export (JSONL / CSV) lives in repro.telemetry.export; these are
+    # convenience delegates so consumers need only the series object.
+    def to_jsonl(self) -> str:
+        from repro.telemetry.export import to_jsonl
+
+        return to_jsonl(self)
+
+    def write_jsonl(self, path) -> None:
+        from repro.telemetry.export import write_jsonl
+
+        write_jsonl(self, path)
+
+    def to_csv(self) -> str:
+        from repro.telemetry.export import to_csv
+
+        return to_csv(self)
+
+    def write_csv(self, path) -> None:
+        from repro.telemetry.export import write_csv
+
+        write_csv(self, path)
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "TelemetrySeries":
+        from repro.telemetry.export import from_jsonl
+
+        return from_jsonl(text)
+
+
+class TelemetrySampler:
+    """Windowed sampler attached to one :class:`Simulator`.
+
+    Usage::
+
+        sim = Simulator(config)
+        sampler = TelemetrySampler(sim, TelemetryConfig(interval=100))
+        sampler.attach()
+        sim.run(10_000)
+        series = sampler.finish()   # detaches and returns the series
+
+    Lifecycle: :meth:`attach` registers the sampler on the simulator
+    (``sim.telemetry``) and chains the network ejection hook;
+    :meth:`finish` takes a final partial-window sample (if any cycles
+    elapsed since the last full window), detaches, and returns the
+    :class:`TelemetrySeries`.  A sampler attaches exactly once.
+    """
+
+    def __init__(self, sim: "Simulator", config: TelemetryConfig | None = None) -> None:
+        self.sim = sim
+        self.config = config if config is not None else TelemetryConfig()
+        self.network = sim.network
+        self._samples: deque[TelemetrySample] = deque(maxlen=self.config.capacity)
+        self.dropped = 0
+        self.start_cycle = 0
+        self._attached = False
+        self._finished = False
+        self._orig_on_eject = None
+        # Per-channel sent-phits baselines, grouped by link class; the
+        # parallel ``_rids`` list drives the per-router reduction.
+        self._channels: dict[str, list] = {}
+        self._rids: dict[str, list[int]] = {}
+        self._base: dict[str, list[int]] = {}
+        self._global_groups: list[tuple[int, int]] = []
+        # Windowed counter baselines and the latency digest.
+        self._c0: dict[str, int] = {}
+        self._w0 = 0
+        self._next = 0
+        self._lat_hist: dict[int, int] = {}
+        self._lat_sum = 0
+        self._lat_count = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def attach(self) -> "TelemetrySampler":
+        if self._attached or self._finished:
+            raise RuntimeError("sampler already attached (one lifecycle per sampler)")
+        if self.sim.telemetry is not None:
+            raise RuntimeError("simulator already has a telemetry sampler attached")
+        net = self.network
+        for rt in net.routers:
+            for ch in rt.out:
+                if ch is None or ch.kind is PortKind.NODE:
+                    continue
+                kind = ch.kind.value
+                self._channels.setdefault(kind, []).append(ch)
+                self._rids.setdefault(kind, []).append(rt.rid)
+                self._base.setdefault(kind, []).append(ch.sent_phits)
+                if ch.kind is PortKind.GLOBAL:
+                    self._global_groups.append(
+                        (rt.group, net.topo.router_group(ch.dest_router))
+                    )
+        cycle = self.sim.cycle
+        self.start_cycle = cycle
+        self._w0 = cycle
+        self._next = cycle + self.config.interval - 1
+        self._c0 = self._counters()
+        # Chain the ejection hook: the original (metrics) hook runs
+        # first, untouched; the sampler only records the latency.
+        self._orig_on_eject = net.on_eject
+        net.on_eject = self._on_eject
+        self.sim.telemetry = self
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        self.network.on_eject = self._orig_on_eject
+        self._orig_on_eject = None
+        self.sim.telemetry = None
+        self._attached = False
+
+    def finish(self, cycle: int | None = None) -> TelemetrySeries:
+        """Final partial-window sample, detach, and build the series."""
+        if not self._finished:
+            if cycle is None:
+                cycle = self.sim.cycle - 1  # last executed cycle
+            if self._attached and cycle >= self._w0:
+                self._take(cycle)
+            self.detach()
+            self._finished = True
+        return TelemetrySeries(
+            config=self.config,
+            start_cycle=self.start_cycle,
+            samples=list(self._samples),
+            dropped=self.dropped,
+        )
+
+    def __enter__(self) -> "TelemetrySampler":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def _on_eject(self, pkt: "Packet", cycle: int) -> None:
+        orig = self._orig_on_eject
+        if orig is not None:
+            orig(pkt, cycle)
+        lat = cycle - pkt.created_cycle
+        bucket = lat // LATENCY_BUCKET
+        self._lat_hist[bucket] = self._lat_hist.get(bucket, 0) + 1
+        self._lat_sum += lat
+        self._lat_count += 1
+
+    def on_cycle(self, cycle: int) -> None:
+        """Per-cycle entry point, called by ``Simulator.step`` while
+        attached; takes a sample when the window closes."""
+        if cycle >= self._next:
+            self._take(cycle)
+            self._next = cycle + self.config.interval
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def _counters(self) -> dict[str, int]:
+        net = self.network
+        return {
+            "created": self.sim.created_packets,
+            "injected": net.injected_packets,
+            "ejected": net.ejected_packets,
+            "ring_entries": net.ring_entries,
+            "ring_moves": net.ring_moves,
+            "bubble_stalls": net.ring_entry_stalls,
+            "misroutes_local": net.local_misroutes,
+            "misroutes_global": net.global_misroutes,
+        }
+
+    def _take(self, cycle: int) -> None:
+        net = self.network
+        window = cycle - self._w0 + 1
+        per_link = self.config.per_link
+        num_routers = net.topo.num_routers
+
+        # Windowed per-channel utilization deltas, per class.
+        link_util: dict[str, ClassStats] = {}
+        router_util: dict[str, list[float]] | None = {} if per_link else None
+        group_util: list[list[float]] | None = None
+        for kind, channels in self._channels.items():
+            base = self._base[kind]
+            vals = []
+            for i, ch in enumerate(channels):
+                sent = ch.sent_phits
+                vals.append((sent - base[i]) / window)
+                base[i] = sent
+            link_util[kind] = ClassStats.of(vals)
+            if per_link:
+                sums = [0.0] * num_routers
+                counts = [0] * num_routers
+                for rid, v in zip(self._rids[kind], vals):
+                    sums[rid] += v
+                    counts[rid] += 1
+                router_util[kind] = [
+                    s / c if c else 0.0 for s, c in zip(sums, counts)
+                ]
+                if kind == PortKind.GLOBAL.value:
+                    n = net.topo.num_groups
+                    gsum = [[0.0] * n for _ in range(n)]
+                    gcnt = [[0] * n for _ in range(n)]
+                    for (sg, dg), v in zip(self._global_groups, vals):
+                        gsum[sg][dg] += v
+                        gcnt[sg][dg] += 1
+                    group_util = [
+                        [s / c if c else 0.0 for s, c in zip(srow, crow)]
+                        for srow, crow in zip(gsum, gcnt)
+                    ]
+
+        # Instantaneous buffer fill per input class.
+        fills: dict[str, list[float]] = {}
+        node_kind = PortKind.NODE
+        for rt in net.routers:
+            in_kind = rt.in_kind
+            for port, bufs in enumerate(rt.in_bufs):
+                kind = in_kind[port]
+                name = "injection" if kind is node_kind else kind.value
+                acc = fills.setdefault(name, [])
+                for buf in bufs:
+                    acc.append(buf.occupancy / buf.capacity)
+        buffer_fill = {name: BufferStats.of(vals) for name, vals in fills.items()}
+
+        # Instantaneous injection-queue backlog.
+        backlog = 0
+        backlog_max = 0
+        for queue in self.sim._source_queues:
+            n = len(queue)
+            backlog += n
+            if n > backlog_max:
+                backlog_max = n
+
+        # Windowed counter deltas.
+        counters = self._counters()
+        delta = {k: counters[k] - self._c0[k] for k in counters}
+        self._c0 = counters
+        ejected = delta["ejected"]
+        n = ejected if ejected > 0 else float("nan")
+
+        # Latency digest of the window's ejections.
+        if self._lat_count:
+            lat_mean = self._lat_sum / self._lat_count
+            lat_p50 = percentile_from_histogram(self._lat_hist, LATENCY_BUCKET, 0.5)
+            lat_p99 = percentile_from_histogram(self._lat_hist, LATENCY_BUCKET, 0.99)
+        else:
+            lat_mean = lat_p50 = lat_p99 = float("nan")
+        self._lat_hist = {}
+        self._lat_sum = 0
+        self._lat_count = 0
+
+        if len(self._samples) == self._samples.maxlen:
+            self.dropped += 1  # deque evicts the oldest on append
+        self._samples.append(TelemetrySample(
+            cycle=cycle,
+            window=window,
+            link_util=link_util,
+            buffer_fill=buffer_fill,
+            injection_backlog=backlog,
+            injection_backlog_max=backlog_max,
+            created=delta["created"],
+            injected=delta["injected"],
+            ejected=ejected,
+            ring_packets=net.ring_packets,
+            ring_entries=delta["ring_entries"],
+            ring_moves=delta["ring_moves"],
+            bubble_stalls=delta["bubble_stalls"],
+            misroutes_local=delta["misroutes_local"],
+            misroutes_global=delta["misroutes_global"],
+            misroute_rate_local=delta["misroutes_local"] / n,
+            misroute_rate_global=delta["misroutes_global"] / n,
+            latency_mean=lat_mean,
+            latency_p50=lat_p50,
+            latency_p99=lat_p99,
+            router_util=router_util,
+            group_util=group_util,
+        ))
+        self._w0 = cycle + 1

@@ -62,6 +62,31 @@ def test_check_mode_reports_every_phase(check_run):
     assert "combined:" in proc.stdout
 
 
+def test_telemetry_check_mode(tmp_path):
+    """--telemetry --check exercises the off/on alternating harness,
+    including the sampling-must-not-perturb ejected-count cross-check."""
+    out = tmp_path / "bench_telemetry.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    proc = subprocess.run(
+        [
+            sys.executable, SCRIPT, "--telemetry", "--check",
+            "--warmup", "20", "--cycles", "120", "--out", str(out),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(out.read_text())
+    assert "combined_overhead" in payload
+    for ph in payload["phases"]:
+        assert ph["off_cycles_per_sec"] > 0 and ph["cycles_per_sec"] > 0
+        assert ph["ejected_packets"] > 0
+    assert "sampling overhead" in proc.stdout
+
+
 def test_check_mode_writes_no_file_by_default(tmp_path):
     env = dict(os.environ)
     env["PYTHONPATH"] = os.path.join(REPO, "src")

@@ -55,6 +55,26 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "UN -> ADV+1" in out
 
+    def test_telemetry(self, capsys, tmp_path):
+        out_path = tmp_path / "series.jsonl"
+        csv_path = tmp_path / "series.csv"
+        main([
+            "telemetry", "--h", "2", "--before", "UN", "--after", "ADV+1",
+            "--load", "0.1", "--warmup", "200", "--measure", "300",
+            "--bucket", "100", "--interval", "50",
+            "--out", str(out_path), "--csv", str(csv_path), "--heatmap",
+        ])
+        out = capsys.readouterr().out
+        assert "UN -> ADV+1" in out
+        assert "local-link p99 util" in out
+        assert "utilization by router over time" in out
+        assert "group→group" in out
+        from repro.telemetry.export import read_jsonl
+
+        series = read_jsonl(out_path)
+        assert series.samples and series.config.interval == 50
+        assert csv_path.read_text().startswith("cycle,window,")
+
     def test_unknown_figure(self):
         with pytest.raises(SystemExit, match="unknown figure"):
             main(["figure", "fig99", "--scale", "tiny"])

@@ -83,6 +83,23 @@ class TestFig6:
         assert summ["pre_latency"] > 0
         assert summ["spike_latency"] >= 0
 
+    def test_settle_crosscheck(self):
+        import pytest
+
+        from repro.telemetry import TelemetryConfig
+
+        plain = fig6_transient.run_one(TINY, "ofar", "UN", "ADV+2", 0.1)
+        with pytest.raises(ValueError, match="TelemetryConfig"):
+            fig6_transient.settle_crosscheck(plain)
+        res = fig6_transient.run_one(
+            TINY, "ofar", "UN", "ADV+2", 0.1,
+            telemetry=TelemetryConfig(interval=100),
+        )
+        both = fig6_transient.settle_crosscheck(res, tail=200)
+        assert set(both) == {"settle_latency", "settle_util"}
+        # The telemetered run is the same simulation (never perturbs).
+        assert res.series == plain.series
+
 
 class TestFig7:
     def test_patterns_deduped(self):

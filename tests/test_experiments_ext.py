@@ -42,6 +42,16 @@ class TestCongestion:
         assert {"config", "load", "none_thr", "cc_thr"} <= set(table.columns)
         assert len(table.rows) == 2  # full + reduced
 
+    def test_timeline_columns(self):
+        table = congestion.run_timeline(TINY, load=0.5)
+        assert {
+            "cycle", "none_ring", "none_stalls", "none_backlog",
+            "cc_ring", "cc_stalls", "cc_backlog",
+        } <= set(table.columns)
+        assert len(table.rows) >= 2  # one row per sampling window
+        cycles = [r["cycle"] for r in table.rows]
+        assert cycles == sorted(cycles)
+
 
 class TestMapping:
     def test_cases_covered(self):

@@ -1,0 +1,183 @@
+"""Tests for the telemetry heatmap/settle renderers."""
+
+import pytest
+
+from repro.analysis.heatmap import (
+    GLYPHS,
+    _glyph,
+    group_matrix,
+    render_group_heatmap,
+    render_router_heatmap,
+    render_series,
+    settle_from_utilization,
+)
+from repro.telemetry import (
+    BufferStats,
+    ClassStats,
+    TelemetryConfig,
+    TelemetrySample,
+    TelemetrySeries,
+)
+
+
+def mk_sample(cycle, local_p99=0.1, router_util=None, group_util=None, window=10):
+    """A synthetic sample: only the fields the renderers read matter."""
+    stats = ClassStats(count=4, mean=local_p99 / 2, maximum=local_p99, p99=local_p99)
+    return TelemetrySample(
+        cycle=cycle, window=window,
+        link_util={"local": stats, "global": stats},
+        buffer_fill={"injection": BufferStats.of([0.0])},
+        injection_backlog=0, injection_backlog_max=0,
+        created=0, injected=0, ejected=0,
+        ring_packets=0, ring_entries=0, ring_moves=0, bubble_stalls=0,
+        misroutes_local=0, misroutes_global=0,
+        misroute_rate_local=0.0, misroute_rate_global=0.0,
+        latency_mean=10.0, latency_p50=10.0, latency_p99=12.0,
+        router_util=router_util, group_util=group_util,
+    )
+
+
+def mk_series(samples, interval=10):
+    return TelemetrySeries(
+        config=TelemetryConfig(interval=interval, per_link=True),
+        start_cycle=samples[0].cycle - samples[0].window + 1 if samples else 0,
+        samples=samples,
+    )
+
+
+class TestGlyph:
+    def test_ramp_endpoints(self):
+        assert _glyph(0.0, 1.0) == " "
+        assert _glyph(1.0, 1.0) == GLYPHS[-1]
+
+    def test_monotone(self):
+        levels = [GLYPHS.index(_glyph(v / 10, 1.0)) for v in range(11)]
+        assert levels == sorted(levels)
+
+    def test_degenerate(self):
+        assert _glyph(0.5, 0.0) == " "  # vmax 0
+        assert _glyph(float("nan"), 1.0) == " "
+
+
+class TestRouterHeatmap:
+    def test_rows_and_mark(self):
+        samples = [
+            mk_sample(9, router_util={"local": [0.0, 0.5]}),
+            mk_sample(19, router_util={"local": [0.1, 0.9]}),
+            mk_sample(29, router_util={"local": [0.0, 0.2]}),
+        ]
+        text = render_router_heatmap(mk_series(samples), "local", mark_cycle=15)
+        lines = text.splitlines()
+        assert lines[1].startswith("r0") and lines[2].startswith("r1")
+        # The '|' sits before the first window ending at/after cycle 15.
+        row0 = lines[1].split(" ", 1)[1]
+        assert row0[1] == "|"
+        assert "cycles 9..29" in lines[-1]
+        assert "'|' = cycle 15" in lines[-1]
+        # The hot router's row is darker than the cold one's.
+        row1 = lines[2].split(" ", 1)[1]
+        assert max(GLYPHS.index(c) for c in row1 if c != "|") > max(
+            GLYPHS.index(c) for c in row0 if c != "|"
+        )
+
+    def test_requires_per_link(self):
+        series = mk_series([mk_sample(9)])  # router_util=None
+        with pytest.raises(ValueError, match="per_link"):
+            render_router_heatmap(series)
+
+    def test_unknown_kind(self):
+        series = mk_series([mk_sample(9, router_util={"local": [0.1]})])
+        with pytest.raises(ValueError, match="no 'ring' links"):
+            render_router_heatmap(series, "ring")
+
+
+class TestGroupMatrix:
+    def test_mean_over_range(self):
+        samples = [
+            mk_sample(9, router_util={"local": [0.0]},
+                      group_util=[[0.0, 0.2], [0.4, 0.0]]),
+            mk_sample(19, router_util={"local": [0.0]},
+                      group_util=[[0.0, 0.6], [0.0, 0.0]]),
+        ]
+        series = mk_series(samples)
+        full = group_matrix(series)
+        assert full[0][1] == pytest.approx(0.4)
+        assert full[1][0] == pytest.approx(0.2)
+        early = group_matrix(series, end=10)
+        assert early[0][1] == pytest.approx(0.2)
+
+    def test_empty_range_raises(self):
+        series = mk_series([
+            mk_sample(9, router_util={"local": [0.0]}, group_util=[[0.0]]),
+        ])
+        with pytest.raises(ValueError, match="no per-link samples"):
+            group_matrix(series, start=100)
+
+    def test_render_header(self):
+        series = mk_series([
+            mk_sample(9, router_util={"local": [0.0]},
+                      group_util=[[0.0, 0.5], [0.5, 0.0]]),
+        ])
+        text = render_group_heatmap(series)
+        assert "group→group" in text
+        assert text.splitlines()[2].startswith("g0")
+
+
+class TestSettle:
+    def test_settles_after_spike(self):
+        # Spike at the switch (cycle 20), settled from cycle 40 on.
+        values = [0.1, 0.1, 0.9, 0.6, 0.12, 0.1, 0.11, 0.1]
+        samples = [mk_sample(10 * (i + 1) - 1, v) for i, v in enumerate(values)]
+        settled = settle_from_utilization(mk_series(samples), after=20)
+        assert settled == 49  # first sample back within 1.5x the tail mean
+
+    def test_never_settles(self):
+        values = [0.1, 0.9, 0.9, 0.1, 0.1, 0.9]  # ends high vs tail mean? no:
+        # tail mean = (0.1+0.1+0.9)/3 = 0.3667, target 0.55; last value 0.9
+        samples = [mk_sample(10 * (i + 1) - 1, v) for i, v in enumerate(values)]
+        assert settle_from_utilization(mk_series(samples), after=0) is None
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError, match="tail"):
+            settle_from_utilization(mk_series([mk_sample(9)]), after=0)
+
+    def test_custom_stat(self):
+        samples = [mk_sample(10 * (i + 1) - 1, 0.1) for i in range(4)]
+        samples[1].injection_backlog = 50
+        settled = settle_from_utilization(
+            mk_series(samples), after=0,
+            stat=lambda s: float(s.injection_backlog), factor=2.0,
+        )
+        assert settled == 29  # backlog spike clears after sample 1
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert "(no samples)" in render_series([], "x")
+
+    def test_mark_and_max(self):
+        text = render_series([(0, 0.0), (10, 1.0), (20, 0.5)], "util", mark_cycle=10)
+        assert "max=1.000" in text
+        body = text[text.index("[") + 1:text.index("]")]
+        assert body[1] == "|"  # mark before the first point at/after cycle 10
+        assert body[2] == GLYPHS[-1]
+
+
+class TestOnRealRun:
+    def test_end_to_end_render(self):
+        """A tiny real transient renders without error and shows the mark."""
+        from repro.engine.config import SimulationConfig
+        from repro.engine.runner import run_transient
+
+        result = run_transient(
+            SimulationConfig.small(h=2, routing="min", seed=5),
+            "UN", "ADV+1", 0.15, warmup=200, post=200,
+            drain_margin=200, bucket=50,
+            telemetry=TelemetryConfig(interval=50, per_link=True),
+        )
+        series = result.telemetry
+        text = render_router_heatmap(series, "local", mark_cycle=result.switch_cycle)
+        assert f"'|' = cycle {result.switch_cycle}" in text
+        num_routers = len(series.samples[0].router_util["local"])
+        assert len(text.splitlines()) == 2 + num_routers
+        render_group_heatmap(series, start=result.switch_cycle)

@@ -35,6 +35,18 @@ class TestLinkStats:
 
 
 class TestMonitor:
+    def test_reads_before_start_raise(self):
+        import pytest
+
+        sim = Simulator(SimulationConfig.small(h=2, routing="min"))
+        monitor = LinkMonitor(sim.network)
+        with pytest.raises(RuntimeError, match="start"):
+            monitor.loads(sim.cycle)
+        with pytest.raises(RuntimeError, match="start"):
+            monitor.stats(sim.cycle)
+        monitor.start(sim.cycle)
+        assert monitor.loads(sim.cycle) is not None  # armed now
+
     def test_loads_cover_all_channels(self):
         sim, monitor = loaded_sim("min", "UN", 0.2, cycles=200)
         loads = monitor.loads(sim.cycle)

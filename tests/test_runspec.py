@@ -55,6 +55,26 @@ class TestRunSpec:
         assert RunSpec.from_json(s.to_json()) == s
         assert RunSpec.from_json(s.to_json()).fingerprint() == s.fingerprint()
 
+    def test_telemetry_excluded_from_identity(self):
+        """Telemetry is an observation sidecar, not simulation identity:
+        it must not enter the fingerprint or the canonical JSON, or it
+        would fork cache keys for bit-identical results."""
+        from repro.telemetry import TelemetryConfig
+
+        plain = spec()
+        observed = spec(telemetry=TelemetryConfig(interval=50, per_link=True))
+        assert observed.fingerprint() == plain.fingerprint()
+        assert observed.to_json() == plain.to_json()
+        assert "telemetry" not in observed.to_jsonable()
+        # Round-tripping drops the sidecar — identity survives.
+        assert RunSpec.from_json(observed.to_json()) == plain
+        # Still frozen and hashable with the extra field (it participates
+        # in dataclass equality, just not in fingerprint identity).
+        assert observed != plain
+        hash(observed)
+        with pytest.raises(AttributeError):
+            observed.telemetry = None
+
     def test_json_rejects_unknown_keys(self):
         data = json.loads(spec().to_json())
         data["surprise"] = 1
