@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Multi-job interference: an adversarial bully next to a shift victim.
+
+Two applications share one h=2 dragonfly, spread across every group by
+the round-robin-groups placement:
+
+- "bully"  — ADV+2 at high load, saturating each group's offset-2
+  global link (the paper's worst case);
+- "victim" — a modest SHIFT exchange whose minimal routes need exactly
+  those links.
+
+Under MIN the victim has nowhere to go and its latency explodes; OFAR
+misroutes around the hot links and the victim barely notices.  The
+workloads subsystem attributes every number per job, so the comparison
+is three calls: run the shared workload, run each job alone on the same
+nodes, divide.
+
+Runs in well under a minute on a laptop; ``--tiny`` shrinks the
+windows for smoke runs (CI) where the numbers only need to exist, not
+to be publication-stable.
+"""
+
+import sys
+
+from repro import SimulationConfig
+from repro.engine.runspec import RunSpec
+from repro.workloads import (
+    JobSpec,
+    WorkloadSpec,
+    isolated_spec,
+    job_slowdowns,
+    run_workload,
+)
+
+
+def main(tiny: bool = False) -> None:
+    warmup, measure = (200, 300) if tiny else (800, 1_200)
+    workload = WorkloadSpec(
+        jobs=(
+            # 36 nodes each: half the h=2 machine per job, one node of
+            # each router thanks to the round-robin deal.
+            JobSpec(name="bully", nodes=36, pattern="ADV+2", load=0.7),
+            # Rank shift 8 = 2 groups under this placement = the bully's
+            # saturated global offset.
+            JobSpec(name="victim", nodes=36, pattern="SHIFT+8", load=0.2),
+        ),
+        placement="round-robin-groups",
+    )
+
+    print("per-job points (shared machine):")
+    print(f"{'routing':8s} {'job':8s} {'thr':>7s} {'latency':>9s} {'slowdown':>9s}")
+    for routing in ("min", "ofar"):
+        cfg = SimulationConfig.small(h=2, routing=routing, seed=7)
+        spec = RunSpec.for_workload(cfg, workload, warmup=warmup, measure=measure)
+        shared = run_workload(spec)
+        isolated = {
+            job.name: run_workload(isolated_spec(spec, job.name))
+            for job in workload.jobs
+        }
+        slowdowns = job_slowdowns(shared, isolated)
+        for jr in shared.jobs:
+            print(f"{routing:8s} {jr.name:8s} {jr.point.throughput:7.4f} "
+                  f"{jr.point.avg_latency:9.1f} {slowdowns[jr.name]:8.2f}x")
+        print(f"{'':8s} fairness across jobs (Jain): "
+              f"{shared.jain_across_jobs:.3f}")
+    print()
+    print("MIN lets the bully starve the victim's shared links; OFAR")
+    print("spreads both jobs and the victim's slowdown collapses.")
+
+
+if __name__ == "__main__":
+    main(tiny="--tiny" in sys.argv[1:])

@@ -27,6 +27,15 @@ the telemetered runs.  ``diff`` against a plain run must come back
 empty; that is the observation-never-perturbs check — the sampler reads
 counters and chains the ejection hook, so every LoadPoint, series value
 and network counter must be bit-identical with it attached.
+
+Every mode also fingerprints one multi-job workload spec
+(:mod:`repro.workloads`: three jobs with staggered lifetimes, one of
+them a burst) down to its per-job LoadPoints and interference matrix.
+In ``--orchestrated`` mode the workload runs once through a
+store-backed orchestrator (the worker persists the WorkloadResult
+sidecar) and is then resolved again purely from the sidecar cache — the
+two must agree, and both must diff clean against the plain and
+``--telemetry`` documents.
 """
 
 from __future__ import annotations
@@ -154,6 +163,78 @@ def drain_and_counters(telemetry: bool = False) -> dict:
     return out
 
 
+def workload_spec():
+    """The multi-job spec every mode fingerprints: three jobs with
+    staggered lifetimes (one arrives late, one is a finite burst) spread
+    round-robin over the groups of an h=2 machine."""
+    from repro.engine.runspec import RunSpec
+    from repro.workloads.spec import JobSpec, WorkloadSpec
+
+    workload = WorkloadSpec(
+        jobs=(
+            JobSpec(name="steady", nodes=24, pattern="UN", load=0.15),
+            JobSpec(name="bully", nodes=24, pattern="ADV+2", load=0.3,
+                    start=150, stop=450),
+            JobSpec(name="burst", nodes=8, traffic="burst",
+                    packets_per_node=2),
+        ),
+        placement="round-robin-groups",
+    )
+    cfg = SimulationConfig.small(h=2, routing="ofar", seed=17)
+    return RunSpec.for_workload(cfg, workload, warmup=300, measure=300)
+
+
+def _workload_doc(result) -> dict:
+    return {
+        "total": _point_dict(result.total),
+        "jobs": {
+            jr.name: {"num_nodes": jr.num_nodes, **_point_dict(jr.point)}
+            for jr in result.jobs
+        },
+        "jain_across_jobs": repr(result.jain_across_jobs),
+        "interference": [[repr(x) for x in row] for row in result.interference],
+    }
+
+
+def workload_section(mode: str, workers: int = 2) -> dict:
+    """Fingerprint the multi-job spec under ``mode`` ("plain",
+    "orchestrated" or "telemetry"); all three must emit the same dict."""
+    from repro.workloads.runner import (
+        SIDECAR_KIND, WorkloadResult, run_workload, run_workload_cached,
+        run_workload_with_telemetry,
+    )
+
+    spec = workload_spec()
+    if mode == "orchestrated":
+        from repro.analysis.store import ResultStore
+        from repro.engine.orchestrator import Orchestrator
+
+        with tempfile.TemporaryDirectory() as tmp:
+            store = ResultStore(tmp)
+            orch = Orchestrator(workers=workers, store=store, retries=0)
+            total = orch.run_points([spec])[0]
+            payload = store.get_sidecar(SIDECAR_KIND, spec)
+            assert payload is not None, "worker did not persist the sidecar"
+            fresh = WorkloadResult.from_jsonable(payload)
+            if _point_dict(total) != _point_dict(fresh.total):
+                sys.exit("orchestrated total diverged from the sidecar total")
+            resumed = run_workload_cached(spec, store)
+            if _workload_doc(fresh) != _workload_doc(resumed):
+                sys.exit("cache-hit workload result diverged from fresh run")
+            result = resumed
+    elif mode == "telemetry":
+        from repro.telemetry.config import TelemetryConfig
+
+        result, series = run_workload_with_telemetry(
+            spec, TelemetryConfig(interval=50, per_link=True)
+        )
+        assert series is not None and series.samples, "sampler produced nothing"
+        assert any(s.job_flow for s in series.samples), "no per-job flow sampled"
+    else:
+        result = run_workload(spec)
+    return _workload_doc(result)
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(
         description="emit the engine behavior fingerprint as JSON"
@@ -186,12 +267,19 @@ def main(argv: list[str] | None = None) -> None:
             if fresh != resumed:
                 sys.exit("resumed sweep diverged from the fresh orchestrated sweep")
             steady = resumed
+        mode = "orchestrated"
     elif args.telemetry:
         steady = steady_grid(run=telemetry_runner())
+        mode = "telemetry"
     else:
         steady = steady_grid()
+        mode = "plain"
 
-    doc = {"steady": steady, "drain": drain_and_counters(telemetry=args.telemetry)}
+    doc = {
+        "steady": steady,
+        "drain": drain_and_counters(telemetry=args.telemetry),
+        "workload": workload_section(mode, args.workers),
+    }
     json.dump(doc, sys.stdout, indent=1, sort_keys=True)
     sys.stdout.write("\n")
 

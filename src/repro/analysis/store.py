@@ -103,7 +103,6 @@ class ResultStore:
         """Persist one completed point atomically (tmp file + rename)."""
         fingerprint = spec.fingerprint()
         path = self.path_for(fingerprint)
-        path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
             "format": STORE_FORMAT,
             "fingerprint": fingerprint,
@@ -112,6 +111,66 @@ class ResultStore:
             "wall_time": wall_time,
             "created": time.time(),
         }
+        self._write_atomic(path, entry)
+        self.stats.writes += 1
+        return path
+
+    # ------------------------------------------------------------------
+    # Sidecars: auxiliary results keyed by the same fingerprint
+    # ------------------------------------------------------------------
+    def sidecar_path(self, kind: str, fingerprint: str) -> Path:
+        """``<root>/<kind>/<fp[:2]>/<fp>.json`` — the main layout with
+        the object class in place of ``objects``."""
+        if not kind or kind == "objects" or "/" in kind:
+            raise ValueError(f"invalid sidecar kind {kind!r}")
+        return self.root / kind / fingerprint[:2] / f"{fingerprint}.json"
+
+    def get_sidecar(self, kind: str, spec: RunSpec) -> dict | None:
+        """Cached sidecar payload for ``spec``, or None on any miss.
+
+        Same corruption tolerance as :meth:`get`: unreadable, foreign,
+        or spec-mismatched sidecars read as misses and get overwritten
+        by the next :meth:`put_sidecar`.
+        """
+        path = self.sidecar_path(kind, spec.fingerprint())
+        try:
+            text = path.read_text()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            entry = json.loads(text)
+            if entry["format"] != STORE_FORMAT:
+                raise ValueError(f"unknown store format {entry['format']!r}")
+            if entry["spec"] != spec.to_jsonable():
+                raise ValueError("stored spec does not match fingerprint")
+            payload = entry["payload"]
+        except (ValueError, KeyError, TypeError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put_sidecar(self, kind: str, spec: RunSpec, payload: dict) -> Path:
+        """Persist one sidecar payload atomically under ``kind``."""
+        fingerprint = spec.fingerprint()
+        path = self.sidecar_path(kind, fingerprint)
+        entry = {
+            "format": STORE_FORMAT,
+            "fingerprint": fingerprint,
+            "spec": spec.to_jsonable(),
+            "payload": payload,
+            "created": time.time(),
+        }
+        self._write_atomic(path, entry)
+        self.stats.writes += 1
+        return path
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _write_atomic(path: Path, entry: dict) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
         blob = json.dumps(entry, indent=1, sort_keys=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
@@ -124,5 +183,3 @@ class ResultStore:
             except OSError:
                 pass
             raise
-        self.stats.writes += 1
-        return path

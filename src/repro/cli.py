@@ -9,6 +9,8 @@ Commands
   sampler: exports the windowed series (JSONL/CSV) and renders
   utilization heatmaps/sparklines around the switch;
 - ``burst``     — Fig. 7-style burst-consumption experiment;
+- ``interference`` — multi-job bully/victim study: per-job LoadPoints
+  and slowdowns vs isolated baselines under MIN vs OFAR;
 - ``offsets``   — Fig. 2-style ADV offset study (simulated + analytic);
 - ``figure``    — regenerate a paper figure by name (fig2..fig9, ablations,
   congestion, mapping).
@@ -174,6 +176,22 @@ def cmd_burst(args) -> None:
           f"ring usage {100 * res.ring_fraction:.2f}%)")
 
 
+def cmd_interference(args) -> None:
+    from repro.experiments import interference
+
+    scale = get_scale(args.scale)
+    routings = tuple(args.routings.split(","))
+    with orchestration(orchestrator_from_args(args)):
+        outcomes = interference.run(
+            scale, routings,
+            bully_load=args.bully_load, victim_load=args.victim_load,
+            seed=args.seed,
+        )
+    print(interference.points_table(scale, outcomes).to_text())
+    print(interference.slowdown_table(scale, outcomes).to_text())
+    print(interference.verdict(outcomes))
+
+
 def cmd_offsets(args) -> None:
     from repro.experiments import fig2_offsets
 
@@ -306,6 +324,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--packets", type=int, default=20,
                    help="packets per node in the burst")
     p.set_defaults(func=cmd_burst)
+
+    p = sub.add_parser("interference",
+                       help="multi-job bully/victim interference study",
+                       parents=[orchestration_options()])
+    p.add_argument("--scale", default="small",
+                   choices=["tiny", "small", "medium", "large", "paper"])
+    p.add_argument("--routings", default="min,ofar",
+                   help="comma-separated routings to compare (default min,ofar)")
+    p.add_argument("--bully-load", type=float, default=0.7)
+    p.add_argument("--victim-load", type=float, default=0.2)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_interference)
 
     p = sub.add_parser("offsets", help="ADV offset study (Fig. 2)")
     p.add_argument("--scale", default="small")

@@ -65,6 +65,10 @@ class LoadPoint:
     ring_fraction: float  # fraction of ejected packets that used the ring
     local_misroute_rate: float  # nonminimal local hops per ejected packet
     global_misroute_rate: float  # nonminimal global hops per ejected packet
+    # Fairness over per-source ejected counts (NaN when the run did not
+    # record per-source counts; see Metrics.record_per_source).
+    jain_index: float = float("nan")
+    worst_source_share: float = float("nan")
 
     def as_row(self) -> dict:
         """Flat dict for CSV/markdown emission.
@@ -88,6 +92,8 @@ class LoadPoint:
             "ring_frac": cell(self.ring_fraction, 4),
             "mis_local": cell(self.local_misroute_rate, 3),
             "mis_global": cell(self.global_misroute_rate, 3),
+            "jain": cell(self.jain_index, 4),
+            "worst_src": cell(self.worst_source_share, 4),
             "packets": self.ejected_packets,
         }
 
@@ -117,12 +123,15 @@ class LoadPoint:
         unknown = set(data) - names
         if unknown:
             raise ValueError(f"unknown LoadPoint keys: {sorted(unknown)}")
-        missing = names - set(data)
+        # The fairness fields arrived after the store format froze; older
+        # entries simply lack them and read back as NaN ("not recorded").
+        optional = {"jain_index", "worst_source_share"}
+        missing = names - set(data) - optional
         if missing:
             raise ValueError(f"missing LoadPoint keys: {sorted(missing)}")
         return cls(**{
-            name: float("nan") if data[name] is None else data[name]
-            for name in names
+            name: float("nan") if data.get(name) is None else data[name]
+            for name in names if name in data or name in optional
         })
 
     def to_json(self) -> str:
@@ -131,6 +140,30 @@ class LoadPoint:
     @classmethod
     def from_json(cls, text: str) -> "LoadPoint":
         return cls.from_jsonable(json.loads(text))
+
+
+@dataclass
+class JobMetrics:
+    """Windowed counters of one job of a multi-job workload.
+
+    Maintained by :class:`Metrics` when ``record_per_job`` is on; the
+    field meanings mirror the global counters, restricted to packets
+    tagged with this job's id (see :attr:`~repro.network.packet.Packet.job`).
+    """
+
+    generated: int = 0
+    injected: int = 0
+    ejected: int = 0
+    ejected_phits: int = 0
+    latency_sum: int = 0
+    network_latency_sum: int = 0
+    hops_sum: int = 0
+    local_hops_sum: int = 0
+    global_hops_sum: int = 0
+    ring_packets: int = 0
+    local_misroutes: int = 0
+    global_misroutes: int = 0
+    latency_histogram: dict[int, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -143,6 +176,7 @@ class Metrics:
     send_bucket: int = 1  # cycles per send-latency bucket
     histogram_bucket: int = 4  # cycles per latency-histogram bucket
     record_per_source: bool = False  # per-source-node ejected counts
+    record_per_job: bool = False  # per-job counters (multi-job workloads)
 
     window_start: int = 0
     generated_packets: int = 0
@@ -162,6 +196,7 @@ class Metrics:
     send_latency: dict[int, list[int]] = field(default_factory=dict)
     latency_histogram: dict[int, int] = field(default_factory=dict)
     source_counts: dict[int, int] = field(default_factory=dict)
+    job_stats: dict[int, JobMetrics] = field(default_factory=dict)
 
     def reset(self, cycle: int) -> None:
         """Start a fresh measurement window at ``cycle``."""
@@ -183,6 +218,7 @@ class Metrics:
         self.send_latency = {}
         self.latency_histogram = {}
         self.source_counts = {}
+        self.job_stats = {}
 
     # ------------------------------------------------------------------
     def on_generate(self, count: int = 1) -> None:
@@ -190,6 +226,24 @@ class Metrics:
 
     def on_inject(self, pkt: Packet) -> None:
         self.injected_packets += 1
+        if self.record_per_job and pkt.job >= 0:
+            self.job(pkt.job).injected += 1
+
+    # ------------------------------------------------------------------
+    # Per-job attribution (multi-job workloads)
+    # ------------------------------------------------------------------
+    def job(self, job: int) -> JobMetrics:
+        """Counters of ``job``, created on first touch."""
+        stats = self.job_stats.get(job)
+        if stats is None:
+            stats = self.job_stats[job] = JobMetrics()
+        return stats
+
+    def on_job_generate(self, job: int) -> None:
+        self.job(job).generated += 1
+
+    def on_job_inject(self, job: int) -> None:
+        self.job(job).injected += 1
 
     def on_eject(self, pkt: Packet, cycle: int) -> None:
         self.ejected_packets += 1
@@ -219,6 +273,22 @@ class Metrics:
             else:
                 cell[0] += lat
                 cell[1] += 1
+        if self.record_per_job and pkt.job >= 0:
+            js = self.job(pkt.job)
+            js.ejected += 1
+            js.ejected_phits += pkt.size
+            js.latency_sum += lat
+            js.network_latency_sum += cycle - pkt.injected_cycle
+            js.hops_sum += pkt.hops
+            js.local_hops_sum += pkt.local_hops
+            js.global_hops_sum += pkt.global_hops
+            if pkt.used_ring:
+                js.ring_packets += 1
+            js.local_misroutes += pkt.misroutes_local
+            js.global_misroutes += pkt.misroutes_global
+            bucket = lat // self.histogram_bucket
+            hist = js.latency_histogram
+            hist[bucket] = hist.get(bucket, 0) + 1
 
     # ------------------------------------------------------------------
     def latency_percentile(self, fraction: float) -> float:
@@ -241,6 +311,11 @@ class Metrics:
         """
         window = max(1, cycle - self.window_start)
         n = self.ejected_packets if self.ejected_packets > 0 else float("nan")
+        if self.record_per_source:
+            jain = self.jain_index(self.num_nodes)
+            worst = self.worst_source_share(self.num_nodes)
+        else:
+            jain = worst = float("nan")
         return LoadPoint(
             offered_load=offered_load,
             throughput=self.ejected_phits / (self.num_nodes * window),
@@ -256,6 +331,45 @@ class Metrics:
             ring_fraction=self.ring_packets / n,
             local_misroute_rate=self.local_misroutes / n,
             global_misroute_rate=self.global_misroutes / n,
+            jain_index=jain,
+            worst_source_share=worst,
+        )
+
+    def job_load_point(
+        self, job: int, offered_load: float, cycle: int, num_nodes: int
+    ) -> LoadPoint:
+        """Per-job :class:`LoadPoint` over the current window.
+
+        ``num_nodes`` is the *job's* node count, so throughput stays in
+        phits/(node·cycle) of the nodes the job actually owns and is
+        directly comparable to an isolated run of the same job.  The
+        per-source fairness fields are global-run quantities and are
+        reported as NaN here.
+        """
+        if not self.record_per_job:
+            raise ValueError("enable record_per_job to measure per-job points")
+        js = self.job_stats.get(job, JobMetrics())
+        window = max(1, cycle - self.window_start)
+        n = js.ejected if js.ejected > 0 else float("nan")
+        return LoadPoint(
+            offered_load=offered_load,
+            throughput=js.ejected_phits / (num_nodes * window),
+            avg_latency=js.latency_sum / n,
+            avg_network_latency=js.network_latency_sum / n,
+            avg_hops=js.hops_sum / n,
+            avg_local_hops=js.local_hops_sum / n,
+            avg_global_hops=js.global_hops_sum / n,
+            p50_latency=percentile_from_histogram(
+                js.latency_histogram, self.histogram_bucket, 0.5
+            ),
+            p99_latency=percentile_from_histogram(
+                js.latency_histogram, self.histogram_bucket, 0.99
+            ),
+            ejected_packets=js.ejected,
+            window_cycles=window,
+            ring_fraction=js.ring_packets / n,
+            local_misroute_rate=js.local_misroutes / n,
+            global_misroute_rate=js.global_misroutes / n,
         )
 
     def jain_index(self, num_nodes: int | None = None) -> float:

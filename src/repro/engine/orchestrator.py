@@ -96,7 +96,7 @@ def _execute_spec(spec: RunSpec) -> LoadPoint:
 
 
 def _execute_spec_telemetry(
-    telemetry_dir: str | None, telemetry, spec: RunSpec
+    telemetry_dir: str | None, telemetry, store_root: str | None, spec: RunSpec
 ) -> LoadPoint:
     """Default worker with telemetry: run the point, persist its series.
 
@@ -109,8 +109,35 @@ def _execute_spec_telemetry(
     point's store entry.  The returned LoadPoint is bit-identical to an
     untelemetered run (observation never perturbs), which is why the
     series file can ride alongside the cache without forking its keys.
+
+    Multi-job specs (``spec.workload``) run through the workload runner
+    so the per-job breakdown is not lost: with a store attached
+    (``store_root``), the full WorkloadResult is persisted as a
+    ``workloads`` sidecar under the same fingerprint, and the returned
+    LoadPoint is the run's global summary (which the parent writes to
+    the main store as usual).
     """
     cfg = spec.telemetry if spec.telemetry is not None else telemetry
+    if spec.workload is not None:
+        from repro.workloads.runner import run_workload, run_workload_with_telemetry
+
+        if cfg is None:
+            result, series = run_workload(spec), None
+        else:
+            result, series = run_workload_with_telemetry(spec, cfg)
+        if store_root is not None:
+            from repro.analysis.store import ResultStore
+            from repro.workloads.runner import SIDECAR_KIND
+
+            ResultStore(store_root).put_sidecar(
+                SIDECAR_KIND, spec, result.to_jsonable()
+            )
+        if telemetry_dir is not None and series is not None:
+            from repro.telemetry.export import write_jsonl
+
+            fp = spec.fingerprint()
+            write_jsonl(series, Path(telemetry_dir) / fp[:2] / f"{fp}.jsonl")
+        return result.total
     if cfg is None:
         return run_spec(spec)
     from repro.engine.runner import run_spec_with_telemetry
@@ -226,11 +253,13 @@ class Orchestrator:
         self.telemetry_dir = Path(telemetry_dir) if telemetry_dir is not None else None
         if worker is _execute_spec:
             # The default worker honors telemetry (orchestrator-wide or
-            # per-spec); the partial keeps it picklable for the pool.
+            # per-spec) and workload sidecars; the partial binds plain
+            # strings so it pickles into worker processes.
             worker = functools.partial(
                 _execute_spec_telemetry,
                 str(self.telemetry_dir) if self.telemetry_dir is not None else None,
                 telemetry,
+                str(store.root) if store is not None else None,
             )
         self.worker = worker
 

@@ -31,9 +31,15 @@ def _pattern_rng(config: SimulationConfig, salt: int) -> random.Random:
 
 
 def _build_steady_sim(spec: RunSpec) -> Simulator:
-    """Fresh simulator + Bernoulli generator for one steady-state spec."""
+    """Fresh simulator + Bernoulli generator for one steady-state spec.
+
+    Per-source ejected counts are always recorded so every steady point
+    reports the Jain index / worst-source share in its LoadPoint; the
+    counters are observation only (no RNG draws), so the rest of the
+    point is unchanged.
+    """
     config = spec.config
-    sim = Simulator(config)
+    sim = Simulator(config, record_per_source=True)
     pattern = make_pattern(sim.network.topo, _pattern_rng(config, 0xA5), spec.pattern_spec)
     sim.generator = BernoulliTraffic(
         pattern, spec.load, config.packet_size, sim.network.topo.num_nodes,
@@ -48,7 +54,16 @@ def run_spec(spec: RunSpec) -> LoadPoint:
     This is the canonical steady-state entry point; everything else
     (:func:`run_steady_state`, the parallel pool, the orchestrator) is a
     wrapper that constructs a ``RunSpec`` and lands here.
+
+    Multi-job specs (``spec.workload``) dispatch to the workload runner
+    and report the *global* LoadPoint; use
+    :func:`repro.workloads.runner.run_workload` directly for the
+    per-job breakdown.
     """
+    if spec.workload is not None:
+        from repro.workloads.runner import run_workload
+
+        return run_workload(spec).total
     sim = _build_steady_sim(spec)
     sim.warm_up(spec.warmup)
     sim.run(spec.measure)
@@ -73,6 +88,11 @@ def run_spec_with_telemetry(
     cfg = telemetry if telemetry is not None else spec.telemetry
     if cfg is None:
         return run_spec(spec), None
+    if spec.workload is not None:
+        from repro.workloads.runner import run_workload_with_telemetry
+
+        result, series = run_workload_with_telemetry(spec, cfg)
+        return result.total, series
     sim = _build_steady_sim(spec)
     sim.warm_up(spec.warmup)
     sampler = TelemetrySampler(sim, cfg)

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 from repro.engine.config import SimulationConfig
 from repro.telemetry.config import TelemetryConfig
+from repro.workloads.spec import WorkloadSpec
 
 # Bump when the meaning of a fingerprinted field changes so stale store
 # entries become misses instead of wrong answers.
@@ -51,16 +52,50 @@ class RunSpec:
     # invalidates cached results nor forks the store key.  (Rationale in
     # repro.telemetry.config.)
     telemetry: TelemetryConfig | None = None
+    # Multi-job workload (repro.workloads).  Unlike telemetry this IS
+    # identity — the jobs, their placement and their lifetimes determine
+    # every number — so it participates in the JSON form and the
+    # fingerprint.  The key is *omitted* when None, which keeps every
+    # pre-existing single-tenant fingerprint unchanged.
+    workload: WorkloadSpec | None = None
 
     def __post_init__(self) -> None:
         if self.load < 0:
             raise ValueError(f"load must be >= 0, got {self.load}")
         if self.warmup < 0 or self.measure < 0:
             raise ValueError("warmup and measure must be >= 0")
+        if self.workload is not None:
+            # Canonical encoding: the jobs carry the patterns and loads,
+            # so the single-tenant fields must hold fixed sentinel
+            # values — otherwise one workload could fingerprint two ways.
+            if self.pattern_spec != "workload" or self.load != 0.0:
+                raise ValueError(
+                    "workload specs must use pattern_spec='workload' and "
+                    "load=0.0 (use RunSpec.for_workload)"
+                )
+
+    @classmethod
+    def for_workload(
+        cls,
+        config: SimulationConfig,
+        workload: WorkloadSpec,
+        warmup: int = 2_000,
+        measure: int = 2_000,
+        telemetry: TelemetryConfig | None = None,
+    ) -> "RunSpec":
+        """Canonical constructor for multi-job specs."""
+        return cls(
+            config, "workload", 0.0, warmup, measure, telemetry, workload
+        )
 
     # ------------------------------------------------------------------
     def label(self) -> str:
         """Short human-readable tag for logs and progress lines."""
+        if self.workload is not None:
+            return (
+                f"{self.config.routing}/workload[{len(self.workload.jobs)} jobs]"
+                f" (h={self.config.h})"
+            )
         return (
             f"{self.config.routing}/{self.pattern_spec}/{self.load:g}"
             f" (h={self.config.h})"
@@ -70,28 +105,35 @@ class RunSpec:
     # Serialization
     # ------------------------------------------------------------------
     def to_jsonable(self) -> dict:
-        return {
+        out = {
             "config": json.loads(self.config.to_json()),
             "pattern_spec": self.pattern_spec,
             "load": self.load,
             "warmup": self.warmup,
             "measure": self.measure,
         }
+        if self.workload is not None:
+            out["workload"] = self.workload.to_jsonable()
+        return out
 
     @classmethod
     def from_jsonable(cls, data: dict) -> "RunSpec":
         if not isinstance(data, dict):
             raise ValueError("RunSpec JSON must be an object")
-        known = {"config", "pattern_spec", "load", "warmup", "measure"}
+        known = {"config", "pattern_spec", "load", "warmup", "measure", "workload"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown RunSpec keys: {sorted(unknown)}")
+        workload = data.get("workload")
         return cls(
             config=SimulationConfig.from_json(json.dumps(data["config"])),
             pattern_spec=data["pattern_spec"],
             load=data["load"],
             warmup=data["warmup"],
             measure=data["measure"],
+            workload=WorkloadSpec.from_jsonable(workload)
+            if workload is not None
+            else None,
         )
 
     def to_json(self) -> str:

@@ -54,6 +54,8 @@ class Simulator:
         generator: TrafficGenerator | None = None,
         record_send_latency: bool = False,
         send_bucket: int = 1,
+        record_per_source: bool = False,
+        record_per_job: bool = False,
     ) -> None:
         self.config = config
         self.network = Network(config)
@@ -64,6 +66,8 @@ class Simulator:
             packet_size=config.packet_size,
             record_send_latency=record_send_latency,
             send_bucket=send_bucket,
+            record_per_source=record_per_source,
+            record_per_job=record_per_job,
         )
         self.network.on_eject = self.metrics.on_eject
         self.generator = generator
@@ -95,8 +99,15 @@ class Simulator:
     # ------------------------------------------------------------------
     # Packet creation / injection
     # ------------------------------------------------------------------
-    def create_packet(self, src: int, dst: int, cycle: int | None = None) -> Packet:
-        """Queue a new packet at node ``src`` (used by generators and tests)."""
+    def create_packet(
+        self, src: int, dst: int, cycle: int | None = None, job: int = -1
+    ) -> Packet:
+        """Queue a new packet at node ``src`` (used by generators and tests).
+
+        ``job`` tags the packet with the multi-job workload job index
+        that created it (-1 = single-tenant traffic); per-job metrics
+        and link attribution key off the tag.
+        """
         if src == dst:
             raise ValueError("source and destination nodes must differ")
         if cycle is None:
@@ -120,7 +131,12 @@ class Simulator:
             active.add(src)
             insort(self._active_order, src)
         self.created_packets += 1
-        self.metrics.generated_packets += 1  # Metrics.on_generate(1)
+        metrics = self.metrics
+        metrics.generated_packets += 1  # Metrics.on_generate(1)
+        if job >= 0:
+            pkt.job = job
+            if metrics.record_per_job:
+                metrics.on_job_generate(job)
         return pkt
 
     def _inject(self, cycle: int) -> None:
@@ -138,6 +154,7 @@ class Simulator:
             else None
         )
         metrics = self.metrics
+        record_jobs = metrics.record_per_job
         size = self.config.packet_size
         for node in self._active_order:
             if busy[node] > cycle:
@@ -152,6 +169,8 @@ class Simulator:
                 queue.popleft()
                 busy[node] = cycle + size
                 metrics.injected_packets += 1  # Metrics.on_inject
+                if record_jobs and pkt.job >= 0:
+                    metrics.on_job_inject(pkt.job)
                 if not queue:
                     done.append(node)
         if done:
@@ -172,9 +191,15 @@ class Simulator:
         routing = self.routing
         if self._routing_ticks:
             routing.tick(cycle)
-        if self.generator is not None:
-            for src, dst in self.generator.packets_for_cycle(cycle):
-                self.create_packet(src, dst, cycle)
+        generator = self.generator
+        if generator is not None:
+            if generator.emits_jobs:
+                # Multi-job composite: (src, dst, job) triples.
+                for src, dst, job in generator.packets_for_cycle(cycle):
+                    self.create_packet(src, dst, cycle, job)
+            else:
+                for src, dst in generator.packets_for_cycle(cycle):
+                    self.create_packet(src, dst, cycle)
         if self._active_order:
             self._inject(cycle)
         # Active-set allocation sweep: only routers holding a head

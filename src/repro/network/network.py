@@ -583,6 +583,12 @@ class Network:
                 f"credit underflow on router {rt.rid} port {out_port} vc {out_vc}"
             )
         ch.sent_phits += size
+        # Per-job link attribution (multi-job workloads): single-tenant
+        # packets carry job == -1, so the common case is one int compare.
+        job = pkt.job
+        if job >= 0:
+            job_phits = ch.job_phits
+            job_phits[job] = job_phits.get(job, 0) + size
         # Header/state updates and hop accounting.  Minimal grants
         # (``kind`` 0, the vast majority) skip the whole chain with a
         # single truthiness test.

@@ -58,6 +58,10 @@ class Packet:
         "head_cycle",
         # Escape ring the packet is riding (multi-ring support); -1 off.
         "ring_id",
+        # Multi-job workloads (repro.workloads): index of the job that
+        # created this packet, -1 for single-tenant traffic.  Routing
+        # never reads it; it only drives per-job attribution.
+        "job",
     )
 
     def __init__(
@@ -98,6 +102,7 @@ class Packet:
         self.cache_port = -1
         self.head_cycle = -1
         self.ring_id = -1
+        self.job = -1
 
     @property
     def latency(self) -> int:

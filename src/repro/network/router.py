@@ -92,6 +92,7 @@ class OutputChannel:
         "dest_bufs",
         "dest_keys",
         "sent_phits",
+        "job_phits",
         "failed",
     )
 
@@ -137,6 +138,10 @@ class OutputChannel:
         self.dv1 = dv[1] if len(dv) > 1 else -1
         self.dv2 = dv[2] if len(dv) > 2 else -1
         self.sent_phits = 0
+        # Per-job phit counts (multi-job workloads only): job index ->
+        # phits this channel carried for that job.  Stays empty for
+        # single-tenant traffic (packets with job == -1).
+        self.job_phits: dict[int, int] = {}
         # Destination-side views, wired by Network after construction
         # for inter-router channels (None for ejection channels and
         # stand-alone unit tests): the receiving Router, its per-VC

@@ -179,6 +179,10 @@ class TelemetrySample:
     # -- per-link detail (``TelemetryConfig.per_link`` only) --
     router_util: dict[str, list[float]] | None = None  # kind -> util by router id
     group_util: list[list[float]] | None = None  # [src group][dst group] global util
+    # -- per-job flow (multi-job workloads only; None for single-tenant
+    #    runs): job index (string, JSON object keys) -> windowed ejected
+    #    count and mean latency of that job's ejections --
+    job_flow: dict[str, dict] | None = None
 
     def to_jsonable(self) -> dict:
         """Exact nested dict form; NaN encoded as ``null`` (store rules)."""
@@ -205,6 +209,7 @@ class TelemetrySample:
             "latency_p99": _nan_safe(self.latency_p99),
             "router_util": self.router_util,
             "group_util": self.group_util,
+            "job_flow": self.job_flow,
         }
 
     @classmethod
@@ -238,6 +243,7 @@ class TelemetrySample:
             latency_p99=_from_nullable(data["latency_p99"]),
             router_util=data.get("router_util"),
             group_util=data.get("group_util"),
+            job_flow=data.get("job_flow"),
         )
 
 
@@ -328,6 +334,11 @@ class TelemetrySampler:
         self._lat_hist: dict[int, int] = {}
         self._lat_sum = 0
         self._lat_count = 0
+        # Per-job windowed flow (multi-job workloads only): job index ->
+        # [ejected count, latency sum].  Stays empty in single-tenant
+        # runs (pkt.job < 0), so those series are byte-identical to
+        # pre-workload ones.
+        self._job_flow: dict[int, list[int]] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -405,6 +416,14 @@ class TelemetrySampler:
         self._lat_hist[bucket] = self._lat_hist.get(bucket, 0) + 1
         self._lat_sum += lat
         self._lat_count += 1
+        job = pkt.job
+        if job >= 0:
+            acc = self._job_flow.get(job)
+            if acc is None:
+                self._job_flow[job] = [1, lat]
+            else:
+                acc[0] += 1
+                acc[1] += lat
 
     def on_cycle(self, cycle: int) -> None:
         """Per-cycle entry point, called by ``Simulator.step`` while
@@ -508,6 +527,16 @@ class TelemetrySampler:
         self._lat_sum = 0
         self._lat_count = 0
 
+        # Per-job flow of the window's ejections (None unless a
+        # multi-job generator tagged packets this window).
+        job_flow = None
+        if self._job_flow:
+            job_flow = {
+                str(j): {"ejected": c, "latency_mean": s / c}
+                for j, (c, s) in sorted(self._job_flow.items())
+            }
+            self._job_flow = {}
+
         if len(self._samples) == self._samples.maxlen:
             self.dropped += 1  # deque evicts the oldest on append
         self._samples.append(TelemetrySample(
@@ -533,5 +562,6 @@ class TelemetrySampler:
             latency_p99=lat_p99,
             router_util=router_util,
             group_util=group_util,
+            job_flow=job_flow,
         ))
         self._w0 = cycle + 1

@@ -30,12 +30,26 @@ from repro.traffic.patterns import TrafficPattern
 class TrafficGenerator(ABC):
     """Per-cycle packet creation process."""
 
+    #: Multi-job protocol flag: when True, :meth:`packets_for_cycle`
+    #: yields (source, destination, job index) triples instead of pairs
+    #: and the simulator tags each packet with its job id.  Only
+    #: :class:`~repro.workloads.composite.CompositeTraffic` sets this.
+    emits_jobs: bool = False
+
     @abstractmethod
     def packets_for_cycle(self, cycle: int) -> Iterable[tuple[int, int]]:
         """(source node, destination node) pairs created this cycle."""
 
     def finished(self, cycle: int) -> bool:
-        """True when the generator will never create packets again."""
+        """True when the generator will never create packets again.
+
+        The contract drain loops rely on (``Simulator.run_until_drained``
+        and composite-workload lifecycles): once this returns True for
+        some cycle it must stay True for every later cycle, and a
+        finished generator must never emit another packet.  Generators
+        with a finite backlog (:class:`BurstTraffic`) must flip to True
+        as soon as the backlog has been handed to the simulator.
+        """
         return False
 
 

@@ -1,0 +1,136 @@
+"""The composite generator: many jobs multiplexed onto one network.
+
+:class:`CompositeTraffic` owns one rank-space traffic generator per job
+(reusing the stock :class:`~repro.traffic.generators.BernoulliTraffic`
+and :class:`~repro.traffic.generators.BurstTraffic` unchanged) and
+multiplexes them into a single ``(src, dst, job)`` stream for the
+simulator (``emits_jobs = True``).  Three properties make composition
+well-behaved:
+
+- **independent seeds** — each job's generator and pattern draw from
+  RNGs derived from ``(base seed, job name)``, so adding, removing or
+  reordering *other* jobs never changes a job's own traffic stream;
+- **job-local time** — a job's generator sees cycles counted from the
+  job's ``start``, so delaying a job shifts its stream instead of
+  replaying a different one;
+- **lifecycle-aware completion** — a job past its ``stop`` cycle is
+  finished regardless of its generator's own opinion, which is what
+  lets drain loops terminate for e.g. a burst job that was stopped
+  before it ever emitted.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Iterable
+
+from repro.topology.dragonfly import Dragonfly
+from repro.traffic.generators import BernoulliTraffic, BurstTraffic, TrafficGenerator
+from repro.workloads.jobpatterns import make_job_pattern
+from repro.workloads.placement import place_jobs
+from repro.workloads.spec import JobSpec, WorkloadSpec
+
+
+def job_seed(base_seed: int, name: str) -> int:
+    """Per-job seed: the run seed salted with a stable hash of the job
+    name (``zlib.crc32`` — Python's ``hash()`` is randomized per
+    process and would break cross-process determinism)."""
+    return (base_seed << 16) ^ zlib.crc32(name.encode("utf-8"))
+
+
+class PlacedJob:
+    """One job at runtime: its spec, its nodes, its generator."""
+
+    __slots__ = ("index", "spec", "nodes", "generator")
+
+    def __init__(
+        self, index: int, spec: JobSpec, nodes: tuple[int, ...],
+        generator: TrafficGenerator,
+    ) -> None:
+        self.index = index
+        self.spec = spec
+        self.nodes = nodes
+        self.generator = generator
+
+    def active(self, cycle: int) -> bool:
+        """Whether the job emits traffic at (global) ``cycle``."""
+        if cycle < self.spec.start:
+            return False
+        return self.spec.stop is None or cycle < self.spec.stop
+
+    def finished(self, cycle: int) -> bool:
+        """Whether the job will never emit another packet."""
+        if self.spec.stop is not None and cycle >= self.spec.stop:
+            return True
+        return self.generator.finished(cycle - self.spec.start)
+
+    @property
+    def offered_load(self) -> float:
+        """Offered load per job node (a burst pushes at full rate)."""
+        return self.spec.load if self.spec.traffic == "bernoulli" else 1.0
+
+
+def build_job_generator(
+    topo: Dragonfly,
+    spec: JobSpec,
+    nodes: tuple[int, ...],
+    packet_size: int,
+    base_seed: int,
+) -> TrafficGenerator:
+    """Rank-space generator for one job (shared with the equivalence
+    tests, which need the exact same construction stand-alone)."""
+    seed = job_seed(base_seed, spec.name)
+    pattern = make_job_pattern(
+        topo, random.Random(seed ^ 0x9E3779B9), spec.pattern, nodes
+    )
+    if spec.traffic == "bernoulli":
+        return BernoulliTraffic(pattern, spec.load, packet_size, len(nodes), seed)
+    return BurstTraffic(pattern, spec.packets_per_node, len(nodes))
+
+
+class CompositeTraffic(TrafficGenerator):
+    """Multiplexes per-job rank-space generators into one stream."""
+
+    emits_jobs = True
+
+    def __init__(
+        self,
+        topo: Dragonfly,
+        workload: WorkloadSpec,
+        packet_size: int,
+        seed: int,
+    ) -> None:
+        self.workload = workload
+        placements = place_jobs(topo, workload)
+        self.jobs = [
+            PlacedJob(
+                i, spec, nodes,
+                build_job_generator(topo, spec, nodes, packet_size, seed),
+            )
+            for i, (spec, nodes) in enumerate(zip(workload.jobs, placements))
+        ]
+
+    def packets_for_cycle(self, cycle: int) -> Iterable[tuple[int, int, int]]:
+        out: list[tuple[int, int, int]] = []
+        for job in self.jobs:
+            if not job.active(cycle):
+                continue
+            nodes = job.nodes
+            index = job.index
+            for src, dst in job.generator.packets_for_cycle(cycle - job.spec.start):
+                out.append((nodes[src], nodes[dst], index))
+        return out
+
+    def finished(self, cycle: int) -> bool:
+        return all(job.finished(cycle) for job in self.jobs)
+
+    # ------------------------------------------------------------------
+    def events(self) -> list[tuple[int, str, str]]:
+        """Lifecycle edges as (cycle, "start"|"stop", job name), sorted."""
+        out: list[tuple[int, str, str]] = []
+        for job in self.jobs:
+            out.append((job.spec.start, "start", job.spec.name))
+            if job.spec.stop is not None:
+                out.append((job.spec.stop, "stop", job.spec.name))
+        return sorted(out)

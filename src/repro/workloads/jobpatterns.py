@@ -1,0 +1,191 @@
+"""Job-level destination patterns over a job's own node set.
+
+The topology-wide patterns of :mod:`repro.traffic.patterns` assume the
+traffic spans every node; a job only owns a subset, so its patterns
+operate in *rank space*: ranks ``0..J-1`` index the job's sorted node
+list, the composite generator maps ranks back to global node ids.
+Running each job's generator in rank space has a second payoff: a job
+covering the whole machine under the same seed reproduces the
+stand-alone generator bit for bit, which is exactly the equivalence the
+composition-determinism tests pin down.
+
+Supported spec strings (parsed by :func:`make_job_pattern`):
+
+- ``"UN"`` — uniform over the job's ranks, source excluded (same draw
+  sequence as the global ``UniformPattern`` when the job spans all
+  nodes);
+- ``"ADV+<k>"`` — adversarial over the job's *occupied groups*: every
+  rank targets a random job rank whose node lives ``k`` occupied-groups
+  ahead.  With a placement that touches all groups this reproduces the
+  paper's ADV traffic from inside a job;
+- ``"SHIFT+<k>"`` — cyclic shift in rank space (1-D neighbour
+  exchange);
+- ``"PERM"`` — a fixed fixed-point-free permutation of the ranks;
+- ``"STENCIL"`` — 2-D near-square halo exchange over ranks (sequential
+  mapping: rank r on the r-th job node, locality-preserving under
+  contiguous placement).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.topology.dragonfly import Dragonfly
+from repro.traffic.applications import near_square_dims
+
+
+class JobPattern(ABC):
+    """Maps source ranks to destination ranks within one job."""
+
+    name: str = "?"
+
+    def __init__(self, num_ranks: int, rng: random.Random) -> None:
+        if num_ranks < 2:
+            raise ValueError("a job pattern needs at least 2 nodes")
+        self.num_ranks = num_ranks
+        self.rng = rng
+
+    @abstractmethod
+    def dest(self, src: int) -> int:
+        """Destination rank for a packet generated at rank ``src``."""
+
+
+class JobUniform(JobPattern):
+    """UN over the job's ranks (source excluded)."""
+
+    name = "UN"
+
+    def dest(self, src: int) -> int:
+        # Identical draw idiom to patterns.UniformPattern so that a job
+        # spanning the whole machine replays the global generator.
+        d = self.rng.randrange(self.num_ranks - 1)
+        return d + 1 if d >= src else d
+
+
+class JobAdversarial(JobPattern):
+    """ADV+k over the job's occupied groups.
+
+    The job's nodes are bucketed by dragonfly group; a source in the
+    i-th occupied group targets a random rank of occupied group
+    ``(i + k) mod n_groups``.  Requires the job to span >= 2 groups.
+    """
+
+    def __init__(
+        self,
+        num_ranks: int,
+        rng: random.Random,
+        offset: int,
+        topo: Dragonfly,
+        nodes: tuple[int, ...],
+    ) -> None:
+        super().__init__(num_ranks, rng)
+        if offset < 1:
+            raise ValueError(f"ADV offset must be >= 1, got {offset}")
+        by_group: dict[int, list[int]] = {}
+        for rank, node in enumerate(nodes):
+            by_group.setdefault(topo.node_group(node), []).append(rank)
+        occupied = sorted(by_group)
+        if len(occupied) < 2:
+            raise ValueError(
+                "job-level ADV needs the job to span at least 2 groups "
+                f"(it occupies {len(occupied)})"
+            )
+        self.offset = offset
+        self.name = f"ADV+{offset}"
+        self._group_of_rank = [0] * num_ranks
+        for i, g in enumerate(occupied):
+            for rank in by_group[g]:
+                self._group_of_rank[rank] = i
+        self._members = [by_group[g] for g in occupied]
+
+    def dest(self, src: int) -> int:
+        members = self._members
+        target = members[(self._group_of_rank[src] + self.offset) % len(members)]
+        return target[self.rng.randrange(len(target))]
+
+
+class JobShift(JobPattern):
+    """Cyclic shift in rank space: rank ``r`` sends to ``r + k``."""
+
+    def __init__(self, num_ranks: int, rng: random.Random, shift: int) -> None:
+        super().__init__(num_ranks, rng)
+        if shift % num_ranks == 0:
+            raise ValueError(f"shift {shift} maps every rank onto itself")
+        self.shift = shift
+        self.name = f"SHIFT+{shift}"
+
+    def dest(self, src: int) -> int:
+        return (src + self.shift) % self.num_ranks
+
+
+class JobPermutation(JobPattern):
+    """Fixed random permutation of the ranks, fixed points rotated away."""
+
+    name = "PERM"
+
+    def __init__(self, num_ranks: int, rng: random.Random) -> None:
+        super().__init__(num_ranks, rng)
+        perm = list(range(num_ranks))
+        random.Random(rng.randrange(2**31)).shuffle(perm)
+        for i in range(num_ranks):
+            if perm[i] == i:
+                j = (i + 1) % num_ranks
+                perm[i], perm[j] = perm[j], perm[i]
+        self._perm = perm
+
+    def dest(self, src: int) -> int:
+        return self._perm[src]
+
+
+class JobStencil(JobPattern):
+    """2-D near-square periodic halo exchange over the job's ranks."""
+
+    def __init__(self, num_ranks: int, rng: random.Random) -> None:
+        super().__init__(num_ranks, rng)
+        self.dims = near_square_dims(num_ranks, 2)
+        self.name = f"STENCIL{'x'.join(map(str, self.dims))}"
+        self._cols = self.dims[1]
+
+    def _neighbor(self, src: int, axis: int, direction: int) -> int:
+        rows, cols = self.dims
+        r, c = divmod(src, cols)
+        if axis == 0:
+            r = (r + direction) % rows
+        else:
+            c = (c + direction) % cols
+        return r * cols + c
+
+    def dest(self, src: int) -> int:
+        axis = self.rng.randrange(2)
+        direction = 1 if self.rng.random() < 0.5 else -1
+        nbr = self._neighbor(src, axis, direction)
+        if nbr == src:  # 1-wide dimension wraps onto itself
+            nbr = self._neighbor(src, 1 - axis, 1)
+        return nbr if nbr != src else (src + 1) % self.num_ranks
+
+
+def make_job_pattern(
+    topo: Dragonfly,
+    rng: random.Random,
+    spec: str,
+    nodes: tuple[int, ...],
+) -> JobPattern:
+    """Build a job pattern from its spec string.
+
+    ``nodes`` is the job's placed node set (sorted, global ids); rank
+    ``r`` is ``nodes[r]``.
+    """
+    spec = spec.upper()
+    n = len(nodes)
+    if spec == "UN":
+        return JobUniform(n, rng)
+    if spec.startswith("ADV+"):
+        return JobAdversarial(n, rng, int(spec[4:]), topo, nodes)
+    if spec.startswith("SHIFT+"):
+        return JobShift(n, rng, int(spec[6:]))
+    if spec == "PERM":
+        return JobPermutation(n, rng)
+    if spec == "STENCIL":
+        return JobStencil(n, rng)
+    raise ValueError(f"unknown job pattern spec {spec!r}")

@@ -1,0 +1,153 @@
+"""Job placement: mapping each job to a disjoint set of nodes.
+
+Placement decides how much jobs *can* interfere.  The four policies
+span the spectrum the interference experiments need:
+
+- ``contiguous`` — jobs take the lowest free node ids in job order.
+  Consecutive nodes share routers and groups, so a job's traffic stays
+  local but neighbouring jobs share the boundary router/group.
+- ``random-nodes`` — a seeded uniform sample of the free nodes.  Jobs
+  fragment across the whole machine (Bhatele-style randomization):
+  no job owns a hotspot, every job shares links with every other.
+- ``round-robin-groups`` — nodes are dealt one group at a time, so a
+  job of ``k`` nodes touches ``min(k, G)`` groups and every group hosts
+  slices of several jobs.  This is the maximum-sharing placement the
+  bully/victim study uses.
+- ``group-exclusive`` — each job receives whole groups (enough to
+  cover its demand) and no group ever hosts two jobs.  Local links are
+  private; only global links are shared.
+
+Jobs with an explicit ``node_list`` bypass the policy but still count
+against the free pool, so mixed explicit/placed workloads stay
+disjoint.  All policies are deterministic in (topology, workload):
+``random-nodes`` draws from ``random.Random(placement_seed)`` only.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.topology.dragonfly import Dragonfly
+from repro.workloads.spec import WorkloadSpec
+
+
+def place_jobs(topo: Dragonfly, workload: WorkloadSpec) -> list[tuple[int, ...]]:
+    """Node sets per job, in workload order (each sorted ascending).
+
+    Raises :class:`ValueError` when the demand does not fit, an explicit
+    node is out of range, or two jobs claim the same node.
+    """
+    num_nodes = topo.num_nodes
+    used: set[int] = set()
+    placed: list[tuple[int, ...] | None] = [None] * len(workload.jobs)
+
+    # Explicit pins first: they constrain what the policy may hand out.
+    for i, job in enumerate(workload.jobs):
+        if job.node_list is None:
+            continue
+        for node in job.node_list:
+            if not 0 <= node < num_nodes:
+                raise ValueError(
+                    f"job {job.name!r}: node {node} out of range [0, {num_nodes})"
+                )
+            if node in used:
+                raise ValueError(
+                    f"job {job.name!r}: node {node} already claimed by another job"
+                )
+            used.add(node)
+        placed[i] = tuple(sorted(job.node_list))
+
+    demand = sum(job.size for job in workload.jobs)
+    if demand > num_nodes:
+        raise ValueError(
+            f"workload demands {demand} nodes but the network has {num_nodes}"
+        )
+
+    policy = workload.placement
+    rng = random.Random(workload.placement_seed)
+    for i, job in enumerate(workload.jobs):
+        if placed[i] is not None:
+            continue
+        if policy == "contiguous":
+            nodes = _take_lowest(num_nodes, used, job.size, job.name)
+        elif policy == "random-nodes":
+            free = [n for n in range(num_nodes) if n not in used]
+            if len(free) < job.size:
+                raise ValueError(_short(job.name, job.size, len(free)))
+            nodes = sorted(rng.sample(free, job.size))
+        elif policy == "round-robin-groups":
+            nodes = _deal_groups(topo, used, job.size, job.name)
+        elif policy == "group-exclusive":
+            nodes = _whole_groups(topo, used, job.size, job.name)
+        else:  # pragma: no cover - WorkloadSpec validates the policy name
+            raise ValueError(f"unknown placement policy {policy!r}")
+        used.update(nodes)
+        placed[i] = tuple(nodes)
+    return placed  # type: ignore[return-value]
+
+
+def _short(name: str, want: int, have: int) -> str:
+    return f"job {name!r} needs {want} nodes but only {have} are free"
+
+
+def _take_lowest(num_nodes: int, used: set[int], size: int, name: str) -> list[int]:
+    nodes: list[int] = []
+    for node in range(num_nodes):
+        if node in used:
+            continue
+        nodes.append(node)
+        if len(nodes) == size:
+            return nodes
+    raise ValueError(_short(name, size, len(nodes)))
+
+
+def _deal_groups(topo: Dragonfly, used: set[int], size: int, name: str) -> list[int]:
+    """Round-robin over groups: one node from each group per sweep."""
+    nodes: list[int] = []
+    # Per-group cursors into the group's node range, advanced past
+    # already-claimed nodes lazily.
+    cursors = [iter(topo.group_nodes(g)) for g in range(topo.num_groups)]
+    exhausted = [False] * topo.num_groups
+    while len(nodes) < size:
+        progressed = False
+        for g in range(topo.num_groups):
+            if len(nodes) == size:
+                break
+            if exhausted[g]:
+                continue
+            # Group node ranges are disjoint and each cursor yields a
+            # node at most once, so no duplicate check is needed.
+            for node in cursors[g]:
+                if node not in used:
+                    nodes.append(node)
+                    progressed = True
+                    break
+            else:
+                exhausted[g] = True
+        if not progressed:
+            raise ValueError(_short(name, size, len(nodes)))
+    return sorted(nodes)
+
+
+def _whole_groups(topo: Dragonfly, used: set[int], size: int, name: str) -> list[int]:
+    """Whole free groups, lowest-numbered first; the job marks every
+    node of its groups as used so no other job can enter them."""
+    per_group = topo.p * topo.a
+    needed = -(-size // per_group)  # ceil
+    groups: list[int] = []
+    for g in range(topo.num_groups):
+        if any(node in used for node in topo.group_nodes(g)):
+            continue
+        groups.append(g)
+        if len(groups) == needed:
+            break
+    if len(groups) < needed:
+        raise ValueError(
+            f"job {name!r} needs {needed} exclusive group(s) but only "
+            f"{len(groups)} are fully free"
+        )
+    pool = [node for g in groups for node in topo.group_nodes(g)]
+    # The job occupies the first `size` nodes but *owns* every node of
+    # its groups: return only the occupied ones, mark the rest used.
+    used.update(pool)
+    return pool[:size]

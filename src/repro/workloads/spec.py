@@ -1,0 +1,186 @@
+"""Workload descriptions: jobs, their traffic and their placement.
+
+A *workload* is a set of named jobs sharing one simulated dragonfly.
+Each job owns a disjoint set of nodes (chosen by a placement policy or
+pinned explicitly), runs its own traffic process restricted to those
+nodes, and may arrive and depart mid-run.  The description layer here
+is pure data with a lossless JSON round-trip, so a workload can ride
+inside a :class:`~repro.engine.runspec.RunSpec` and participate in the
+content fingerprint / result store exactly like every other identity
+field.
+
+Nothing in this module imports the engine — the run layer imports *us*
+(``RunSpec`` embeds a :class:`WorkloadSpec`), so the dependency must
+point this way only.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: Placement policies understood by :func:`repro.workloads.placement.place_jobs`.
+PLACEMENTS = (
+    "contiguous",  # lowest free node ids, in job order (locality-preserving)
+    "random-nodes",  # seeded uniform sample of free nodes (fragmenting)
+    "round-robin-groups",  # deal nodes one group at a time (interleaving)
+    "group-exclusive",  # whole groups per job; groups are never shared
+)
+
+#: Traffic processes a job may run (see repro.traffic.generators).
+TRAFFIC_KINDS = ("bernoulli", "burst")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One job: a name, a node demand, a traffic process, a lifetime.
+
+    Exactly one of ``nodes`` (a count, satisfied by the workload's
+    placement policy) or ``node_list`` (explicit node ids, bypassing
+    placement) must be given.  ``pattern`` is a *job-level* spec string
+    over the job's own nodes (see :mod:`repro.workloads.jobpatterns`):
+    ``"UN"``, ``"ADV+<k>"``, ``"SHIFT+<k>"``, ``"PERM"``, ``"STENCIL"``.
+
+    ``start``/``stop`` bound the job's lifetime in simulation cycles
+    (``stop=None`` = runs forever); the composite generator feeds each
+    job *job-local* cycles counted from its own start, so a job's
+    traffic stream does not depend on when it is scheduled.
+    """
+
+    name: str
+    nodes: int = 0
+    node_list: tuple[int, ...] | None = None
+    traffic: str = "bernoulli"
+    pattern: str = "UN"
+    load: float = 0.1  # phits/(node*cycle), bernoulli only
+    packets_per_node: int = 1  # burst only
+    start: int = 0
+    stop: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("job name must be non-empty")
+        if self.node_list is not None and not isinstance(self.node_list, tuple):
+            object.__setattr__(self, "node_list", tuple(self.node_list))
+        has_count = self.nodes > 0
+        has_list = self.node_list is not None and len(self.node_list) > 0
+        if has_count == has_list:
+            raise ValueError(
+                f"job {self.name!r}: give exactly one of nodes > 0 or a "
+                f"non-empty node_list"
+            )
+        if has_list and len(set(self.node_list)) != len(self.node_list):
+            raise ValueError(f"job {self.name!r}: node_list has duplicates")
+        if self.traffic not in TRAFFIC_KINDS:
+            raise ValueError(
+                f"job {self.name!r}: traffic must be one of {TRAFFIC_KINDS}, "
+                f"got {self.traffic!r}"
+            )
+        if not 0.0 <= self.load <= 1.0:
+            raise ValueError(f"job {self.name!r}: load must be in [0, 1]")
+        if self.packets_per_node < 1:
+            raise ValueError(f"job {self.name!r}: packets_per_node must be >= 1")
+        if self.start < 0:
+            raise ValueError(f"job {self.name!r}: start must be >= 0")
+        if self.stop is not None and self.stop <= self.start:
+            raise ValueError(f"job {self.name!r}: stop must be > start")
+
+    @property
+    def size(self) -> int:
+        """Number of nodes the job demands."""
+        return len(self.node_list) if self.node_list is not None else self.nodes
+
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> dict:
+        return {
+            "name": self.name,
+            "nodes": self.nodes,
+            "node_list": list(self.node_list) if self.node_list is not None else None,
+            "traffic": self.traffic,
+            "pattern": self.pattern,
+            "load": self.load,
+            "packets_per_node": self.packets_per_node,
+            "start": self.start,
+            "stop": self.stop,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "JobSpec":
+        if not isinstance(data, dict):
+            raise ValueError("JobSpec JSON must be an object")
+        known = {
+            "name", "nodes", "node_list", "traffic", "pattern",
+            "load", "packets_per_node", "start", "stop",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown JobSpec keys: {sorted(unknown)}")
+        node_list = data.get("node_list")
+        return cls(
+            name=data["name"],
+            nodes=data.get("nodes", 0),
+            node_list=tuple(node_list) if node_list is not None else None,
+            traffic=data.get("traffic", "bernoulli"),
+            pattern=data.get("pattern", "UN"),
+            load=data.get("load", 0.1),
+            packets_per_node=data.get("packets_per_node", 1),
+            start=data.get("start", 0),
+            stop=data.get("stop"),
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A set of jobs plus the policy that places them on nodes."""
+
+    jobs: tuple[JobSpec, ...] = field(default_factory=tuple)
+    placement: str = "contiguous"
+    placement_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.jobs, tuple):
+            object.__setattr__(self, "jobs", tuple(self.jobs))
+        if not self.jobs:
+            raise ValueError("a workload needs at least one job")
+        names = [job.name for job in self.jobs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"job names must be unique, got {names}")
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {PLACEMENTS}, got {self.placement!r}"
+            )
+
+    def job_index(self, name: str) -> int:
+        """Position of the named job (the packet-tag job id)."""
+        for i, job in enumerate(self.jobs):
+            if job.name == name:
+                return i
+        raise KeyError(f"no job named {name!r}")
+
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> dict:
+        return {
+            "jobs": [job.to_jsonable() for job in self.jobs],
+            "placement": self.placement,
+            "placement_seed": self.placement_seed,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "WorkloadSpec":
+        if not isinstance(data, dict):
+            raise ValueError("WorkloadSpec JSON must be an object")
+        unknown = set(data) - {"jobs", "placement", "placement_seed"}
+        if unknown:
+            raise ValueError(f"unknown WorkloadSpec keys: {sorted(unknown)}")
+        return cls(
+            jobs=tuple(JobSpec.from_jsonable(j) for j in data["jobs"]),
+            placement=data.get("placement", "contiguous"),
+            placement_seed=data.get("placement_seed", 0),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_jsonable(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkloadSpec":
+        return cls.from_jsonable(json.loads(text))

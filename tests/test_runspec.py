@@ -100,6 +100,7 @@ def mk_point(**kw):
         avg_global_hops=1.1, p50_latency=76.0, p99_latency=144.0,
         ejected_packets=543, window_cycles=200, ring_fraction=0.0,
         local_misroute_rate=0.698, global_misroute_rate=0.654,
+        jain_index=0.9871, worst_source_share=0.0213,
     )
     base.update(kw)
     return LoadPoint(**base)
@@ -129,6 +130,16 @@ class TestLoadPointJson:
         data2["bogus"] = 1
         with pytest.raises(ValueError):
             LoadPoint.from_jsonable(data2)
+
+    def test_fairness_fields_optional(self):
+        """Store entries written before the fairness fields existed read
+        back with NaN there (back-compat: not recorded, not an error)."""
+        data = mk_point().to_jsonable()
+        del data["jain_index"], data["worst_source_share"]
+        back = LoadPoint.from_jsonable(data)
+        assert math.isnan(back.jain_index)
+        assert math.isnan(back.worst_source_share)
+        assert back.throughput == mk_point().throughput
 
 
 class TestSeriesJson:

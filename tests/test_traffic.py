@@ -194,3 +194,18 @@ class TestBurst:
     def test_invalid_count(self, topo, rng):
         with pytest.raises(ValueError):
             BurstTraffic(UniformPattern(topo, rng), 0, topo.num_nodes)
+
+    def test_finished_contract(self, topo, rng):
+        """Regression for the drain-loop contract: not finished before
+        the backlog is handed off, permanently finished right after, and
+        never another packet once finished (TrafficGenerator.finished).
+        """
+        gen = BurstTraffic(UniformPattern(topo, rng), 2, topo.num_nodes)
+        assert not gen.finished(0)  # backlog not yet handed to the sim
+        gen.packets_for_cycle(0)
+        # Monotone: True at the hand-off cycle and every later one, even
+        # if queried out of order or repeatedly.
+        for cycle in (0, 5, 1, 10_000, 0):
+            assert gen.finished(cycle)
+            assert list(gen.packets_for_cycle(cycle + 1)) == []
+            assert gen.finished(cycle)  # emptiness probe doesn't reset it
