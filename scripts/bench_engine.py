@@ -23,6 +23,7 @@ Usage::
     PYTHONPATH=src python scripts/bench_engine.py \
         --compare-tree /tmp/seed_tree/src                        # A/B vs seed
     PYTHONPATH=src python scripts/bench_engine.py --telemetry    # sampler cost
+    PYTHONPATH=src python scripts/bench_engine.py --snapshot     # codec + fork
 
 ``--check`` runs a few hundred cycles per phase only — enough to catch
 a broken or pathologically slow engine in the tier-1 suite without
@@ -35,6 +36,14 @@ cross-checking ejected counts (sampling must never perturb the run).
 Writes ``BENCH_telemetry.json``; the *off* numbers double as the proof
 that the dormant hook costs nothing beyond noise vs
 ``BENCH_engine.json``.
+
+``--snapshot`` measures the checkpoint/restore subsystem
+(:mod:`repro.snapshot`) on the same pinned workload: wall cost of each
+codec operation (capture, digest, save, load, restore — restore
+digest-checked against the original) plus the fork-after-warmup speedup
+of a 3-variant transient sweep (one shared warm-up vs one warm-up per
+variant, series cross-checked for exact equality).  Writes
+``BENCH_snapshot.json``.
 
 ``--compare-tree PATH`` measures a second source tree (e.g. a ``git
 archive`` of the pre-optimization commit, unpacked so that ``PATH``
@@ -314,6 +323,114 @@ def run_telemetry_bench(
     }
 
 
+def run_snapshot_bench(warmup: int, cycles: int, rounds: int) -> dict:
+    """Snapshot codec wall costs + the fork-after-warmup speedup.
+
+    Part 1 warms the pinned h=3 workload (ADV+3 @ 0.20) to
+    ``warmup + cycles`` and times each codec operation — capture,
+    digest, save, load, restore-into-a-fresh-simulator — best of
+    ``rounds``, cross-checking that the restored simulator's state
+    digest matches the original's.
+
+    Part 2 measures what the snapshot subsystem buys: a 3-variant
+    transient sweep (one warm-up per variant vs one shared warm-up +
+    :func:`~repro.engine.runner.run_transient_forked`), on the
+    warm-up-dominated protocol the fork API exists for.  The per-variant
+    series are cross-checked for exact equality — the speedup is only
+    worth reporting if the fork path is bit-identical.
+    """
+    import tempfile
+
+    eng = _load_engine(None)
+    snapmod = importlib.import_module("repro.snapshot")
+    pattern_spec, load = "ADV+3", 0.20
+
+    sim = _build_sim(eng, pattern_spec, load)
+    sim.run(warmup + cycles)
+    ops = ("capture", "digest", "save", "load", "restore")
+    best = dict.fromkeys(ops, float("inf"))
+    size = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "bench_snapshot.json")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            snap = snapmod.Snapshot.capture(sim)
+            best["capture"] = min(best["capture"], time.perf_counter() - start)
+            start = time.perf_counter()
+            snap.digest()
+            best["digest"] = min(best["digest"], time.perf_counter() - start)
+            start = time.perf_counter()
+            snap.save(path)
+            best["save"] = min(best["save"], time.perf_counter() - start)
+            size = os.path.getsize(path)
+            start = time.perf_counter()
+            loaded = snapmod.Snapshot.load(path)
+            best["load"] = min(best["load"], time.perf_counter() - start)
+            fresh = _build_sim(eng, pattern_spec, load)
+            start = time.perf_counter()
+            loaded.restore_into(fresh)
+            best["restore"] = min(best["restore"], time.perf_counter() - start)
+            if fresh.state_digest() != sim.state_digest():
+                raise SystemExit("restored simulator diverged from the original")
+    codec = {
+        "pattern": pattern_spec,
+        "load": load,
+        "at_cycle": warmup + cycles,
+        "rounds": rounds,
+        "snapshot_bytes": size,
+        **{f"{op}_ms": round(best[op] * 1e3, 2) for op in ops},
+    }
+
+    # Fork-after-warmup: N variants branched off one warmed state.
+    afters = ["ADV+3", "ADV+1", "MIX1"]
+    fw, fp, fd = 4 * cycles, max(cycles // 3, 60), max(cycles // 3, 60)
+    runner, config_mod = eng["runner"], eng["config"]
+    cfg = config_mod.SimulationConfig.small(
+        h=BENCH_H, routing=BENCH_ROUTING, seed=BENCH_SEED
+    )
+    kwargs = dict(warmup=fw, post=fp, drain_margin=fd, bucket=20)
+    best_ind = best_fork = float("inf")
+    for rnd in range(rounds):
+        start = time.perf_counter()
+        individual = [
+            runner.run_transient(cfg, "UN", a, load, **kwargs) for a in afters
+        ]
+        best_ind = min(best_ind, time.perf_counter() - start)
+        start = time.perf_counter()
+        forked = runner.run_transient_forked(cfg, "UN", afters, load, **kwargs)
+        best_fork = min(best_fork, time.perf_counter() - start)
+        for after, ind, frk in zip(afters, individual, forked):
+            if ind.series != frk.series:
+                raise SystemExit(f"forked transient diverged on {after}")
+        print(f"[round {rnd + 1}/{rounds} done]", file=sys.stderr)
+    fork = {
+        "after_patterns": afters,
+        "load": load,
+        "warmup": fw,
+        "post": fp,
+        "drain_margin": fd,
+        "rounds": rounds,
+        "individual_cycles": len(afters) * (fw + fp + fd),
+        "forked_cycles": fw + len(afters) * (fp + fd),
+        "individual_seconds": round(best_ind, 4),
+        "forked_seconds": round(best_fork, 4),
+        "speedup": round(best_ind / best_fork, 2),
+    }
+    return {
+        "workload": _workload_stanza(),
+        "machine": _machine_stanza(),
+        "method": (
+            "codec ops timed on a warmed simulator, best of "
+            f"{rounds}, restore digest-checked against the original; "
+            "fork sweep = N individually-warmed transients vs one shared "
+            "warm-up + run_transient_forked, series cross-checked for "
+            "exact equality"
+        ),
+        "codec": codec,
+        "fork": fork,
+    }
+
+
 def _workload_stanza() -> dict:
     return {
         "h": BENCH_H,
@@ -353,6 +470,13 @@ def main(argv: list[str] | None = None) -> int:
         help="measure telemetry overhead: sampling off vs on (interval "
         "100), alternating in-process; writes BENCH_telemetry.json",
     )
+    parser.add_argument(
+        "--snapshot",
+        action="store_true",
+        help="measure the snapshot subsystem: codec wall costs (capture/"
+        "digest/save/load/restore) plus the fork-after-warmup speedup on "
+        "a 3-variant transient sweep; writes BENCH_snapshot.json",
+    )
     parser.add_argument("--out", default=None, help="output JSON path")
     parser.add_argument("--warmup", type=int, default=None)
     parser.add_argument("--cycles", type=int, default=None)
@@ -374,16 +498,40 @@ def main(argv: list[str] | None = None) -> int:
     elif args.telemetry:
         rounds = args.rounds if not args.check else 1
         result = run_telemetry_bench(warmup, cycles, rounds)
+    elif args.snapshot:
+        rounds = args.rounds if not args.check else 1
+        result = run_snapshot_bench(warmup, cycles, rounds)
     else:
         result = run_benchmark(warmup, cycles, repeats)
     out = args.out
     if out is None and not args.check:
-        out = "BENCH_telemetry.json" if args.telemetry else "BENCH_engine.json"
+        if args.telemetry:
+            out = "BENCH_telemetry.json"
+        elif args.snapshot:
+            out = "BENCH_snapshot.json"
+        else:
+            out = "BENCH_engine.json"
     if out is not None:
         with open(out, "w") as f:
             json.dump(result, f, indent=2, sort_keys=True)
             f.write("\n")
         print(f"[saved {out}]", file=sys.stderr)
+    if args.snapshot:
+        c, fk = result["codec"], result["fork"]
+        print(
+            f"codec @ cycle {c['at_cycle']} ({c['snapshot_bytes']} bytes): "
+            f"capture {c['capture_ms']:.1f} ms, digest {c['digest_ms']:.1f} ms, "
+            f"save {c['save_ms']:.1f} ms, load {c['load_ms']:.1f} ms, "
+            f"restore {c['restore_ms']:.1f} ms"
+        )
+        print(
+            f"fork sweep ({len(fk['after_patterns'])} variants): "
+            f"{fk['individual_seconds']:.2f}s individual vs "
+            f"{fk['forked_seconds']:.2f}s forked  "
+            f"(speedup {fk['speedup']:.2f}x, simulated cycles "
+            f"{fk['individual_cycles']} -> {fk['forked_cycles']})"
+        )
+        return 0
     for ph in result["phases"]:
         line = (
             f"{ph['pattern']:>6s} @ {ph['load']:.2f}: "

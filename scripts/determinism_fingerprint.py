@@ -28,6 +28,13 @@ empty; that is the observation-never-perturbs check — the sampler reads
 counters and chains the ejection hook, so every LoadPoint, series value
 and network counter must be bit-identical with it attached.
 
+``--snapshot`` routes every steady-state point, the transient and the
+workload through the checkpoint/restore subsystem
+(:mod:`repro.snapshot`): each run stops mid-measurement, captures a
+snapshot, JSON round-trips it, forks a *fresh* simulator from it and
+finishes on the fork.  ``diff`` against a plain run must come back
+empty; that is the save/restore bit-identity check.
+
 Every mode also fingerprints one multi-job workload spec
 (:mod:`repro.workloads`: three jobs with staggered lifetimes, one of
 them a burst) down to its per-job LoadPoints and interference matrix.
@@ -96,6 +103,33 @@ def telemetry_runner():
     return run
 
 
+def snapshot_runner():
+    """A drop-in for ``run_steady_state`` that exercises the snapshot
+    codec on every point: stop mid-measurement, capture a snapshot, JSON
+    round-trip it, fork a *fresh* simulator from it, and finish the
+    measurement on the fork.  The LoadPoint must be bit-identical to a
+    straight-through run — that is the save/restore bit-identity check.
+    """
+    from repro.engine.runner import _build_steady_sim
+    from repro.engine.runspec import RunSpec
+    from repro.snapshot import Snapshot
+
+    def run(config, pattern, load, warmup, measure):
+        spec = RunSpec(config, pattern, load, warmup, measure)
+        sim = _build_steady_sim(spec)
+        sim.warm_up(warmup)
+        sim.run(measure // 2)
+        snap = Snapshot.from_jsonable(
+            json.loads(json.dumps(Snapshot.capture(sim, spec=spec).to_jsonable()))
+        )
+        fork = snap.fork()
+        assert fork.state_digest() == sim.state_digest(), "restore diverged"
+        fork.run(measure - measure // 2)
+        return fork.metrics.load_point(load, fork.cycle)
+
+    return run
+
+
 def steady_grid(run=run_steady_state) -> dict:
     out = {}
     for routing in ("min", "val", "ugal", "pb", "par", "ofar", "ofar-l"):
@@ -124,7 +158,7 @@ def steady_grid(run=run_steady_state) -> dict:
     return out
 
 
-def drain_and_counters(telemetry: bool = False) -> dict:
+def drain_and_counters(telemetry: bool = False, snapshot: bool = False) -> dict:
     out = {}
     cfg = SimulationConfig.small(h=2, routing="ofar", seed=11)
     burst = run_burst(cfg, "ADV+2", packets_per_node=4)
@@ -134,17 +168,34 @@ def drain_and_counters(telemetry: bool = False) -> dict:
         from repro.telemetry.config import TelemetryConfig
 
         tcfg = TelemetryConfig(interval=50, per_link=True)
-    tr = run_transient(
-        SimulationConfig.small(h=2, routing="ofar", seed=13),
-        "UN",
-        "ADV+2",
-        0.3,
-        warmup=400,
-        post=400,
-        drain_margin=600,
-        bucket=20,
-        telemetry=tcfg,
-    )
+    if snapshot:
+        # Snapshot-path transient: warm up once, fork the measurement
+        # off the snapshot (run_transient's forked sibling).  The series
+        # must match the straight-through run exactly.
+        from repro.engine.runner import run_transient_forked
+
+        tr = run_transient_forked(
+            SimulationConfig.small(h=2, routing="ofar", seed=13),
+            "UN",
+            ["ADV+2"],
+            0.3,
+            warmup=400,
+            post=400,
+            drain_margin=600,
+            bucket=20,
+        )[0]
+    else:
+        tr = run_transient(
+            SimulationConfig.small(h=2, routing="ofar", seed=13),
+            "UN",
+            "ADV+2",
+            0.3,
+            warmup=400,
+            post=400,
+            drain_margin=600,
+            bucket=20,
+            telemetry=tcfg,
+        )
     if telemetry:
         assert tr.telemetry is not None and tr.telemetry.samples
     out["transient"] = [(c, repr(v)) for c, v in tr.series]
@@ -230,6 +281,29 @@ def workload_section(mode: str, workers: int = 2) -> dict:
         )
         assert series is not None and series.samples, "sampler produced nothing"
         assert any(s.job_flow for s in series.samples), "no per-job flow sampled"
+    elif mode == "snapshot":
+        # Capture mid-measurement with the phit baseline riding in
+        # extras (the one piece of summarization state outside the
+        # simulator), JSON round-trip, fork, finish on the fork.
+        from repro.snapshot import Snapshot
+        from repro.snapshot.checkpoint import _decode_baseline, _encode_baseline
+        from repro.workloads.runner import (
+            _job_phit_baseline, _summarize, build_workload_sim,
+        )
+
+        sim = build_workload_sim(spec)
+        sim.warm_up(spec.warmup)
+        baseline = _job_phit_baseline(sim.network)
+        sim.run(spec.measure // 2)
+        snap = Snapshot.from_jsonable(json.loads(json.dumps(
+            Snapshot.capture(
+                sim, spec=spec, extras={"baseline": _encode_baseline(baseline)}
+            ).to_jsonable()
+        )))
+        fork = snap.fork()
+        assert fork.state_digest() == sim.state_digest(), "restore diverged"
+        fork.run(spec.measure - spec.measure // 2)
+        result = _summarize(fork, _decode_baseline(snap.extras["baseline"]))
     else:
         result = run_workload(spec)
     return _workload_doc(result)
@@ -253,9 +327,17 @@ def main(argv: list[str] | None = None) -> None:
              "steady point and the transient; the output must diff clean "
              "against a plain run (observation never perturbs)",
     )
+    parser.add_argument(
+        "--snapshot", action="store_true",
+        help="route every steady point, the transient, and the workload "
+             "through a mid-run snapshot: capture, JSON round-trip, fork a "
+             "fresh simulator, finish on the fork; the output must diff "
+             "clean against a plain run (save/restore is bit-identical)",
+    )
     args = parser.parse_args(argv)
-    if args.orchestrated and args.telemetry:
-        sys.exit("--orchestrated and --telemetry are separate checks; pick one")
+    if sum((args.orchestrated, args.telemetry, args.snapshot)) > 1:
+        sys.exit("--orchestrated, --telemetry and --snapshot are separate "
+                 "checks; pick one")
 
     if args.orchestrated:
         from repro.analysis.store import ResultStore
@@ -271,13 +353,17 @@ def main(argv: list[str] | None = None) -> None:
     elif args.telemetry:
         steady = steady_grid(run=telemetry_runner())
         mode = "telemetry"
+    elif args.snapshot:
+        steady = steady_grid(run=snapshot_runner())
+        mode = "snapshot"
     else:
         steady = steady_grid()
         mode = "plain"
 
     doc = {
         "steady": steady,
-        "drain": drain_and_counters(telemetry=args.telemetry),
+        "drain": drain_and_counters(telemetry=args.telemetry,
+                                    snapshot=args.snapshot),
         "workload": workload_section(mode, args.workers),
     }
     json.dump(doc, sys.stdout, indent=1, sort_keys=True)

@@ -29,9 +29,11 @@ from repro.engine.runner import (
     run_load_sweep,
     run_steady_state,
     run_transient,
+    run_transient_forked,
 )
 from repro.engine.simulator import DeadlockError, Simulator
 from repro.network.network import Network
+from repro.snapshot import Snapshot
 from repro.topology.dragonfly import Dragonfly
 from repro.topology.hamiltonian import HamiltonianRing
 
@@ -47,9 +49,11 @@ __all__ = [
     "Network",
     "Dragonfly",
     "HamiltonianRing",
+    "Snapshot",
     "run_steady_state",
     "run_load_sweep",
     "run_transient",
+    "run_transient_forked",
     "run_burst",
     "TransientResult",
     "BurstResult",

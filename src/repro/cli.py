@@ -263,6 +263,89 @@ def _dispatch_figure(args, scale) -> None:
                          f"congestion, mapping, design)")
 
 
+def cmd_snapshot_capture(args) -> None:
+    from repro.engine.runner import _build_steady_sim
+    from repro.snapshot import Snapshot
+
+    cfg = _config(args)
+    spec = RunSpec(cfg, args.pattern, args.load, args.warmup, args.measure)
+    sim = _build_steady_sim(spec)
+    sim.run(args.at)
+    snap = Snapshot.capture(sim, spec=spec)
+    snap.save(args.out)
+    print(f"captured {spec.label()} at cycle {snap.cycle} -> {args.out}")
+    print(f"digest {snap.digest()}")
+
+
+def cmd_snapshot_inspect(args) -> None:
+    from repro.snapshot import Snapshot
+
+    snap = Snapshot.load(args.file)
+    state = snap.state
+    cfg = state["config"]
+    net = state["network"]
+    print(f"format     : {state['format']}")
+    print(f"cycle      : {snap.cycle}")
+    print(f"config     : {cfg['routing']} h={cfg['h']} seed={cfg['seed']}")
+    spec = snap.spec()
+    print(f"spec       : {spec.label() if spec is not None else '(none embedded)'}")
+    print(f"packets    : {len(state['packets'])} live "
+          f"({net['counters']['in_flight_packets']} in network)")
+    print(f"backlog    : {sum(len(q) for _, q in state['source_queues'])} queued "
+          f"at {len(state['source_queues'])} nodes")
+    print(f"events     : {sum(len(b) for _, b in state['events'])} pending "
+          f"in {len(state['events'])} buckets")
+    print(f"routers    : {len(net['routers'])} "
+          f"({sum(1 for r in net['routers'] if r['scheduled'])} awake)")
+    print(f"telemetry  : {'attached' if state['telemetry'] is not None else 'none'}")
+    if snap.extras is not None:
+        print(f"extras     : {sorted(snap.extras)}")
+    print(f"digest     : {snap.digest()}")
+
+
+def cmd_snapshot_digest(args) -> None:
+    from repro.snapshot import Snapshot
+
+    for path in args.files:
+        print(f"{Snapshot.load(path).digest()}  {path}")
+
+
+def cmd_snapshot_diff(args) -> None:
+    from repro.snapshot import Snapshot, diff_states
+
+    a, b = Snapshot.load(args.a), Snapshot.load(args.b)
+    diffs = diff_states(a.state, b.state, max_diffs=args.limit)
+    if not diffs:
+        print(f"identical (digest {a.digest()})")
+        return
+    print(f"cycle {a.cycle} vs {b.cycle}: {len(diffs)} differing leaves"
+          f"{' (truncated)' if len(diffs) >= args.limit else ''}")
+    for path, va, vb in diffs:
+        print(f"  {path}: {va!r} != {vb!r}")
+    raise SystemExit(1)
+
+
+def cmd_snapshot_bisect(args) -> None:
+    """Fork two same-cycle snapshots and lockstep-run them until their
+    state digests diverge — the cycle where determinism broke."""
+    from repro.snapshot import Snapshot, first_divergence
+
+    a, b = Snapshot.load(args.a), Snapshot.load(args.b)
+    if a.cycle != b.cycle:
+        raise SystemExit(f"snapshots are at different cycles ({a.cycle} vs {b.cycle})")
+    hit = first_divergence(a.fork(), b.fork(), max_cycles=args.max_cycles,
+                           check_every=args.check_every)
+    if hit is None:
+        print(f"no divergence within {args.max_cycles} cycles of cycle {a.cycle}")
+        return
+    print(f"first divergence at cycle {hit['cycle']}")
+    print(f"  digest A {hit['digest_a']}")
+    print(f"  digest B {hit['digest_b']}")
+    for path, va, vb in hit["diff"]:
+        print(f"  {path}: {va!r} != {vb!r}")
+    raise SystemExit(1)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="OFAR dragonfly reproduction toolkit"
@@ -336,6 +419,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--victim-load", type=float, default=0.2)
     p.add_argument("--seed", type=int, default=7)
     p.set_defaults(func=cmd_interference)
+
+    p = sub.add_parser(
+        "snapshot",
+        help="capture / inspect / diff simulator state snapshots",
+        description="Deterministic checkpoint tooling (repro.snapshot): "
+                    "capture a mid-run state, inspect or hash it, diff two "
+                    "snapshots leaf-by-leaf, or bisect a determinism "
+                    "divergence to the first differing cycle.",
+    )
+    snap_sub = p.add_subparsers(dest="snapshot_action", required=True)
+
+    q = snap_sub.add_parser("capture", help="run a steady point and save its state")
+    common(q)
+    q.add_argument("--pattern", default="UN")
+    q.add_argument("--load", type=float, default=0.2)
+    q.add_argument("--at", type=int, default=500,
+                   help="cycles to run before capturing (default 500)")
+    q.add_argument("out", help="snapshot JSON output path")
+    q.set_defaults(func=cmd_snapshot_capture)
+
+    q = snap_sub.add_parser("inspect", help="summarize one snapshot file")
+    q.add_argument("file")
+    q.set_defaults(func=cmd_snapshot_inspect)
+
+    q = snap_sub.add_parser("digest", help="behavioral content hash per file")
+    q.add_argument("files", nargs="+")
+    q.set_defaults(func=cmd_snapshot_digest)
+
+    q = snap_sub.add_parser("diff", help="leaf-level diff of two snapshots "
+                                         "(exit 1 when they differ)")
+    q.add_argument("a")
+    q.add_argument("b")
+    q.add_argument("--limit", type=int, default=25,
+                   help="max differing leaves to print (default 25)")
+    q.set_defaults(func=cmd_snapshot_diff)
+
+    q = snap_sub.add_parser(
+        "bisect",
+        help="lockstep-run two same-cycle snapshots to the first "
+             "divergent cycle (exit 1 when one is found)")
+    q.add_argument("a")
+    q.add_argument("b")
+    q.add_argument("--max-cycles", type=int, default=2_000)
+    q.add_argument("--check-every", type=int, default=1,
+                   help="digest every N cycles (default 1)")
+    q.set_defaults(func=cmd_snapshot_bisect)
 
     p = sub.add_parser("offsets", help="ADV offset study (Fig. 2)")
     p.add_argument("--scale", default="small")

@@ -150,6 +150,28 @@ def _execute_spec_telemetry(
     return point
 
 
+def _execute_spec_checkpointed(
+    store_root: str, snapshot_every: int, telemetry_dir: str | None,
+    telemetry, spec: RunSpec,
+) -> LoadPoint:
+    """Default worker with mid-run checkpointing (``snapshot_every``).
+
+    Runs the point through :func:`repro.snapshot.checkpoint.
+    run_spec_checkpointed`: the full simulator state is saved into the
+    store every N cycles, and a worker that re-attempts the point (after
+    a crash, a SIGKILL, or an orchestrator retry) resumes from the last
+    checkpoint instead of cycle 0 — with a bit-identical final result
+    either way.  Same telemetry and workload-sidecar behavior as
+    :func:`_execute_spec_telemetry`.
+    """
+    from repro.snapshot.checkpoint import run_spec_checkpointed
+
+    return run_spec_checkpointed(
+        spec, store_root, snapshot_every,
+        telemetry=telemetry, telemetry_dir=telemetry_dir,
+    )
+
+
 def _child_main(conn, worker, spec) -> None:
     """Subprocess body: run one point, ship the result or the traceback."""
     try:
@@ -232,6 +254,7 @@ class Orchestrator:
         worker: Callable[[RunSpec], LoadPoint] = _execute_spec,
         telemetry=None,
         telemetry_dir: str | Path | None = None,
+        snapshot_every: int | None = None,
     ) -> None:
         if workers is None:
             workers = default_workers()
@@ -241,6 +264,12 @@ class Orchestrator:
             raise ValueError("retries must be >= 0")
         if timeout is not None and timeout <= 0:
             raise ValueError("timeout must be positive")
+        if snapshot_every is not None:
+            if snapshot_every < 1:
+                raise ValueError("snapshot_every must be >= 1")
+            if store is None:
+                raise ValueError("snapshot_every needs a store to hold "
+                                 "the checkpoints")
         self.workers = workers
         self.store = store
         self.use_cache = use_cache
@@ -251,16 +280,26 @@ class Orchestrator:
             telemetry_dir = store.root / "telemetry"
         self.telemetry = telemetry
         self.telemetry_dir = Path(telemetry_dir) if telemetry_dir is not None else None
+        self.snapshot_every = snapshot_every
         if worker is _execute_spec:
             # The default worker honors telemetry (orchestrator-wide or
             # per-spec) and workload sidecars; the partial binds plain
-            # strings so it pickles into worker processes.
-            worker = functools.partial(
-                _execute_spec_telemetry,
-                str(self.telemetry_dir) if self.telemetry_dir is not None else None,
-                telemetry,
-                str(store.root) if store is not None else None,
-            )
+            # strings so it pickles into worker processes.  With
+            # ``snapshot_every`` it additionally checkpoints mid-run into
+            # the store and resumes from the last checkpoint on retry.
+            tdir = str(self.telemetry_dir) if self.telemetry_dir is not None else None
+            if snapshot_every is not None:
+                worker = functools.partial(
+                    _execute_spec_checkpointed,
+                    str(store.root), snapshot_every, tdir, telemetry,
+                )
+            else:
+                worker = functools.partial(
+                    _execute_spec_telemetry,
+                    tdir,
+                    telemetry,
+                    str(store.root) if store is not None else None,
+                )
         self.worker = worker
 
     # ------------------------------------------------------------------

@@ -167,6 +167,27 @@ class TransientResult:
         return settled_from
 
 
+def _build_transient_sim(
+    config: SimulationConfig,
+    before_spec: str,
+    after_spec: str,
+    load: float,
+    warmup: int,
+    bucket: int,
+) -> Simulator:
+    """Fresh simulator + two-phase generator for one transient run."""
+    sim = Simulator(config, record_send_latency=True, send_bucket=bucket)
+    topo = sim.network.topo
+    phases = [
+        (0, make_pattern(topo, _pattern_rng(config, 0xB0), before_spec)),
+        (warmup, make_pattern(topo, _pattern_rng(config, 0xB1), after_spec)),
+    ]
+    sim.generator = TransientTraffic(
+        phases, load, config.packet_size, topo.num_nodes, config.seed ^ 0x7171
+    )
+    return sim
+
+
 def run_transient(
     config: SimulationConfig,
     before_spec: str,
@@ -189,15 +210,7 @@ def run_transient(
     in the series; sample cycles line up directly with send cycles
     (both count from 0) and ``switch_cycle`` marks the transition.
     """
-    sim = Simulator(config, record_send_latency=True, send_bucket=bucket)
-    topo = sim.network.topo
-    phases = [
-        (0, make_pattern(topo, _pattern_rng(config, 0xB0), before_spec)),
-        (warmup, make_pattern(topo, _pattern_rng(config, 0xB1), after_spec)),
-    ]
-    sim.generator = TransientTraffic(
-        phases, load, config.packet_size, topo.num_nodes, config.seed ^ 0x7171
-    )
+    sim = _build_transient_sim(config, before_spec, after_spec, load, warmup, bucket)
     sampler = None
     if telemetry is not None:
         from repro.telemetry.sampler import TelemetrySampler
@@ -213,6 +226,67 @@ def run_transient(
         series=series,
         telemetry=sampler.finish() if sampler is not None else None,
     )
+
+
+def run_transient_forked(
+    config: SimulationConfig,
+    before_spec: str,
+    after_specs: list[str],
+    load: float,
+    warmup: int = 3_000,
+    post: int = 3_000,
+    drain_margin: int = 4_000,
+    bucket: int = 20,
+) -> list[TransientResult]:
+    """Fig. 6 protocol over N after-patterns with ONE shared warm-up.
+
+    Warms up a single simulator under ``before_spec``, snapshots the
+    warmed state (:mod:`repro.snapshot`), and branches one measurement
+    per entry of ``after_specs`` from it.  Each returned result is
+    bit-identical to the corresponding individually-warmed
+    :func:`run_transient` call, because nothing before the switch cycle
+    depends on the after-pattern: the warm trajectory (before-pattern
+    RNG, Bernoulli stream, router RNG) is shared, and the one piece of
+    state that *is* after-pattern-specific — the salt-0xB1 pattern RNG,
+    advanced only at pattern construction — is re-pinned to each fresh
+    variant's own post-construction state after the overlay.
+
+    Cost: ``warmup + N*(post + drain_margin)`` simulated cycles instead
+    of ``N*(warmup + post + drain_margin)``.
+    """
+    if not after_specs:
+        raise ValueError("after_specs must name at least one pattern")
+    from repro.snapshot import Snapshot
+    from repro.snapshot.codec import _walk_pattern_rngs
+
+    base = _build_transient_sim(
+        config, before_spec, after_specs[0], load, warmup, bucket
+    )
+    base.run(warmup)
+    snap = Snapshot.capture(base)
+
+    results = []
+    for after_spec in after_specs:
+        sim = _build_transient_sim(
+            config, before_spec, after_spec, load, warmup, bucket
+        )
+        # The variant's own after-phase RNG state (post-construction —
+        # e.g. a permutation pattern draws its mapping at build time).
+        own = [
+            (rng, rng.getstate())
+            for rng in _walk_pattern_rngs(sim.generator.phases[1][1])
+        ]
+        snap.restore_into(sim)
+        for rng, state in own:
+            rng.setstate(state)
+        sim.run(post + drain_margin)
+        series = [
+            (cyc, lat)
+            for cyc, lat in sim.metrics.send_latency_series()
+            if cyc < warmup + post
+        ]
+        results.append(TransientResult(switch_cycle=warmup, series=series))
+    return results
 
 
 @dataclass

@@ -277,3 +277,18 @@ class Simulator:
         """Run ``cycles`` and then reset the measurement window."""
         self.run(cycles)
         self.metrics.reset(self.cycle)
+
+    # ------------------------------------------------------------------
+    def state_digest(self) -> str:
+        """Cycle-granularity content hash of the complete mutable state.
+
+        Equal digests at equal cycles mean behaviorally identical
+        simulators: two deterministic runs of the same spec agree at
+        every cycle, and the first differing cycle localizes a
+        determinism break (``repro snapshot bisect`` automates the
+        search).  Telemetry is excluded — observation never perturbs.
+        """
+        # Local import: repro.snapshot sits above the engine layer.
+        from repro.snapshot.codec import state_digest
+
+        return state_digest(self)

@@ -8,7 +8,8 @@ installed :class:`~repro.engine.orchestrator.Orchestrator` (parallel
 workers, result-store caching, resume, per-point fault tolerance).
 
 The ``--workers/--resume/--store/--no-cache/--progress/--timeout/
---telemetry`` options every ``python -m repro.experiments.figX`` entry
+--telemetry/--snapshot-every`` options every
+``python -m repro.experiments.figX`` entry
 point (and the ``repro sweep`` / ``repro figure`` CLI) accepts come
 from the single argparse parent built by
 :func:`orchestration_options`; drivers never copy those flags per file.
@@ -208,6 +209,13 @@ def orchestration_options() -> argparse.ArgumentParser:
         help="where per-point telemetry series go (default: "
              "<store>/telemetry, or .repro-store/telemetry without a store)",
     )
+    group.add_argument(
+        "--snapshot-every", type=int, default=None, metavar="CYCLES",
+        help="checkpoint each in-flight point to the result store every "
+             "CYCLES simulated cycles; a crashed/killed worker's retry "
+             "resumes from its last checkpoint instead of cycle 0 "
+             f"(implies a store, default dir {DEFAULT_STORE!r})",
+    )
     return parent
 
 
@@ -218,7 +226,10 @@ def orchestrator_from_args(args: argparse.Namespace) -> Orchestrator | None:
 
     from repro.telemetry.config import TelemetryConfig
 
-    store_dir = args.store or (DEFAULT_STORE if args.resume else None)
+    snapshot_every = getattr(args, "snapshot_every", None)
+    store_dir = args.store or (
+        DEFAULT_STORE if (args.resume or snapshot_every is not None) else None
+    )
     telemetry = (
         TelemetryConfig(interval=args.telemetry)
         if getattr(args, "telemetry", None) is not None else None
@@ -246,6 +257,7 @@ def orchestrator_from_args(args: argparse.Namespace) -> Orchestrator | None:
         observer=ConsoleProgress() if args.progress else None,
         telemetry=telemetry,
         telemetry_dir=telemetry_dir,
+        snapshot_every=snapshot_every,
     )
 
 

@@ -15,6 +15,11 @@ The summary table reports the settled latency before the switch, the
 post-switch latency spike, and the settle time back to within 1.5x of
 the new steady level.
 
+Several after-patterns branched off the same warm-up (same ``before``
+pattern and load) can share it: :func:`run_after_variants` snapshots
+the warmed state once (:mod:`repro.snapshot`) and forks one measurement
+per after-pattern, bit-identical to individually-warmed runs.
+
 With in-run telemetry (:mod:`repro.telemetry`) the same transition can
 be watched from the *link* side: :func:`run_one` accepts a
 ``TelemetryConfig``, and :func:`settle_crosscheck` compares the
@@ -29,7 +34,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.analysis.results import Table
-from repro.engine.runner import TransientResult, run_transient
+from repro.engine.runner import TransientResult, run_transient, run_transient_forked
 from repro.experiments.common import Scale, cli_scale
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -65,6 +70,33 @@ def run_one(
         post=scale.transient_post,
         bucket=max(10, scale.transient_post // 100),
         telemetry=telemetry,
+    )
+
+
+def run_after_variants(
+    scale: Scale,
+    routing: str,
+    before: str,
+    afters: list[str],
+    load: float,
+) -> list[TransientResult]:
+    """All ``afters`` branched off ONE shared warm-up.
+
+    Uses :func:`~repro.engine.runner.run_transient_forked` — the warmed
+    state under ``before`` is snapshotted once (:mod:`repro.snapshot`)
+    and each after-pattern measurement forks from it, so N variants cost
+    one warm-up instead of N while every series stays bit-identical to
+    its individually-warmed :func:`run_one` equivalent.
+    """
+    cfg = scale.config(routing)
+    return run_transient_forked(
+        cfg,
+        before,
+        afters,
+        load,
+        warmup=scale.transient_warmup,
+        post=scale.transient_post,
+        bucket=max(10, scale.transient_post // 100),
     )
 
 
@@ -115,14 +147,34 @@ def settle_crosscheck(result: TransientResult, tail: int = 500) -> dict:
 
 
 def run(scale: Scale) -> Table:
-    """Regenerate Fig. 6 (summary form; use run_one for full series)."""
+    """Regenerate Fig. 6 (summary form; use run_one for full series).
+
+    Transitions sharing a warm-up phase — same ``before`` pattern at the
+    same load — are grouped so each routing warms up once per group and
+    the after-variants fork from the snapshot
+    (:func:`run_after_variants`); results are bit-identical to running
+    every transition individually.
+    """
     table = Table(f"Fig 6 — transient adaptation (h={scale.h})")
+    groups: list[tuple[tuple[str, float], list[str]]] = []
     for before, after, load in transitions(scale.h):
+        for key, afters in groups:
+            if key == (before, load):
+                afters.append(after)
+                break
+        else:
+            groups.append(((before, load), [after]))
+    for (before, load), afters in groups:
         for routing in ROUTINGS:
-            result = run_one(scale, routing, before, after, load)
-            row = {"transition": f"{before}->{after}", "load": load, "routing": routing}
-            row.update(summarize(result))
-            table.add_row(row)
+            results = run_after_variants(scale, routing, before, afters, load)
+            for after, result in zip(afters, results):
+                row = {
+                    "transition": f"{before}->{after}",
+                    "load": load,
+                    "routing": routing,
+                }
+                row.update(summarize(result))
+                table.add_row(row)
     return table
 
 

@@ -85,6 +85,10 @@ class Network:
         self.ring_of_channel: dict[tuple[int, int], int] = {}
         # Rings currently refusing new entries (fault-tolerance demos).
         self.disabled_rings: set[int] = set()
+        # The subset of ``disabled_rings`` that was disabled by
+        # ``fail_link`` (as opposed to an explicit ``disable_ring``):
+        # ``restore_link`` only re-enables rings it disabled itself.
+        self._fault_disabled_rings: set[int] = set()
         # Hashed event wheel: per-cycle FIFO buckets plus a lazy heap
         # for next-event queries (see repro.network.events).
         self._events = EventWheel()
@@ -318,8 +322,13 @@ class Network:
         self.disabled_rings.add(ring_id)
 
     def enable_ring(self, ring_id: int) -> None:
-        """Re-admit packets onto ``ring_id``."""
+        """Re-admit packets onto ``ring_id``.
+
+        An explicit enable overrides any standing attribution: the ring
+        is no longer considered fault-disabled either.
+        """
         self.disabled_rings.discard(ring_id)
+        self._fault_disabled_rings.discard(ring_id)
 
     # ------------------------------------------------------------------
     # Fault injection (§VII reliability)
@@ -334,10 +343,15 @@ class Network:
         transfer granularity).  If the link carries an escape ring, that
         ring is disabled as a whole — a broken ring cannot guarantee
         deadlock freedom.
+
+        Idempotent: failing an already-failed link is a no-op (it does
+        not add a second entry to ``failed_links()``).
         """
         ch = self.routers[router].out[port]
         if ch is None or ch.kind is PortKind.NODE:
             raise ValueError(f"router {router} port {port} is not a router link")
+        if ch.failed:
+            return
         ch.failed = True
         if ch.kind is not PortKind.RING:
             peer, peer_port = self.topo.neighbor(router, port)
@@ -348,7 +362,45 @@ class Network:
         ring = self.ring_of_channel.get((router, port))
         for rid in (ring, peer_ring):
             if rid is not None:
+                # Attribute the disable to the fault only if the fault
+                # caused it — a ring already off via disable_ring stays
+                # off after a repair.
+                if rid not in self.disabled_rings:
+                    self._fault_disabled_rings.add(rid)
                 self.disabled_rings.add(rid)
+
+    def restore_link(self, router: int, port: int) -> None:
+        """Repair the bidirectional link on ``(router, port)``.
+
+        The inverse of :meth:`fail_link`: both directions accept
+        transfers again.  An escape ring that ``fail_link`` disabled is
+        re-enabled once none of its channels is still failed; a ring
+        turned off by an explicit :meth:`disable_ring` stays off.
+        Restoring a healthy link is a no-op.
+        """
+        ch = self.routers[router].out[port]
+        if ch is None or ch.kind is PortKind.NODE:
+            raise ValueError(f"router {router} port {port} is not a router link")
+        if not ch.failed:
+            return
+        ch.failed = False
+        rings = {self.ring_of_channel.get((router, port))}
+        if ch.kind is not PortKind.RING:
+            peer, peer_port = self.topo.neighbor(router, port)
+            self.routers[peer].out[peer_port].failed = False
+            rings.add(self.ring_of_channel.get((peer, peer_port)))
+        rings.discard(None)
+        for ring_id in rings:
+            if ring_id not in self._fault_disabled_rings:
+                continue  # explicit disable_ring: not ours to undo
+            if any(
+                self.routers[rid].out[p].failed
+                for (rid, p), rg in self.ring_of_channel.items()
+                if rg == ring_id
+            ):
+                continue  # another fault still breaks this ring
+            self._fault_disabled_rings.discard(ring_id)
+            self.disabled_rings.discard(ring_id)
 
     def failed_links(self) -> list[tuple[int, int]]:
         """(router, port) pairs whose outgoing channel has failed."""
@@ -480,7 +532,7 @@ class Network:
                 if not rt.scheduled:
                     rt.scheduled = True
                     insort(active_routers, rt.rid)
-                rt.pending.add(key)
+                rt.pending[key] = None
                 arrivals += 1
             elif tag == ev_credit:
                 _, ch, vc, amount = ev
@@ -548,7 +600,7 @@ class Network:
         pkt.head_cycle = -1  # head-wait clock restarts at the next buffer
         if not fifo:
             pending = rt.pending
-            pending.discard((in_port, in_vc))
+            pending.pop((in_port, in_vc), None)
             if not pending and rt.scheduled:
                 rt.scheduled = False
                 self._active_routers.remove(rt.rid)
@@ -687,7 +739,7 @@ class Network:
         if not rt.scheduled:
             rt.scheduled = True
             insort(self._active_routers, rid)
-        rt.pending.add((port, best_vc))
+        rt.pending[(port, best_vc)] = None
         pkt.injected_cycle = cycle
         self.injected_packets += 1
         self.injected_phits += pkt.size

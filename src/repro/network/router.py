@@ -61,6 +61,36 @@ KIND_NAMES = {
 }
 
 
+class PendingSet(dict):
+    """Insertion-ordered set of (port, vc) keys with history-independent
+    iteration order.
+
+    The allocator iterates ``Router.pending`` to build its request list,
+    so iteration order is behaviorally significant.  A builtin ``set``
+    iterates in hash-table order, which depends on the table's entire
+    insert/discard history and therefore cannot be reconstructed from
+    the current elements alone — that would make bit-exact
+    snapshot/restore unsound.  A dict iterates in pure insertion order,
+    fully determined by the key sequence, so a restored router resumes
+    with exactly the iteration order the original would have had.
+    Set-style mutators cover the existing call sites; hot paths use raw
+    dict operations (``pending[key] = None`` / ``pending.pop(key,
+    None)``).
+    """
+
+    __slots__ = ()
+
+    def add(self, key: tuple[int, int]) -> None:
+        self[key] = None
+
+    def discard(self, key: tuple[int, int]) -> None:
+        self.pop(key, None)
+
+    def update(self, keys) -> None:  # a set-of-tuples, not a mapping
+        for key in keys:
+            self[key] = None
+
+
 class OutputChannel:
     """Sender-side view of one outgoing channel of a router.
 
@@ -285,7 +315,7 @@ class Router:
         # executor's credit return needs both every transfer).
         self.up_credit: list[tuple[OutputChannel, int] | None] = []
         self.out: list[OutputChannel | None] = []
-        self.pending: set[tuple[int, int]] = set()
+        self.pending: PendingSet = PendingSet()
         # Whether the network's active-set scheduler currently tracks
         # this router (kept in lockstep with ``pending`` by Network).
         self.scheduled = False

@@ -1,0 +1,38 @@
+"""Deterministic checkpoint/restore for the simulation engine.
+
+The codec (:mod:`repro.snapshot.codec`) serializes the *complete*
+mutable simulator state to versioned, content-hashed JSON; restoring it
+into a freshly built simulator resumes bit-identically — same grants,
+same RNG draws, same LoadPoint bytes.  On top of it:
+
+- :class:`Snapshot` — capture / save / load / :meth:`Snapshot.fork`
+  (warm up once, branch N measurement variants);
+- :mod:`repro.snapshot.checkpoint` — mid-run orchestrator checkpoints
+  in the result store, so a killed worker resumes instead of replaying
+  from cycle 0;
+- :mod:`repro.snapshot.debug` — state digests and lockstep bisection of
+  determinism divergences to the first differing cycle.
+"""
+
+from repro.snapshot.codec import (
+    SNAPSHOT_FORMAT,
+    SnapshotError,
+    apply_state,
+    digest_of,
+    encode_state,
+    state_digest,
+)
+from repro.snapshot.debug import diff_states, first_divergence
+from repro.snapshot.snapshot import Snapshot
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "Snapshot",
+    "SnapshotError",
+    "apply_state",
+    "diff_states",
+    "digest_of",
+    "encode_state",
+    "first_divergence",
+    "state_digest",
+]

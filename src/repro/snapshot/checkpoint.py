@@ -1,0 +1,180 @@
+"""Mid-run checkpointing for orchestrated points.
+
+:func:`run_spec_checkpointed` is a drop-in for
+:func:`~repro.engine.runner.run_spec` that periodically saves the full
+simulator state (atomic writes, result-store layout) and, on a rerun,
+resumes from the last checkpoint instead of cycle 0.  Because the
+snapshot codec is bit-exact, the resumed run produces the *identical*
+LoadPoint (and WorkloadResult, and telemetry series) an uninterrupted
+run would — crash recovery without a reproducibility tax.
+
+Checkpoints live beside the other store objects::
+
+    <store>/snapshots/<fp[:2]>/<fp>.json
+
+keyed by the spec fingerprint, so each point owns exactly one
+checkpoint slot (newer saves atomically replace older ones).  A
+corrupt, foreign or version-mismatched checkpoint reads as a miss —
+the point restarts from cycle 0, never errors.  On success the
+checkpoint is deleted: the completed result supersedes it.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+from repro.snapshot.codec import SnapshotError
+from repro.snapshot.snapshot import Snapshot
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.metrics import LoadPoint
+    from repro.engine.runspec import RunSpec
+
+#: Store subdirectory holding mid-run checkpoints.
+CHECKPOINT_KIND = "snapshots"
+
+
+def checkpoint_path(store_root: str | os.PathLike, fingerprint: str) -> Path:
+    """``<store>/snapshots/<fp[:2]>/<fp>.json`` — the store's sharded
+    layout, one slot per spec."""
+    return Path(store_root) / CHECKPOINT_KIND / fingerprint[:2] / f"{fingerprint}.json"
+
+
+def load_checkpoint(
+    store_root: str | os.PathLike, spec: "RunSpec"
+) -> Optional[Snapshot]:
+    """The spec's checkpoint, or None on any kind of miss.
+
+    Same corruption tolerance as the result store: unreadable JSON, a
+    foreign format version, or a checkpoint whose embedded spec does not
+    match all read as "no checkpoint".
+    """
+    path = checkpoint_path(store_root, spec.fingerprint())
+    try:
+        snap = Snapshot.load(path)
+    except (OSError, ValueError, KeyError, TypeError, SnapshotError):
+        return None
+    if snap.state.get("spec") != spec.to_jsonable():
+        return None
+    return snap
+
+
+def clear_checkpoint(store_root: str | os.PathLike, spec: "RunSpec") -> None:
+    try:
+        os.unlink(checkpoint_path(store_root, spec.fingerprint()))
+    except OSError:
+        pass
+
+
+# ----------------------------------------------------------------------
+def _encode_baseline(baseline: dict) -> list:
+    """JSON-safe form of the workload runner's per-channel baseline
+    (tuple keys become [rid, port, pairs] triples, iteration order)."""
+    return [
+        [rid, port, [[j, p] for j, p in counts.items()]]
+        for (rid, port), counts in baseline.items()
+    ]
+
+
+def _decode_baseline(encoded: list) -> dict:
+    return {
+        (rid, port): {j: p for j, p in pairs}
+        for rid, port, pairs in encoded
+    }
+
+
+def run_spec_checkpointed(
+    spec: "RunSpec",
+    store_root: str | os.PathLike,
+    snapshot_every: int,
+    telemetry=None,
+    telemetry_dir: str | os.PathLike | None = None,
+) -> "LoadPoint":
+    """Run one point with periodic checkpoints; resume if one exists.
+
+    Checkpoints are taken at every multiple of ``snapshot_every``
+    cycles.  The measurement-window bookkeeping (metrics reset, the
+    workload runner's attribution baseline, the telemetry sampler
+    attach) happens exactly once at the warm-up boundary and *travels
+    inside the checkpoint* (the baseline rides in the snapshot's
+    ``extras``, the sampler in its telemetry section), so a resume
+    lands mid-measurement with nothing replayed and nothing lost.
+
+    Workload specs additionally persist their full
+    :class:`~repro.workloads.runner.WorkloadResult` as a store sidecar,
+    matching the orchestrator's default worker.  With a telemetry
+    config (``telemetry`` or ``spec.telemetry``) the series is written
+    to ``<telemetry_dir>/<fp[:2]>/<fp>.jsonl``, as usual.
+    """
+    if snapshot_every < 1:
+        raise ValueError("snapshot_every must be >= 1")
+    from repro.engine.runner import _build_steady_sim
+
+    workload = spec.workload is not None
+    if workload:
+        from repro.workloads.runner import build_workload_sim as _build
+    else:
+        _build = _build_steady_sim
+
+    sim = _build(spec)
+    extras: Optional[dict] = None
+    snap = load_checkpoint(store_root, spec)
+    if snap is not None:
+        sim = snap.restore_into(_build(spec))
+        extras = snap.extras
+    path = checkpoint_path(store_root, spec.fingerprint())
+    tcfg = telemetry if telemetry is not None else spec.telemetry
+
+    total = spec.warmup + spec.measure
+    while True:
+        if sim.cycle >= spec.warmup and (extras is None or not extras.get("measuring")):
+            # Warm-up boundary bookkeeping, exactly once per point: the
+            # "measuring" marker rides in every later checkpoint.
+            sim.metrics.reset(sim.cycle)
+            extras = {"measuring": True}
+            if workload:
+                from repro.workloads.runner import _job_phit_baseline
+
+                extras["baseline"] = _encode_baseline(_job_phit_baseline(sim.network))
+            if tcfg is not None:
+                from repro.telemetry.sampler import TelemetrySampler
+
+                TelemetrySampler(sim, tcfg).attach()
+        if sim.cycle >= total:
+            break
+        stop = min(total, (sim.cycle // snapshot_every + 1) * snapshot_every)
+        if sim.cycle < spec.warmup:
+            stop = min(stop, spec.warmup)
+        sim.run(stop - sim.cycle)
+        if sim.cycle < total and sim.cycle % snapshot_every == 0:
+            Snapshot.capture(sim, spec=spec, extras=extras).save(str(path))
+
+    series = sim.telemetry.finish() if sim.telemetry is not None else None
+    if workload:
+        from repro.workloads.runner import SIDECAR_KIND, _summarize
+
+        result = _summarize(sim, _decode_baseline(extras["baseline"]))
+        from repro.analysis.store import ResultStore
+
+        ResultStore(store_root).put_sidecar(SIDECAR_KIND, spec, result.to_jsonable())
+        point = result.total
+    else:
+        point = sim.metrics.load_point(spec.load, sim.cycle)
+    if series is not None and telemetry_dir is not None:
+        from repro.telemetry.export import write_jsonl
+
+        fp = spec.fingerprint()
+        write_jsonl(series, Path(telemetry_dir) / fp[:2] / f"{fp}.jsonl")
+    clear_checkpoint(store_root, spec)
+    return point
+
+
+__all__ = [
+    "CHECKPOINT_KIND",
+    "checkpoint_path",
+    "clear_checkpoint",
+    "load_checkpoint",
+    "run_spec_checkpointed",
+]

@@ -1,0 +1,126 @@
+"""State-hash debugging: where do two runs diverge, exactly?
+
+Two tools, both built on the codec's canonical encoding:
+
+- :func:`diff_states` — a structural diff of two encoded states as a
+  list of ``(path, a_value, b_value)`` leaves, so "the snapshots
+  differ" becomes "router 7 port 2 vc 1 holds pid routing 4312 in run A
+  and 4313 in run B".
+- :func:`first_divergence` — step two freshly built simulators in
+  lockstep, hashing each cycle, and report the first cycle at which the
+  digests part ways (plus the leaf diff at that cycle).  This bisects
+  "the fingerprints differ after 10k cycles" down to the single cycle
+  — and the single piece of state — where determinism broke.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.snapshot.codec import DIGEST_EXCLUDE, digest_of, encode_state
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.simulator import Simulator
+
+#: diff_states stops collecting after this many leaves by default; a
+#: diverged event wheel can differ in thousands of places and the first
+#: few localize the problem.
+DEFAULT_MAX_DIFFS = 50
+
+
+def _walk_diff(path: str, a, b, out: list, limit: int) -> None:
+    if len(out) >= limit:
+        return
+    if type(a) is not type(b):
+        out.append((path, a, b))
+        return
+    if isinstance(a, dict):
+        for key in sorted(set(a) | set(b), key=repr):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in a:
+                out.append((sub, None, b[key]))
+            elif key not in b:
+                out.append((sub, a[key], None))
+            else:
+                _walk_diff(sub, a[key], b[key], out, limit)
+            if len(out) >= limit:
+                return
+    elif isinstance(a, list):
+        if len(a) != len(b):
+            out.append((f"{path}.len", len(a), len(b)))
+            if len(out) >= limit:
+                return
+        for i, (x, y) in enumerate(zip(a, b)):
+            _walk_diff(f"{path}[{i}]", x, y, out, limit)
+            if len(out) >= limit:
+                return
+    elif a != b:
+        out.append((path, a, b))
+
+
+def diff_states(
+    a: dict, b: dict, max_diffs: int = DEFAULT_MAX_DIFFS,
+    include_observation: bool = False,
+) -> list[tuple[str, object, object]]:
+    """Leaf-level differences between two encoded states.
+
+    Returns up to ``max_diffs`` tuples ``(dotted.path, a_value,
+    b_value)``; empty means behaviorally identical.  Telemetry, extras
+    and the embedded spec are skipped unless ``include_observation``.
+    """
+    out: list[tuple[str, object, object]] = []
+    skip = () if include_observation else DIGEST_EXCLUDE
+    for key in sorted(set(a) | set(b)):
+        if key in skip:
+            continue
+        if key not in a:
+            out.append((key, None, b[key]))
+        elif key not in b:
+            out.append((key, a[key], None))
+        else:
+            _walk_diff(key, a[key], b[key], out, max_diffs)
+        if len(out) >= max_diffs:
+            break
+    return out
+
+
+def first_divergence(
+    sim_a: "Simulator",
+    sim_b: "Simulator",
+    max_cycles: int,
+    check_every: int = 1,
+) -> Optional[dict]:
+    """Step two simulators in lockstep until their state digests differ.
+
+    Both simulators are advanced cycle by cycle (digesting every
+    ``check_every`` cycles); at the first mismatch returns::
+
+        {"cycle": int,              # first differing cycle boundary
+         "digest_a": str, "digest_b": str,
+         "diff": [(path, a, b), ...]}
+
+    or ``None`` if the runs stay identical for ``max_cycles`` cycles.
+    Start both simulators from the same point (fresh builds of the same
+    spec, or two forks of one snapshot) — an initial mismatch is
+    reported at the starting cycle before any stepping.
+    """
+    if sim_a.cycle != sim_b.cycle:
+        raise ValueError(
+            f"simulators must start at the same cycle "
+            f"({sim_a.cycle} != {sim_b.cycle})"
+        )
+    for step in range(max_cycles + 1):
+        if step % check_every == 0 or step == max_cycles:
+            da, db = digest_of(encode_state(sim_a)), digest_of(encode_state(sim_b))
+            if da != db:
+                return {
+                    "cycle": sim_a.cycle,
+                    "digest_a": da,
+                    "digest_b": db,
+                    "diff": diff_states(encode_state(sim_a), encode_state(sim_b)),
+                }
+        if step == max_cycles:
+            break
+        sim_a.step()
+        sim_b.step()
+    return None

@@ -132,3 +132,93 @@ class TestRoutingAroundFaults:
                 )
         sim.run_until_drained(1_000_000)
         assert net.ejected_packets == sim.created_packets
+
+
+class TestFaultRepair:
+    def test_fail_link_is_idempotent(self):
+        sim = make_sim()
+        net = sim.network
+        port = net.topo.local_port(0, 1)
+        net.fail_link(0, port)
+        net.fail_link(0, port)  # double-fail must not double-count
+        assert len(net.failed_links()) == 2  # both directions, once each
+
+    def test_restore_link_clears_both_directions(self):
+        sim = make_sim()
+        net = sim.network
+        port = net.topo.local_port(0, 1)
+        net.fail_link(0, port)
+        net.restore_link(0, port)
+        assert not net.routers[0].out[port].failed
+        peer, peer_port = net.topo.neighbor(0, port)
+        assert not net.routers[peer].out[peer_port].failed
+        assert net.failed_links() == []
+
+    def test_restore_from_peer_side(self):
+        sim = make_sim()
+        net = sim.network
+        port = net.topo.local_port(0, 1)
+        net.fail_link(0, port)
+        peer, peer_port = net.topo.neighbor(0, port)
+        net.restore_link(peer, peer_port)  # repair named from the other end
+        assert net.failed_links() == []
+
+    def test_restore_is_idempotent_and_noop_on_healthy_link(self):
+        sim = make_sim()
+        net = sim.network
+        port = net.topo.local_port(0, 1)
+        net.restore_link(0, port)  # never failed: no-op
+        net.fail_link(0, port)
+        net.restore_link(0, port)
+        net.restore_link(0, port)  # already repaired: no-op
+        assert net.failed_links() == []
+
+    def test_restore_node_port_rejected(self):
+        sim = make_sim()
+        with pytest.raises(ValueError):
+            sim.network.restore_link(0, 0)
+
+    def test_ring_reenabled_after_repair(self):
+        sim = make_sim(escape="embedded")
+        net = sim.network
+        rid = 0
+        port = net.ring_specs[0].successor_port(rid)
+        net.fail_link(rid, port)
+        assert 0 in net.disabled_rings
+        net.restore_link(rid, port)
+        assert 0 not in net.disabled_rings
+
+    def test_ring_stays_disabled_while_other_fault_remains(self):
+        sim = make_sim(escape="embedded")
+        net = sim.network
+        p0 = net.ring_specs[0].successor_port(0)
+        p4 = net.ring_specs[0].successor_port(4)
+        net.fail_link(0, p0)
+        net.fail_link(4, p4)
+        net.restore_link(0, p0)
+        assert 0 in net.disabled_rings  # the second fault still cuts the ring
+        net.restore_link(4, p4)
+        assert 0 not in net.disabled_rings
+
+    def test_explicitly_disabled_ring_not_resurrected_by_repair(self):
+        # A ring turned off via disable_ring (ablation, not fault) must
+        # NOT come back when a link repair touches it.
+        sim = make_sim(escape="embedded")
+        net = sim.network
+        net.disable_ring(0)
+        port = net.ring_specs[0].successor_port(0)
+        net.fail_link(0, port)
+        net.restore_link(0, port)
+        assert 0 in net.disabled_rings
+
+    def test_traffic_flows_again_after_repair(self):
+        sim = make_sim("min")
+        net = sim.network
+        topo = net.topo
+        port = topo.local_port(0, 1)
+        net.fail_link(0, port)
+        net.restore_link(0, port)
+        pkt = sim.create_packet(0, topo.p * 1)
+        sim.run_until_drained(200_000)
+        assert pkt.ejected_cycle > 0
+        assert pkt.misroutes_local == 0  # the direct link is usable again

@@ -1,0 +1,237 @@
+"""Mid-run checkpointing: crash recovery without a reproducibility tax.
+
+Covers repro.snapshot.checkpoint and the orchestrator's
+``snapshot_every`` integration: checkpointed runs produce bit-identical
+results, a resume picks up from the last checkpoint instead of cycle 0,
+corruption reads as a miss, and — the headline — a worker SIGKILLed
+mid-point is retried and resumes from its own checkpoint, ending with
+the identical final result.
+"""
+
+import dataclasses
+import functools
+import os
+import signal
+
+import pytest
+
+from repro.analysis.store import ResultStore
+from repro.engine.config import SimulationConfig
+from repro.engine.orchestrator import Orchestrator
+from repro.engine.runner import run_spec
+from repro.engine.runspec import RunSpec
+from repro.snapshot.checkpoint import (
+    checkpoint_path,
+    load_checkpoint,
+    run_spec_checkpointed,
+)
+
+
+def point_doc(pt) -> dict:
+    return {k: repr(v) for k, v in dataclasses.asdict(pt).items()}
+
+
+def steady_spec(seed=7) -> RunSpec:
+    cfg = SimulationConfig.small(h=2, routing="ofar", seed=seed)
+    return RunSpec(cfg, "ADV+1", 0.3, warmup=200, measure=200)
+
+
+def workload_spec() -> RunSpec:
+    from repro.workloads.spec import JobSpec, WorkloadSpec
+
+    workload = WorkloadSpec(
+        jobs=(
+            JobSpec(name="steady", nodes=24, pattern="UN", load=0.15),
+            JobSpec(name="bully", nodes=24, pattern="ADV+2", load=0.3,
+                    start=150, stop=450),
+            JobSpec(name="burst", nodes=8, traffic="burst", packets_per_node=2),
+        ),
+        placement="round-robin-groups",
+    )
+    cfg = SimulationConfig.small(h=2, routing="ofar", seed=17)
+    return RunSpec.for_workload(cfg, workload, warmup=300, measure=300)
+
+
+class TestRunSpecCheckpointed:
+    def test_identical_to_plain_run(self, tmp_path):
+        spec = steady_spec()
+        pt = run_spec_checkpointed(spec, tmp_path, snapshot_every=64)
+        assert point_doc(pt) == point_doc(run_spec(spec))
+
+    def test_checkpoint_removed_on_success(self, tmp_path):
+        spec = steady_spec()
+        run_spec_checkpointed(spec, tmp_path, snapshot_every=64)
+        assert not checkpoint_path(tmp_path, spec.fingerprint()).exists()
+
+    def test_resume_from_midrun_checkpoint(self, tmp_path):
+        # Kill the first run right after a checkpoint lands, organically.
+        spec = steady_spec()
+        ref = point_doc(run_spec(spec))
+        _CheckpointBomb(after=2).arm()
+        with pytest.raises(_Boom):
+            run_spec_checkpointed(spec, tmp_path, snapshot_every=64)
+        snap = load_checkpoint(tmp_path, spec)
+        assert snap is not None and snap.cycle == 128
+        pt = run_spec_checkpointed(spec, tmp_path, snapshot_every=64)
+        assert point_doc(pt) == ref
+
+    def test_corrupt_checkpoint_reads_as_miss(self, tmp_path):
+        spec = steady_spec()
+        path = checkpoint_path(tmp_path, spec.fingerprint())
+        path.parent.mkdir(parents=True)
+        path.write_text("{ not json")
+        pt = run_spec_checkpointed(spec, tmp_path, snapshot_every=64)
+        assert point_doc(pt) == point_doc(run_spec(spec))
+
+    def test_foreign_spec_checkpoint_ignored(self, tmp_path):
+        # A checkpoint for seed=9 parked under seed=7's slot must be a miss.
+        other = steady_spec(seed=9)
+        from repro.engine.runner import _build_steady_sim
+        from repro.snapshot import Snapshot
+
+        sim = _build_steady_sim(other)
+        sim.run(30)
+        spec = steady_spec(seed=7)
+        Snapshot.capture(sim, spec=other).save(
+            str(checkpoint_path(tmp_path, spec.fingerprint()))
+        )
+        assert load_checkpoint(tmp_path, spec) is None
+        pt = run_spec_checkpointed(spec, tmp_path, snapshot_every=64)
+        assert point_doc(pt) == point_doc(run_spec(spec))
+
+    def test_workload_spec_checkpointed(self, tmp_path):
+        from repro.workloads.runner import (
+            SIDECAR_KIND,
+            WorkloadResult,
+            run_workload,
+        )
+
+        spec = workload_spec()
+        ref = run_workload(spec)
+        pt = run_spec_checkpointed(spec, tmp_path, snapshot_every=100)
+        assert point_doc(pt) == point_doc(ref.total)
+        payload = ResultStore(tmp_path).get_sidecar(SIDECAR_KIND, spec)
+        assert payload is not None
+        full = WorkloadResult.from_jsonable(payload)
+        assert [[repr(x) for x in row] for row in full.interference] == [
+            [repr(x) for x in row] for row in ref.interference
+        ]
+
+    def test_telemetry_series_survives_checkpointed_run(self, tmp_path):
+        from repro.engine.runner import run_spec_with_telemetry
+        from repro.telemetry.config import TelemetryConfig
+
+        spec = steady_spec()
+        tcfg = TelemetryConfig(interval=50, per_link=True)
+        pt_ref, series_ref = run_spec_with_telemetry(spec, tcfg)
+        tdir = tmp_path / "telemetry"
+        pt = run_spec_checkpointed(
+            spec, tmp_path, snapshot_every=64, telemetry=tcfg, telemetry_dir=tdir
+        )
+        assert point_doc(pt) == point_doc(pt_ref)
+        from repro.telemetry.export import write_jsonl
+
+        fp = spec.fingerprint()
+        ref_path = tmp_path / "ref.jsonl"
+        write_jsonl(series_ref, ref_path)
+        assert (tdir / fp[:2] / f"{fp}.jsonl").read_text() == ref_path.read_text()
+
+    def test_snapshot_every_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_spec_checkpointed(steady_spec(), tmp_path, snapshot_every=0)
+
+
+class _Boom(RuntimeError):
+    pass
+
+
+class _CheckpointBomb:
+    """Patch Snapshot.save to raise after N saves (in-process crash)."""
+
+    def __init__(self, after: int):
+        self.after = after
+        self.count = 0
+
+    def arm(self) -> bool:
+        from repro.snapshot import snapshot as snapmod
+
+        original = snapmod.Snapshot.save
+        bomb = self
+
+        def exploding_save(snap_self, path):
+            original(snap_self, path)
+            bomb.count += 1
+            if bomb.count >= bomb.after:
+                snapmod.Snapshot.save = original
+                raise _Boom("simulated crash after checkpoint write")
+
+        snapmod.Snapshot.save = exploding_save
+        return True
+
+
+# ----------------------------------------------------------------------
+# Orchestrator integration
+# ----------------------------------------------------------------------
+def _sigkill_once_worker(store_root, every, flag_path, resume_log, spec):
+    """Module-level (picklable) worker: first attempt checkpoints then
+    SIGKILLs itself right after the first checkpoint write lands; the
+    retry records where it resumed from and finishes normally."""
+    from repro.snapshot import snapshot as snapmod
+    from repro.snapshot.checkpoint import load_checkpoint
+
+    if not os.path.exists(flag_path):
+        with open(flag_path, "w") as fh:
+            fh.write("armed")
+        original = snapmod.Snapshot.save
+
+        def save_and_die(snap_self, path):
+            original(snap_self, path)
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        snapmod.Snapshot.save = save_and_die
+    else:
+        snap = load_checkpoint(store_root, spec)
+        with open(resume_log, "w") as fh:
+            fh.write(str(snap.cycle if snap is not None else -1))
+    return run_spec_checkpointed(spec, store_root, every)
+
+
+class TestOrchestratorCheckpointing:
+    def test_snapshot_every_requires_store(self):
+        with pytest.raises(ValueError, match="store"):
+            Orchestrator(workers=0, snapshot_every=100)
+
+    def test_snapshot_every_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="snapshot_every"):
+            Orchestrator(store=ResultStore(tmp_path), snapshot_every=0)
+
+    def test_orchestrated_checkpointed_grid_matches_plain(self, tmp_path):
+        specs = [steady_spec(seed=s) for s in (3, 4)]
+        ref = [point_doc(run_spec(s)) for s in specs]
+        orch = Orchestrator(
+            workers=0, store=ResultStore(tmp_path), retries=0, snapshot_every=64
+        )
+        got = [point_doc(p) for p in orch.run_points(specs)]
+        assert got == ref
+
+    def test_sigkilled_worker_resumes_from_checkpoint(self, tmp_path):
+        spec = steady_spec()
+        ref = point_doc(run_spec(spec))
+        store = ResultStore(tmp_path / "store")
+        flag = str(tmp_path / "killed.flag")
+        resume_log = str(tmp_path / "resume.log")
+        worker = functools.partial(
+            _sigkill_once_worker, str(store.root), 64, flag, resume_log
+        )
+        orch = Orchestrator(workers=1, store=store, retries=1, worker=worker)
+        results = orch.run([spec])
+        assert results[0].status == "done"
+        assert results[0].attempts == 2, "first attempt must have died"
+        assert point_doc(results[0].point) == ref
+        # The retry really did resume mid-run (from the cycle-64 save),
+        # not restart from cycle 0.
+        assert os.path.exists(flag)
+        with open(resume_log) as fh:
+            assert int(fh.read()) == 64
+        # and the completed point cleaned up its checkpoint slot
+        assert not checkpoint_path(store.root, spec.fingerprint()).exists()
