@@ -114,7 +114,11 @@ def analyze(
     """
     if routing not in ("min", "val"):
         raise ValueError("routing must be 'min' or 'val'")
-    rng = random.Random(seed)
+    # Salt the sampling stream (same idiom as the run layer's pattern
+    # RNG derivation): a plain Random(seed) runs in lockstep with a
+    # pattern RNG built from the same integer, and a lockstepped UN
+    # pattern echoes each drawn src straight back as dst.
+    rng = random.Random((seed << 16) ^ 0x51AD)
     counts: dict[tuple[int, int], int] = {}
     n = topo.num_nodes
     for _ in range(samples):

@@ -1,0 +1,49 @@
+"""Declarative experiment campaigns.
+
+One YAML/JSON file names a whole study: a base config inherited via
+recursive ``inherits:`` deep-merge, a cartesian ``combination:`` grid
+over routing/pattern/load/config axes, ``seeds:``/``replications:``
+N-seed replication (reported as mean ± 95% CI half-width), and
+``post:`` hooks naming figure/table emitters.  The file compiles to a
+deterministic :class:`~repro.engine.runspec.RunSpec` grid executed by
+the existing orchestrator + result store, so caching, resume,
+telemetry and checkpointing work on campaigns unchanged.
+
+See ``campaigns/`` for the checked-in paper-reproduction campaigns and
+``docs/experiments-guide.md`` ("Campaigns") for the format reference.
+"""
+
+from repro.campaign.aggregate import mean_ci, t_critical
+from repro.campaign.runner import (
+    EMITTERS,
+    CampaignRun,
+    emit,
+    run_campaign,
+    validate_post,
+)
+from repro.campaign.spec import (
+    CampaignError,
+    CampaignPoint,
+    CampaignSpec,
+    TransientPoint,
+    deep_merge,
+    load_campaign,
+    load_mapping,
+)
+
+__all__ = [
+    "EMITTERS",
+    "CampaignError",
+    "CampaignPoint",
+    "CampaignRun",
+    "CampaignSpec",
+    "TransientPoint",
+    "deep_merge",
+    "emit",
+    "load_campaign",
+    "load_mapping",
+    "mean_ci",
+    "run_campaign",
+    "t_critical",
+    "validate_post",
+]

@@ -1,0 +1,52 @@
+"""Replication aggregation: mean ± confidence half-width per grid point.
+
+A campaign with N seeds produces N LoadPoints per grid coordinate;
+reporting them as ``mean ± half-width`` (two-sided 95% Student-t, the
+convention of the 6tisch simulator's KPI post-processing) makes the
+figure grids honest about run-to-run noise without any external stats
+dependency.
+
+NaN propagates: the per-packet averages of an empty measurement window
+are NaN by engine convention, and an aggregate over a window nobody
+measured must not pretend otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+
+# Two-sided 95% Student-t critical values by degrees of freedom.  Above
+# 30 degrees of freedom the normal approximation (1.96) is within 1.4%
+# and campaigns rarely replicate that deep.
+_T_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+
+
+def t_critical(df: int) -> float:
+    """Two-sided 95% Student-t critical value for ``df`` >= 1."""
+    if df < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {df}")
+    return _T_95.get(df, 1.960)
+
+
+def mean_ci(values: list[float]) -> tuple[float, float]:
+    """``(mean, 95% CI half-width)`` of a replication sample.
+
+    A single replication has a mean but no spread estimate — its
+    half-width is NaN, which the table layer renders as an empty cell
+    (same NaN-honesty rule as empty-window latencies).
+    """
+    if not values:
+        raise ValueError("cannot aggregate an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n < 2:
+        return mean, float("nan")
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, t_critical(n - 1) * math.sqrt(variance / n)

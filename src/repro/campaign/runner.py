@@ -1,0 +1,231 @@
+"""Campaign execution and the ``post:`` emitter registry.
+
+:func:`run_campaign` resolves every expanded point through the run
+layer: steady grids go through an (optional)
+:class:`~repro.engine.orchestrator.Orchestrator` — workers, result-store
+caching, resume, retry, telemetry and mid-run checkpoints all work on
+campaign points exactly as on hand-built RunSpec grids, because a
+campaign point *is* a RunSpec — and transient points run the Fig. 6
+pattern-switch protocol (not store-cached: a transient is a time
+series, not a LoadPoint).
+
+``post:`` hooks name figure/table emitters from :data:`EMITTERS`; each
+builds one :class:`~repro.analysis.results.Table` from the finished
+run, which the CLI prints and (with ``--out``) saves as CSV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.results import Series, Table, series_table
+from repro.campaign.aggregate import mean_ci
+from repro.campaign.spec import CampaignError, CampaignPoint, CampaignSpec
+from repro.engine.orchestrator import Orchestrator, summarize
+from repro.engine.runner import run_spec, run_transient
+
+
+@dataclass
+class CampaignRun:
+    """A finished campaign: the grid, its outcomes, and run statistics.
+
+    ``outcomes`` aligns with ``points``: a
+    :class:`~repro.engine.metrics.LoadPoint` per steady point, a
+    :class:`~repro.engine.runner.TransientResult` per transient point.
+    ``counts`` is the orchestrator summary (done/cached/failed) — the
+    resume contract surfaces here: a second run of the same campaign
+    against the same store reports 100% ``cached``.
+    """
+
+    campaign: CampaignSpec
+    points: list[CampaignPoint]
+    outcomes: list
+    counts: dict
+
+
+def run_campaign(
+    campaign: CampaignSpec, orchestrator: Orchestrator | None = None
+) -> CampaignRun:
+    """Expand and execute every point; a failed point raises.
+
+    With no orchestrator the grid runs in-process sequentially —
+    bit-identical to the legacy driver path.  With one, steady points
+    get its workers/caching/retry; transient points always run
+    in-process (they have no store representation).
+    """
+    points = campaign.expand()
+    if campaign.kind == "transient":
+        outcomes = [
+            run_transient(
+                t.config, t.before, t.after, t.load,
+                warmup=t.warmup, post=t.post, bucket=t.bucket,
+            )
+            for t in (p.transient for p in points)
+        ]
+        counts = {"total": len(points), "done": len(points), "cached": 0,
+                  "failed": 0, "wall_time": 0.0}
+        return CampaignRun(campaign, points, outcomes, counts)
+
+    specs = [p.spec for p in points]
+    if orchestrator is None:
+        outcomes = [run_spec(s) for s in specs]
+        counts = {"total": len(points), "done": len(points), "cached": 0,
+                  "failed": 0, "wall_time": 0.0}
+        return CampaignRun(campaign, points, outcomes, counts)
+    results = orchestrator.run(specs)
+    counts = summarize(results)
+    outcomes = [r.require() for r in results]
+    return CampaignRun(campaign, points, outcomes, counts)
+
+
+# ----------------------------------------------------------------------
+# Emitters
+# ----------------------------------------------------------------------
+
+def _grid_keys(run: CampaignRun) -> list[tuple]:
+    """Coordinate tuples without the seed, in first-appearance order."""
+    seen: list[tuple] = []
+    for point in run.points:
+        key = tuple(c for c in point.coords if c[0] != "seed")
+        if key not in seen:
+            seen.append(key)
+    return seen
+
+
+def _series_axes(campaign: CampaignSpec) -> list[str]:
+    """The axes that name a curve: every multi-valued non-load axis."""
+    return [
+        axis for axis, values in campaign.combination.items()
+        if axis != "load" and len(values) > 1
+    ]
+
+
+def _first_seed_series(run: CampaignRun) -> list[Series]:
+    """One driver-style Series per curve, from the first seed only.
+
+    The first seed is the campaign's base seed, so these series are the
+    exact points the corresponding figure driver produces — the
+    byte-identity seam the regression tests pin.
+    """
+    name_axes = _series_axes(run.campaign)
+    base_seed = run.campaign.seeds[0]
+    by_name: dict[str, Series] = {}
+    for point, outcome in zip(run.points, run.outcomes):
+        coords = dict(point.coords)
+        if coords["seed"] != base_seed:
+            continue
+        name = "/".join(str(coords[a]) for a in name_axes) if name_axes \
+            else str(coords["routing"])
+        by_name.setdefault(name, Series(name=name)).add(outcome)
+    return list(by_name.values())
+
+
+def emit_table(run: CampaignRun) -> Table:
+    """Every resolved point, one row each (coords + full LoadPoint row,
+    or coords + transient summary for transient campaigns)."""
+    table = Table(f"{run.campaign.name} — points")
+    if run.campaign.kind == "transient":
+        return _emit_transient(run, table)
+    multi_seed = len(run.campaign.seeds) > 1
+    for point, outcome in zip(run.points, run.outcomes):
+        row = {k: v for k, v in point.coords if multi_seed or k != "seed"}
+        row.update(outcome.as_row())
+        table.add_row(row)
+    return table
+
+
+def _emit_transient(run: CampaignRun, table: Table) -> Table:
+    """Fig. 6-shaped rows: transition, load, routing, settle summary."""
+    from repro.experiments.fig6_transient import summarize as summarize_transient
+
+    multi_seed = len(run.campaign.seeds) > 1
+    for point, result in zip(run.points, run.outcomes):
+        t = point.transient
+        row = {
+            "transition": f"{t.before}->{t.after}",
+            "load": t.load,
+            "routing": dict(point.coords)["routing"],
+        }
+        if multi_seed:
+            row["seed"] = dict(point.coords)["seed"]
+        row.update(summarize_transient(result))
+        table.add_row(row)
+    return table
+
+
+def emit_aggregate(run: CampaignRun) -> Table:
+    """Replication aggregation: mean ± 95% CI half-width per grid point."""
+    if run.campaign.kind != "steady":
+        raise CampaignError("'aggregate' is a steady-campaign emitter")
+    outcome_by_coords = {p.coords: o for p, o in zip(run.points, run.outcomes)}
+    table = Table(
+        f"{run.campaign.name} — mean ± 95% CI over {len(run.campaign.seeds)} seed(s)"
+    )
+    for key in _grid_keys(run):
+        sample = [
+            outcome_by_coords[key + (("seed", seed),)]
+            for seed in run.campaign.seeds
+        ]
+        thr_mean, thr_hw = mean_ci([p.throughput for p in sample])
+        lat_mean, lat_hw = mean_ci([p.avg_latency for p in sample])
+        p99_mean, p99_hw = mean_ci([p.p99_latency for p in sample])
+
+        def cell(value: float, digits: int):
+            return None if value != value else round(value, digits)  # NaN-safe
+
+        row = dict(key)
+        row.update({
+            "n": len(sample),
+            "thr_mean": cell(thr_mean, 4), "thr_ci": cell(thr_hw, 4),
+            "lat_mean": cell(lat_mean, 1), "lat_ci": cell(lat_hw, 2),
+            "p99_mean": cell(p99_mean, 1), "p99_ci": cell(p99_hw, 2),
+        })
+        table.add_row(row)
+    return table
+
+
+def emit_series_table(run: CampaignRun) -> Table:
+    """The drivers' side-by-side curve table (first seed), e.g. Fig. 3a/3b."""
+    if run.campaign.kind != "steady":
+        raise CampaignError("'series_table' is a steady-campaign emitter")
+    return series_table(
+        f"{run.campaign.name} (h={run.campaign.scale.h}, seed {run.campaign.seeds[0]})",
+        _first_seed_series(run),
+    )
+
+
+def emit_summary(run: CampaignRun) -> Table:
+    """Per-curve saturation summary (first seed), e.g. Fig. 3's inset."""
+    if run.campaign.kind != "steady":
+        raise CampaignError("'summary' is a steady-campaign emitter")
+    table = Table(f"{run.campaign.name} — summary")
+    for series in _first_seed_series(run):
+        table.add(
+            series=series.name,
+            saturation_thr=round(series.saturation_throughput(), 3),
+            low_load_latency=round(series.points[0].avg_latency, 1),
+        )
+    return table
+
+
+EMITTERS = {
+    "table": emit_table,
+    "aggregate": emit_aggregate,
+    "series_table": emit_series_table,
+    "summary": emit_summary,
+}
+
+
+def validate_post(campaign: CampaignSpec) -> None:
+    """Reject unknown ``post:`` hook names (part of ``campaign validate``)."""
+    unknown = [name for name in campaign.post if name not in EMITTERS]
+    if unknown:
+        raise CampaignError(
+            f"unknown post emitters {unknown}; available: {sorted(EMITTERS)}"
+        )
+
+
+def emit(run: CampaignRun) -> list[tuple[str, Table]]:
+    """Evaluate the campaign's ``post:`` hooks in declared order."""
+    validate_post(run.campaign)
+    return [(name, EMITTERS[name](run)) for name in run.campaign.post]

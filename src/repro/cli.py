@@ -13,7 +13,10 @@ Commands
   and slowdowns vs isolated baselines under MIN vs OFAR;
 - ``offsets``   — Fig. 2-style ADV offset study (simulated + analytic);
 - ``figure``    — regenerate a paper figure by name (fig2..fig9, ablations,
-  congestion, mapping).
+  congestion, mapping);
+- ``campaign``  — declarative campaign files (``repro.campaign``):
+  ``validate`` / ``expand`` / ``run`` a YAML/JSON study with config
+  inheritance, cartesian grids, seed replication and post emitters.
 
 Examples::
 
@@ -25,6 +28,7 @@ Examples::
     python -m repro telemetry --routing pb --before UN --after ADV+2 \
         --out series.jsonl --heatmap
     python -m repro figure fig5 --scale medium
+    python -m repro campaign run campaigns/fig3.yaml --workers 8 --resume
 """
 
 from __future__ import annotations
@@ -263,6 +267,65 @@ def _dispatch_figure(args, scale) -> None:
                          f"congestion, mapping, design)")
 
 
+def _load_campaign_or_exit(args):
+    from repro.campaign import CampaignError, load_campaign
+
+    try:
+        return load_campaign(args.file, scale=args.scale)
+    except CampaignError as exc:
+        raise SystemExit(f"campaign error: {exc}") from None
+
+
+def cmd_campaign_run(args) -> None:
+    import os
+
+    from repro.campaign import CampaignError, emit, run_campaign
+
+    campaign = _load_campaign_or_exit(args)
+    run = run_campaign(campaign, orchestrator_from_args(args))
+    c = run.counts
+    print(f"[campaign {campaign.name}] {c['total']} points: "
+          f"{c['done']} run, {c['cached']} cached, {c['failed']} failed")
+    try:
+        tables = emit(run)
+    except CampaignError as exc:
+        raise SystemExit(f"campaign error: {exc}") from None
+    for name, table in tables:
+        print(table.to_text())
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, f"{campaign.name}_{name}.csv")
+            table.save_csv(path)
+            print(f"[saved {path}]")
+
+
+def cmd_campaign_expand(args) -> None:
+    campaign = _load_campaign_or_exit(args)
+    for i, point in enumerate(campaign.expand()):
+        key = point.spec.fingerprint()[:12] if point.spec is not None else "transient   "
+        print(f"{i:4d}  {key}  {point.label()}")
+
+
+def cmd_campaign_validate(args) -> None:
+    from repro.campaign import CampaignError, validate_post
+
+    campaign = _load_campaign_or_exit(args)
+    try:
+        validate_post(campaign)
+        points = campaign.expand()
+    except CampaignError as exc:
+        raise SystemExit(f"campaign error: {exc}") from None
+    print(f"campaign   : {campaign.name} ({campaign.kind})")
+    if campaign.description:
+        print(f"description: {campaign.description}")
+    print(f"scale      : {campaign.scale.name} (h={campaign.scale.h})")
+    for axis, values in campaign.combination.items():
+        print(f"axis       : {axis} ({len(values)} values)")
+    print(f"seeds      : {list(campaign.seeds)}")
+    print(f"post       : {list(campaign.post)}")
+    print(f"points     : {len(points)}")
+
+
 def cmd_snapshot_capture(args) -> None:
     from repro.engine.runner import _build_steady_sim
     from repro.snapshot import Snapshot
@@ -465,6 +528,41 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--check-every", type=int, default=1,
                    help="digest every N cycles (default 1)")
     q.set_defaults(func=cmd_snapshot_bisect)
+
+    p = sub.add_parser(
+        "campaign",
+        help="declarative campaign files: validate / expand / run",
+        description="Declarative campaigns (repro.campaign): a YAML/JSON "
+                    "file with inherits: deep-merge, a cartesian "
+                    "combination: grid, seeds:/replications: replication "
+                    "and post: emitters, compiled to a RunSpec grid and "
+                    "executed through the orchestrator + result store.",
+    )
+    camp_sub = p.add_subparsers(dest="campaign_action", required=True)
+
+    def campaign_common(q):
+        q.add_argument("file", help="campaign YAML/JSON file")
+        q.add_argument("--scale", default=None, choices=sorted(
+            ["tiny", "small", "medium", "large", "paper"]),
+            help="override the campaign file's scale preset")
+
+    q = camp_sub.add_parser(
+        "run", help="execute a campaign and evaluate its post emitters",
+        parents=[orchestration_options()])
+    campaign_common(q)
+    q.add_argument("--out", default=None, metavar="DIR",
+                   help="also save each emitted table as CSV under DIR")
+    q.set_defaults(func=cmd_campaign_run)
+
+    q = camp_sub.add_parser(
+        "expand", help="print the compiled point grid (stable order)")
+    campaign_common(q)
+    q.set_defaults(func=cmd_campaign_expand)
+
+    q = camp_sub.add_parser(
+        "validate", help="load, inherit and type-check a campaign file")
+    campaign_common(q)
+    q.set_defaults(func=cmd_campaign_validate)
 
     p = sub.add_parser("offsets", help="ADV offset study (Fig. 2)")
     p.add_argument("--scale", default="small")

@@ -18,10 +18,8 @@ from __future__ import annotations
 
 from repro.engine.config import SimulationConfig
 from repro.engine.metrics import LoadPoint
-from repro.engine.runner import _pattern_rng, run_steady_state
-from repro.engine.simulator import Simulator
-from repro.traffic.generators import BernoulliTraffic
-from repro.traffic.patterns import make_pattern
+from repro.engine.runner import _build_steady_sim, run_steady_state
+from repro.engine.runspec import RunSpec
 
 
 def accepted_ratio(
@@ -82,13 +80,20 @@ def run_until_stable(
     Runs one warm-up window, then measures in ``window``-cycle chunks
     until two consecutive windows' throughputs agree within ``rel_tol``
     (or ``max_windows`` elapse); returns the final window's LoadPoint.
+
+    The simulator comes from the run layer's shared builder
+    (:func:`~repro.engine.runner._build_steady_sim`) via an ordinary
+    :class:`RunSpec`, so a saturation probe at ``(config, pattern,
+    load)`` observes the *same* trajectory as a sweep point there —
+    same pattern/generator seed derivation, per-source recording
+    included.  (It used to hand-build its simulator with private RNG
+    salts, making probe points incomparable to sweep points.)  Only the
+    windowed-convergence loop is specific to this function; with
+    ``max_windows=1`` the result is bit-identical to
+    :func:`~repro.engine.runner.run_spec` at ``warmup=measure=window``.
     """
-    sim = Simulator(config)
-    topo = sim.network.topo
-    pattern = make_pattern(topo, _pattern_rng(config, 0xE7), pattern_spec)
-    sim.generator = BernoulliTraffic(
-        pattern, load, config.packet_size, topo.num_nodes, config.seed ^ 0x3C3C
-    )
+    spec = RunSpec(config, pattern_spec, load, warmup=window, measure=window)
+    sim = _build_steady_sim(spec)
     sim.warm_up(window)
     previous: float | None = None
     point = None

@@ -191,7 +191,8 @@ def orchestration_options() -> argparse.ArgumentParser:
     )
     group.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
-        help="per-point wall-clock limit (requires --workers >= 1)",
+        help="per-point wall-clock limit, enforced by killing the point's "
+             "worker process; without --workers one worker is used",
     )
     group.add_argument(
         "--retries", type=int, default=1, metavar="N",
@@ -239,17 +240,33 @@ def orchestrator_from_args(args: argparse.Namespace) -> Orchestrator | None:
         # --telemetry with neither a store nor an explicit directory
         # still needs somewhere for the series files.
         telemetry_dir = f"{DEFAULT_STORE}/telemetry"
+    workers = args.workers
+    if args.timeout is not None:
+        # The timeout is enforced by killing a stuck worker *process*;
+        # in-process execution has nothing to kill.  Promote the default
+        # to one worker, and refuse an explicit in-process request.
+        if workers == 0:
+            raise SystemExit(
+                "--timeout cannot be enforced with --workers 0 (in-process "
+                "execution has no worker process to kill); use --workers >= 1 "
+                "or drop --timeout"
+            )
+        if workers is None:
+            workers = 1
     wants = (
-        args.workers is not None
+        workers is not None
         or store_dir is not None
         or args.progress
         or args.timeout is not None
+        # A non-default retry budget needs the orchestrator: the legacy
+        # no-orchestrator path raises on the first failed point.
+        or args.retries != 1
         or telemetry is not None
     )
     if not wants:
         return None
     return Orchestrator(
-        workers=args.workers if args.workers is not None else 0,
+        workers=workers if workers is not None else 0,
         store=ResultStore(store_dir) if store_dir is not None else None,
         use_cache=not args.no_cache,
         retries=args.retries,

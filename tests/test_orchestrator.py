@@ -284,3 +284,52 @@ class TestFingerprintDeterminism:
         assert fresh == sequential
         assert resumed == sequential
         assert store.stats.hits == len(grid)  # the resume really was cached
+
+
+class TestOrchestratorFromArgs:
+    """The shared --workers/--timeout/--retries flag wiring.
+
+    Regressions pinned here: --timeout without --workers used to build
+    an in-process orchestrator whose timeout was silently never
+    enforced, and --retries alone never built an orchestrator at all
+    (the legacy sequential path raises on the first failure, so the
+    retry budget was dead).
+    """
+
+    @staticmethod
+    def _parse(argv):
+        from repro.experiments.common import orchestration_options
+
+        return orchestration_options().parse_args(argv)
+
+    def _build(self, argv):
+        from repro.experiments.common import orchestrator_from_args
+
+        return orchestrator_from_args(self._parse(argv))
+
+    def test_no_flags_means_legacy_sequential(self):
+        assert self._build([]) is None
+
+    def test_retries_alone_builds_orchestrator(self):
+        orch = self._build(["--retries", "3"])
+        assert orch is not None
+        assert orch.retries == 3
+        assert orch.workers == 0  # in-process, but with a retry budget
+
+    def test_default_retries_alone_does_not(self):
+        assert self._build(["--retries", "1"]) is None
+
+    def test_timeout_promotes_to_one_worker(self):
+        orch = self._build(["--timeout", "5"])
+        assert orch is not None
+        assert orch.workers == 1  # enforced by killing the worker process
+        assert orch.timeout == 5.0
+
+    def test_timeout_keeps_explicit_workers(self):
+        orch = self._build(["--timeout", "5", "--workers", "3"])
+        assert orch.workers == 3
+        assert orch.timeout == 5.0
+
+    def test_timeout_with_inline_workers_rejected(self):
+        with pytest.raises(SystemExit, match="--workers 0"):
+            self._build(["--timeout", "5", "--workers", "0"])

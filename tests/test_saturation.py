@@ -62,3 +62,26 @@ class TestRunUntilStable:
             cfg("ofar"), "ADV+2", 0.5, window=300, rel_tol=0.001, max_windows=3
         )
         assert point.ejected_packets > 0
+
+    def test_single_window_matches_run_spec(self):
+        """The probe rides the shared RunSpec builder, not a private one.
+
+        With one measurement window the convergence loop degenerates to
+        exactly run_spec's warmup+measure protocol, so the LoadPoints
+        must be bit-identical — a saturation probe at (config, pattern,
+        load) observes the same trajectory as a sweep point there.
+        (Regression: run_until_stable used to hand-build its simulator
+        with different RNG salts and no per-source recording.)
+        """
+        from repro.engine.runner import run_spec
+        from repro.engine.runspec import RunSpec
+
+        config = cfg("ofar", seed=7)
+        probe = run_until_stable(config, "UN", 0.15, window=400, max_windows=1)
+        direct = run_spec(RunSpec(config, "UN", 0.15, warmup=400, measure=400))
+        assert probe == direct
+
+    def test_probe_records_per_source(self):
+        """Shared-builder probes carry fairness stats like sweep points."""
+        point = run_until_stable(cfg(), "UN", 0.15, window=400, max_windows=1)
+        assert point.jain_index == point.jain_index  # not NaN
