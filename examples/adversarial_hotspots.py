@@ -15,7 +15,7 @@ For each workload we compare MIN, VAL, PB and OFAR at a load above the
 1/h bound, next to the closed-form limits of repro.analysis.
 """
 
-from repro import SimulationConfig, run_steady_state
+from repro import RunSpec, SimulationConfig, run_spec
 from repro.analysis.bounds import (
     local_link_advh_bound,
     min_adversarial_bound,
@@ -41,7 +41,7 @@ def main() -> None:
         row = f"{pattern:10s}"
         for routing in ROUTINGS:
             cfg = SimulationConfig.small(h=H, routing=routing)
-            pt = run_steady_state(cfg, pattern, LOAD, warmup=800, measure=800)
+            pt = run_spec(RunSpec(cfg, pattern, LOAD, warmup=800, measure=800))
             row += f"{pt.throughput:9.3f}"
         if pattern.startswith("ADV+"):
             bound = valiant_offset_bound(topo, int(pattern[4:]))

@@ -12,7 +12,7 @@ Three short experiments on the Hamiltonian escape ring:
    packet is still delivered: deadlock freedom without VC ordering.
 """
 
-from repro import Dragonfly, HamiltonianRing, SimulationConfig, Simulator, run_steady_state
+from repro import Dragonfly, HamiltonianRing, RunSpec, SimulationConfig, Simulator, run_spec
 from repro.analysis.bounds import (
     max_edge_disjoint_rings,
     ring_added_global_fraction,
@@ -45,7 +45,7 @@ def show_equivalence() -> None:
     print("2. physical vs embedded ring under ADV+2, load 0.4:")
     for escape in ("physical", "embedded"):
         cfg = SimulationConfig.small(h=H, routing="ofar", escape=escape)
-        pt = run_steady_state(cfg, "ADV+2", 0.4, warmup=800, measure=800)
+        pt = run_spec(RunSpec(cfg, "ADV+2", 0.4, warmup=800, measure=800))
         print(f"   {escape:9s} thr={pt.throughput:.3f} lat={pt.avg_latency:6.1f} "
               f"ring usage={100 * pt.ring_fraction:.2f}% of packets")
     print()

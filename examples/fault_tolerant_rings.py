@@ -19,7 +19,7 @@ system survives while any one ring is intact.  This example:
 
 import random
 
-from repro import SimulationConfig, Simulator, run_steady_state
+from repro import RunSpec, SimulationConfig, Simulator, run_spec
 from repro.topology.dragonfly import Dragonfly
 from repro.topology.multiring import MultiRing
 
@@ -70,7 +70,7 @@ def compare_ring_counts() -> None:
     for rings in (1, 2):
         cfg = SimulationConfig.small(h=H, routing="ofar", escape="embedded",
                                      escape_rings=rings)
-        pt = run_steady_state(cfg, "ADV+2", 0.4, warmup=800, measure=800)
+        pt = run_spec(RunSpec(cfg, "ADV+2", 0.4, warmup=800, measure=800))
         print(f"   {rings} ring(s): thr={pt.throughput:.3f} "
               f"lat={pt.avg_latency:6.1f} ring usage={100 * pt.ring_fraction:.2f}%")
     print("   (the second ring is pure insurance — §VII's point)")

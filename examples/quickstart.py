@@ -2,10 +2,10 @@
 """Quickstart: build a dragonfly, run OFAR, read the numbers.
 
 Runs in a few seconds on a laptop.  Shows the three core objects most
-users need: SimulationConfig, run_steady_state, and LoadPoint.
+users need: SimulationConfig, RunSpec/run_spec, and LoadPoint.
 """
 
-from repro import Dragonfly, SimulationConfig, run_steady_state
+from repro import Dragonfly, RunSpec, SimulationConfig, run_spec
 from repro.analysis.bounds import local_link_advh_bound, valiant_bound
 
 def main() -> None:
@@ -21,7 +21,7 @@ def main() -> None:
           f"{'hops':>5s} {'ring%':>6s}")
     for pattern in ("UN", "ADV+2"):
         for load in (0.1, 0.3, 0.5):
-            pt = run_steady_state(cfg, pattern, load, warmup=800, measure=800)
+            pt = run_spec(RunSpec(cfg, pattern, load, warmup=800, measure=800))
             print(f"{pattern:10s} {load:5.2f} {pt.throughput:6.3f} "
                   f"{pt.avg_latency:8.1f} {pt.avg_hops:5.2f} "
                   f"{100 * pt.ring_fraction:5.2f}%")

@@ -35,6 +35,12 @@ snapshot, JSON round-trips it, forks a *fresh* simulator from it and
 finishes on the fork.  ``diff`` against a plain run must come back
 empty; that is the save/restore bit-identity check.
 
+``--backend NAME`` executes the whole grid on the named engine
+backend (:mod:`repro.engine.backend`).  Backends are required to be
+bit-for-bit identical, so ``--backend array`` must diff clean against a
+plain (object-backend) run — that is the cross-engine equivalence
+check, over every mechanism the grid covers.
+
 Every mode also fingerprints one multi-job workload spec
 (:mod:`repro.workloads`: three jobs with staggered lifetimes, one of
 them a burst) down to its per-job LoadPoints and interference matrix.
@@ -53,13 +59,28 @@ import json
 import sys
 import tempfile
 
+from repro.engine.backend import available_backends, get_backend
 from repro.engine.config import SimulationConfig
-from repro.engine.runner import run_burst, run_steady_state, run_transient
-from repro.engine.simulator import Simulator
+from repro.engine.runner import run_burst, run_spec, run_transient
+from repro.engine.runspec import RunSpec
+
+#: Engine backend executing every run in this process (--backend).
+BACKEND = "object"
 
 
 def _point_dict(pt) -> dict:
     return {k: repr(v) for k, v in dataclasses.asdict(pt).items()}
+
+
+def plain_runner():
+    """The default runner: one :func:`run_spec` call per point."""
+
+    def run(config, pattern, load, warmup, measure):
+        return run_spec(
+            RunSpec(config, pattern, load, warmup, measure, backend=BACKEND)
+        )
+
+    return run
 
 
 def orchestrated_runner(store, workers: int = 2):
@@ -71,14 +92,14 @@ def orchestrated_runner(store, workers: int = 2):
     """
     from repro.analysis.store import ResultStore
     from repro.engine.orchestrator import Orchestrator
-    from repro.engine.runspec import RunSpec
 
     if not isinstance(store, ResultStore):
         store = ResultStore(store)
     orch = Orchestrator(workers=workers, store=store, retries=0)
 
     def run(config, pattern, load, warmup, measure):
-        return orch.run_points([RunSpec(config, pattern, load, warmup, measure)])[0]
+        spec = RunSpec(config, pattern, load, warmup, measure, backend=BACKEND)
+        return orch.run_points([spec])[0]
 
     return run
 
@@ -88,14 +109,14 @@ def telemetry_runner():
     telemetry sampler attached (and discards the series: only the
     LoadPoint enters the fingerprint, and it must not change)."""
     from repro.engine.runner import run_spec_with_telemetry
-    from repro.engine.runspec import RunSpec
     from repro.telemetry.config import TelemetryConfig
 
     tcfg = TelemetryConfig(interval=50, per_link=True)
 
     def run(config, pattern, load, warmup, measure):
         point, series = run_spec_with_telemetry(
-            RunSpec(config, pattern, load, warmup, measure), tcfg
+            RunSpec(config, pattern, load, warmup, measure, backend=BACKEND),
+            tcfg,
         )
         assert series is not None and series.samples, "sampler produced nothing"
         return point
@@ -110,13 +131,12 @@ def snapshot_runner():
     measurement on the fork.  The LoadPoint must be bit-identical to a
     straight-through run — that is the save/restore bit-identity check.
     """
-    from repro.engine.runner import _build_steady_sim
-    from repro.engine.runspec import RunSpec
+    from repro.engine.runner import build_steady_sim
     from repro.snapshot import Snapshot
 
     def run(config, pattern, load, warmup, measure):
-        spec = RunSpec(config, pattern, load, warmup, measure)
-        sim = _build_steady_sim(spec)
+        spec = RunSpec(config, pattern, load, warmup, measure, backend=BACKEND)
+        sim = build_steady_sim(spec)
         sim.warm_up(warmup)
         sim.run(measure // 2)
         snap = Snapshot.from_jsonable(
@@ -130,7 +150,9 @@ def snapshot_runner():
     return run
 
 
-def steady_grid(run=run_steady_state) -> dict:
+def steady_grid(run=None) -> dict:
+    if run is None:
+        run = plain_runner()
     out = {}
     for routing in ("min", "val", "ugal", "pb", "par", "ofar", "ofar-l"):
         for pattern in ("UN", "ADV+1"):
@@ -161,7 +183,7 @@ def steady_grid(run=run_steady_state) -> dict:
 def drain_and_counters(telemetry: bool = False, snapshot: bool = False) -> dict:
     out = {}
     cfg = SimulationConfig.small(h=2, routing="ofar", seed=11)
-    burst = run_burst(cfg, "ADV+2", packets_per_node=4)
+    burst = run_burst(cfg, "ADV+2", packets_per_node=4, backend=BACKEND)
     out["burst"] = {k: repr(v) for k, v in dataclasses.asdict(burst).items()}
     tcfg = None
     if telemetry:
@@ -183,6 +205,7 @@ def drain_and_counters(telemetry: bool = False, snapshot: bool = False) -> dict:
             post=400,
             drain_margin=600,
             bucket=20,
+            backend=BACKEND,
         )[0]
     else:
         tr = run_transient(
@@ -195,11 +218,14 @@ def drain_and_counters(telemetry: bool = False, snapshot: bool = False) -> dict:
             drain_margin=600,
             bucket=20,
             telemetry=tcfg,
+            backend=BACKEND,
         )
     if telemetry:
         assert tr.telemetry is not None and tr.telemetry.samples
     out["transient"] = [(c, repr(v)) for c, v in tr.series]
-    sim = Simulator(SimulationConfig.small(h=2, routing="min", seed=2))
+    sim = get_backend(BACKEND).simulator(
+        SimulationConfig.small(h=2, routing="min", seed=2)
+    )
     for i in range(8):
         sim.create_packet(i, 71 - i)
     end = sim.run_until_drained(100_000)
@@ -218,7 +244,6 @@ def workload_spec():
     """The multi-job spec every mode fingerprints: three jobs with
     staggered lifetimes (one arrives late, one is a finite burst) spread
     round-robin over the groups of an h=2 machine."""
-    from repro.engine.runspec import RunSpec
     from repro.workloads.spec import JobSpec, WorkloadSpec
 
     workload = WorkloadSpec(
@@ -232,7 +257,8 @@ def workload_spec():
         placement="round-robin-groups",
     )
     cfg = SimulationConfig.small(h=2, routing="ofar", seed=17)
-    return RunSpec.for_workload(cfg, workload, warmup=300, measure=300)
+    return RunSpec.for_workload(cfg, workload, warmup=300, measure=300,
+                                backend=BACKEND)
 
 
 def _workload_doc(result) -> dict:
@@ -334,7 +360,14 @@ def main(argv: list[str] | None = None) -> None:
              "fresh simulator, finish on the fork; the output must diff "
              "clean against a plain run (save/restore is bit-identical)",
     )
+    parser.add_argument(
+        "--backend", choices=available_backends(), default="object",
+        help="engine backend executing every run; backends are bit-for-bit "
+             "identical, so any choice must emit the same fingerprint",
+    )
     args = parser.parse_args(argv)
+    global BACKEND
+    BACKEND = args.backend
     if sum((args.orchestrated, args.telemetry, args.snapshot)) > 1:
         sys.exit("--orchestrated, --telemetry and --snapshot are separate "
                  "checks; pick one")

@@ -10,27 +10,41 @@ with bubble flow control (physical or embedded).
 
 Quickstart::
 
-    from repro import SimulationConfig, run_steady_state
+    from repro import RunSpec, SimulationConfig, run_spec
 
     cfg = SimulationConfig.small(h=2, routing="ofar")
-    point = run_steady_state(cfg, "ADV+2", load=0.3)
+    point = run_spec(RunSpec(cfg, "ADV+2", load=0.3))
     print(point.throughput, point.avg_latency)
+
+The engine executing a point is a per-spec detail: ``RunSpec(...,
+backend="array")`` selects the numpy struct-of-arrays engine, proven
+bit-for-bit identical to the default object engine (see
+:mod:`repro.engine.backend`).
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every figure.
 """
 
+from repro.engine.backend import (
+    EngineBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
 from repro.engine.config import SimulationConfig, ThresholdConfig
 from repro.engine.metrics import LoadPoint, Metrics
 from repro.engine.runner import (
     BurstResult,
     TransientResult,
+    build_steady_sim,
     run_burst,
     run_load_sweep,
-    run_steady_state,
+    run_spec,
     run_transient,
     run_transient_forked,
 )
+from repro.engine.runspec import RunSpec
 from repro.engine.simulator import DeadlockError, Simulator
 from repro.network.network import Network
 from repro.snapshot import Snapshot
@@ -44,13 +58,20 @@ __all__ = [
     "ThresholdConfig",
     "LoadPoint",
     "Metrics",
+    "RunSpec",
     "Simulator",
     "DeadlockError",
+    "EngineBackend",
     "Network",
     "Dragonfly",
     "HamiltonianRing",
     "Snapshot",
-    "run_steady_state",
+    "available_backends",
+    "build_steady_sim",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "run_spec",
     "run_load_sweep",
     "run_transient",
     "run_transient_forked",

@@ -18,7 +18,13 @@ the 6tisch simulator's ``combination``/``numRuns``/``post``):
       pattern: [UN]
       load: {saturating: 0.56, points: 7}   # = Scale.loads(...)
     replications: 3         # seeds base, base+1, base+2 (or seeds: [..])
+    backend: array          # engine backend (bit-identical; default object)
+    max_windows: 12         # windowed convergence instead of one window
     post: [series_table, summary, aggregate]  # figure/table emitters
+
+The load shorthand also accepts ``max_windows`` inline —
+``load: {saturating: 0.56, points: 7, max_windows: 12}`` — enabling
+the windowed-convergence protocol for exactly the points it generates.
 
 :func:`load_campaign` resolves inheritance (missing bases and cycles
 are hard errors) and returns a frozen :class:`CampaignSpec`;
@@ -39,6 +45,7 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.engine.backend import default_backend
 from repro.engine.config import SimulationConfig, ThresholdConfig
 from repro.engine.runspec import RunSpec
 from repro.experiments.common import Scale, get_scale
@@ -50,7 +57,7 @@ RUN_AXES = ("routing", "pattern", "load", "transition")
 
 _KNOWN_KEYS = {
     "name", "description", "kind", "scale", "config", "combination",
-    "seeds", "replications", "windows", "post",
+    "seeds", "replications", "windows", "backend", "max_windows", "post",
 }
 _WINDOW_KEYS = {"warmup", "measure", "transient_warmup", "transient_post"}
 
@@ -214,6 +221,8 @@ class CampaignSpec:
     measure: int = 2_000
     transient_warmup: int = 2_000
     transient_post: int = 2_500
+    backend: str | None = None  # None = the process default backend
+    max_windows: int | None = None  # windowed convergence (steady only)
     post: tuple[str, ...] = ()
 
     # ------------------------------------------------------------------
@@ -273,17 +282,25 @@ class CampaignSpec:
                         "each 'transition' must be {before, after, load}, got "
                         f"{t!r}"
                     )
-        else:
+        max_windows = data.get("max_windows")
+        if kind == "steady" and "load" in combination:
             loads = combination["load"]
             # The dict form mirrors Scale.loads(saturating, points): the
-            # drivers' default sweep reaching past saturation.
+            # drivers' default sweep reaching past saturation.  An
+            # inline max_windows turns on windowed convergence for the
+            # points this shorthand generates.
             if len(loads) == 1 and isinstance(loads[0], dict):
-                kw = loads[0]
-                if not set(kw) <= {"saturating", "points"}:
+                kw = dict(loads[0])
+                if not set(kw) <= {"saturating", "points", "max_windows"}:
                     raise CampaignError(
-                        f"load grid spec must be {{saturating, points}}, got {kw!r}"
+                        "load grid spec must be {saturating, points"
+                        f"[, max_windows]}}, got {kw!r}"
                     )
+                inline = kw.pop("max_windows", None)
+                if inline is not None:
+                    max_windows = inline
                 combination["load"] = scale_obj.loads(**kw)
+        if kind == "steady":
             for load in combination["load"]:
                 if not isinstance(load, (int, float)) or isinstance(load, bool):
                     raise CampaignError(f"loads must be numbers, got {load!r}")
@@ -308,6 +325,29 @@ class CampaignSpec:
         if not isinstance(windows, dict) or not set(windows) <= _WINDOW_KEYS:
             raise CampaignError(f"'windows' keys must be among {sorted(_WINDOW_KEYS)}")
 
+        if max_windows is not None:
+            if kind != "steady":
+                raise CampaignError(
+                    "'max_windows' (windowed convergence) applies to steady "
+                    "campaigns only"
+                )
+            if not isinstance(max_windows, int) or isinstance(max_windows, bool) \
+                    or max_windows < 1:
+                raise CampaignError(
+                    f"'max_windows' must be a positive int, got {max_windows!r}"
+                )
+
+        backend = data.get("backend")
+        if backend is not None:
+            from repro.engine.backend import get_backend
+
+            if not isinstance(backend, str):
+                raise CampaignError(f"'backend' must be a backend name, got {backend!r}")
+            try:
+                get_backend(backend)
+            except ValueError as exc:
+                raise CampaignError(str(exc)) from None
+
         post = data.get("post", [])
         if not isinstance(post, list) or not all(isinstance(p, str) for p in post):
             raise CampaignError("'post' must be a list of emitter names")
@@ -324,6 +364,8 @@ class CampaignSpec:
             measure=windows.get("measure", scale_obj.measure),
             transient_warmup=windows.get("transient_warmup", scale_obj.transient_warmup),
             transient_post=windows.get("transient_post", scale_obj.transient_post),
+            backend=backend,
+            max_windows=max_windows,
             post=tuple(post),
         )
 
@@ -396,7 +438,9 @@ class CampaignSpec:
                         coords=coords,
                         replication=replication,
                         spec=RunSpec(
-                            config, pattern, named["load"], self.warmup, self.measure
+                            config, pattern, named["load"], self.warmup, self.measure,
+                            max_windows=self.max_windows,
+                            backend=self.backend or default_backend(),
                         ),
                     ))
         return points

@@ -43,9 +43,10 @@ from repro.analysis.bounds import (
     valiant_bound,
 )
 from repro.analysis.results import Table
+from repro.engine.backend import default_backend
 from repro.engine.config import SimulationConfig
 from repro.engine.orchestrator import summarize
-from repro.engine.runner import run_burst, run_steady_state, run_transient
+from repro.engine.runner import run_burst, run_spec, run_transient
 from repro.engine.runspec import RunSpec
 from repro.experiments.common import (
     get_scale,
@@ -82,15 +83,19 @@ def cmd_info(args) -> None:
 
 def cmd_sweep(args) -> None:
     cfg = _config(args)
+    # Resolve the orchestrator first: --backend installs the process
+    # default that every spec below is stamped with.
+    orchestrator = orchestrator_from_args(args)
     loads = [float(x) for x in args.loads.split(",")]
+    max_windows = args.max_windows if args.saturating else None
     specs = [
-        RunSpec(cfg, args.pattern, load, args.warmup, args.measure) for load in loads
+        RunSpec(cfg, args.pattern, load, args.warmup, args.measure,
+                max_windows=max_windows, backend=default_backend())
+        for load in loads
     ]
     table = Table(f"{args.routing} on {args.pattern} (h={cfg.h})")
-    orchestrator = orchestrator_from_args(args)
     if orchestrator is None:
-        points = [run_steady_state(cfg, args.pattern, load, args.warmup, args.measure)
-                  for load in loads]
+        points = [run_spec(spec) for spec in specs]
         for pt in points:
             table.add_row(pt.as_row())
     else:
@@ -327,12 +332,12 @@ def cmd_campaign_validate(args) -> None:
 
 
 def cmd_snapshot_capture(args) -> None:
-    from repro.engine.runner import _build_steady_sim
+    from repro.engine.runner import build_steady_sim
     from repro.snapshot import Snapshot
 
     cfg = _config(args)
     spec = RunSpec(cfg, args.pattern, args.load, args.warmup, args.measure)
-    sim = _build_steady_sim(spec)
+    sim = build_steady_sim(spec)
     sim.run(args.at)
     snap = Snapshot.capture(sim, spec=spec)
     snap.save(args.out)
@@ -435,6 +440,12 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--pattern", default="UN")
     p.add_argument("--loads", default="0.1,0.2,0.3,0.4,0.5")
+    p.add_argument("--saturating", action="store_true",
+                   help="windowed-convergence protocol: repeat measurement "
+                        "windows (--measure cycles each) until accepted "
+                        "throughput stabilizes — robust past saturation")
+    p.add_argument("--max-windows", type=int, default=12, metavar="N",
+                   help="window budget for --saturating (default 12)")
     p.add_argument("--chart", action="store_true",
                    help="render an ASCII throughput chart after the table")
     p.set_defaults(func=cmd_sweep)

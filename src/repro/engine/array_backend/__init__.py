@@ -1,0 +1,69 @@
+"""The array engine: numpy struct-of-arrays backend, name ``"array"``.
+
+Drop-in second implementation of the engine contract
+(:class:`~repro.engine.backend.EngineBackend`).  The object graph stays
+canonical — snapshots, digests and metrics all read it — while dense
+``[router, port, vc]`` numpy mirrors of the allocation-relevant state
+(:mod:`.state`) let the cycle loop (:mod:`.simulator`) classify the
+whole active-router set's head packets in a few broadcasted array
+operations instead of one Python ``route()`` call per router.
+
+The backend is bit-for-bit equivalent to ``"object"``: same RunSpec →
+identical ``state_digest()`` at every cycle, identical LoadPoint bytes,
+identical determinism fingerprint (the cross-backend suite in
+``tests/test_array_backend.py`` asserts this across every routing
+policy, pattern family, fault drills and multi-job workloads).  Select
+it per spec (``RunSpec(..., backend="array")``), per invocation
+(``--backend array`` on any sweep-running CLI), or per campaign
+(``backend: array``); results and store keys do not depend on the
+choice.
+
+Importing this package registers the backend; ordinary users never
+import it directly — :func:`repro.engine.backend.get_backend` pulls it
+in lazily the first time the name ``"array"`` is requested.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.engine.array_backend.network import ArrayNetwork
+from repro.engine.array_backend.simulator import ArraySimulator
+from repro.engine.array_backend.state import ArrayState
+from repro.engine.array_backend.tables import group_port_table, min_port_table
+from repro.engine.backend import register_backend
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.runspec import RunSpec
+
+
+class ArrayBackend:
+    """Engine backend driving :class:`ArraySimulator`."""
+
+    name = "array"
+
+    def simulator(self, config, **kwargs) -> ArraySimulator:
+        return ArraySimulator(config, **kwargs)
+
+    def build(self, spec: "RunSpec") -> ArraySimulator:
+        from repro.engine.runner import build_steady_sim
+
+        return build_steady_sim(spec, backend=self)
+
+    def step(self, sim) -> None:
+        sim.step()
+
+    def state_digest(self, sim) -> str:
+        return sim.state_digest()
+
+
+register_backend(ArrayBackend())
+
+__all__ = [
+    "ArrayBackend",
+    "ArrayNetwork",
+    "ArraySimulator",
+    "ArrayState",
+    "group_port_table",
+    "min_port_table",
+]

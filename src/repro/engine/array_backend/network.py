@@ -1,0 +1,86 @@
+"""Network subclass that keeps the struct-of-arrays mirrors in lockstep.
+
+Every mutation of the allocation-relevant state flows through four
+funnels, each wrapped here with its mirror write:
+
+- :meth:`execute_grant` — debits sender credits, claims the output
+  channel and the input read slot (all derivable from the call's own
+  arguments, so the wrapper never re-reads the object graph);
+- :meth:`process_events` — credit returns (the only event kind that
+  touches mirrored state; arrivals move buffer occupancy, which the
+  classification pass never reads);
+- :meth:`fail_link` / :meth:`restore_link` — fault flags (rare; the
+  wrapper resyncs the full fault plane rather than tracking the
+  peer-channel bookkeeping a second time).
+
+Behavior is untouched: each wrapper defers to the base implementation
+and only appends array writes, so an :class:`ArrayNetwork` is
+bit-for-bit the reference :class:`~repro.network.network.Network`.
+"""
+
+from __future__ import annotations
+
+from repro.engine.array_backend.state import ArrayState
+from repro.engine.config import SimulationConfig
+from repro.network.network import _EV_CREDIT, Network
+
+
+class ArrayNetwork(Network):
+    """The reference network plus dense numpy mirrors (see ArrayState)."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        super().__init__(config)
+        self.arrays = ArrayState(self)
+        self._single_read = config.input_read_ports == 1
+
+    # ------------------------------------------------------------------
+    def execute_grant(self, rt, in_port, in_vc, out_port, out_vc, kind, cycle):
+        pkt = super().execute_grant(rt, in_port, in_vc, out_port, out_vc, kind, cycle)
+        # Cheap Python appends here; ArrayState.flush() scatters them in
+        # one vectorized write per cycle before the mirrors are read.
+        arrays = self.arrays
+        base = rt.rid * arrays.num_ports
+        end = cycle + self._packet_size
+        arrays._busy_w.append(base + out_port)
+        arrays._busy_v.append(end)
+        if self._single_read:
+            arrays._in_w.append(base + in_port)
+            arrays._in_v.append(end)
+        arrays._cred_w.append((base + out_port) * arrays.num_vcs + out_vc)
+        arrays._cred_v.append(-pkt.size)
+        return pkt
+
+    def process_events(self, cycle: int) -> None:
+        # Peek the cycle's bucket before the base loop consumes it: the
+        # wheel pops exactly this bucket, so the credit events recorded
+        # here are exactly the ones applied to ``ch.credits``.
+        bucket = self._events._buckets.get(cycle)
+        if bucket:
+            arrays = self.arrays
+            index = arrays.chan_index
+            num_vcs = arrays.num_vcs
+            cred_w = arrays._cred_w
+            cred_v = arrays._cred_v
+            for ev in bucket:
+                if ev[0] == _EV_CREDIT:
+                    cred_w.append(index[id(ev[1])] * num_vcs + ev[2])
+                    cred_v.append(ev[3])
+        super().process_events(cycle)
+
+    def fail_link(self, router: int, port: int) -> None:
+        super().fail_link(router, port)
+        self._resync_failed()
+
+    def restore_link(self, router: int, port: int) -> None:
+        super().restore_link(router, port)
+        self._resync_failed()
+
+    def _resync_failed(self) -> None:
+        failed = self.arrays.failed
+        for rt in self.routers:
+            for p, ch in enumerate(rt.out):
+                if ch is not None:
+                    failed[rt.rid, p] = ch.failed
+
+
+__all__ = ["ArrayNetwork"]

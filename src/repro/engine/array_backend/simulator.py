@@ -1,0 +1,274 @@
+"""The array engine's cycle loop: vectorized allocation classification.
+
+The reference engine spends most of each cycle in
+``Router.allocate`` -> ``OFARRouting.route``: per waiting head packet it
+re-derives the minimal port, scans credits, evaluates thresholds — in
+pure Python, one router at a time.  The array engine keeps that code as
+the *fallback* and, each cycle, runs a numpy pre-pass over the active
+single-pending routers that classifies every head packet into one of
+three classes:
+
+- **GRANT-MIN** — the minimal output is provably available: the grant
+  (port, best data VC, KIND_MIN) is computed by the pre-pass and
+  executed directly, skipping ``route()``;
+- **STALL** — the packet provably cannot move *and* the scalar path
+  would have had no side effects beyond the first-evaluation header
+  writes (which the pre-pass replicates): the router is skipped
+  entirely;
+- **FALLBACK** — anything whose scalar evaluation could consume RNG or
+  mutate visible state (misroute consideration, escape-ring entry,
+  multi-head arbitration, ring riders, Valiant phases): the exact
+  reference code runs.
+
+Bit-for-bit equivalence argument, in brief: within one cycle, a grant
+on router A mutates only A's own sender-side state and appends events
+due at later cycles, so per-router decisions this cycle are mutually
+independent; the sweep below executes decisions in the same ascending
+router-id order as the reference loop, so the event wheel's FIFO bucket
+order — and therefore every digest — is identical.  The pre-pass only
+claims GRANT-MIN/STALL when the scalar evaluation is provably
+RNG-free and counter-free (see the classification conditions inline),
+and all float math is the same IEEE-754 double arithmetic numpy and
+CPython share.
+
+The pre-pass engages for OFAR/OFAR-L on the classic single-read-port
+router; every other configuration runs the reference sweep unchanged
+(still on the mirror-keeping ArrayNetwork, still bit-identical).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ofar import OFARRouting
+from repro.engine.array_backend.network import ArrayNetwork
+from repro.engine.array_backend.tables import min_port_table
+from repro.engine.simulator import Simulator
+from repro.network.router import KIND_MIN
+
+#: Below this many active routers the gather/ufunc overhead outweighs
+#: the saved route() calls; the sweep falls back to the reference loop.
+#: Purely a performance knob — classification is exact at any size.
+MIN_BATCH = 16
+
+
+class ArraySimulator(Simulator):
+    """Simulator over :class:`ArrayNetwork` with the vectorized sweep."""
+
+    _network_cls = ArrayNetwork
+
+    def __init__(self, config, **kwargs) -> None:
+        super().__init__(config, **kwargs)
+        routing = self.routing
+        self._vector_pass = (
+            isinstance(routing, OFARRouting)
+            and config.input_read_ports == 1
+            and config.allocator_iterations > 0
+        )
+        if self._vector_pass:
+            arrays = self.network.arrays
+            table = min_port_table(self.network.topo).astype(np.int64)
+            # Flatten (router, port) to one axis so every per-batch
+            # gather is a single 1-D fancy index.
+            P = arrays.num_ports
+            self._flat_min = (
+                table + np.arange(table.shape[0], dtype=np.int64)[:, None] * P
+            )
+            self._flat_credits = arrays.credits.reshape(-1, arrays.num_vcs)
+            self._flat_busy = arrays.busy.reshape(-1)
+            self._flat_cap = arrays.data_cap.reshape(-1)
+            # Static per-slot penalty: non-data VCs (and nonexistent
+            # slots) drop to -1 so the best-data-VC argmax never picks
+            # them, replacing a per-cycle np.where with an add.
+            self._vc_penalty = np.where(
+                arrays.data_mask, 0, -(1 << 40)
+            ).reshape(-1, arrays.num_vcs)
+            self._flat_mask = arrays.data_mask.reshape(-1, arrays.num_vcs)
+            self._flat_failed = arrays.failed.reshape(-1)
+            self._num_ports = P
+            self._node_ports = self.network.topo.node_ports
+            self._th_min = routing._th_min
+            self._patience = routing._escape_patience
+
+    # ------------------------------------------------------------------
+    def _on_state_applied(self) -> None:
+        self.network.arrays.resync()
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """One cycle; identical to the base loop except for the sweep."""
+        cycle = self.cycle
+        network = self.network
+        network.process_events(cycle)
+        routing = self.routing
+        if self._routing_ticks:
+            routing.tick(cycle)
+        generator = self.generator
+        if generator is not None:
+            if generator.emits_jobs:
+                for src, dst, job in generator.packets_for_cycle(cycle):
+                    self.create_packet(src, dst, cycle, job)
+            else:
+                for src, dst in generator.packets_for_cycle(cycle):
+                    self.create_packet(src, dst, cycle)
+        if self._active_order:
+            self._inject(cycle)
+        # Apply last cycle's buffered mirror writes (grants) plus this
+        # cycle's credit returns in one scatter per plane.
+        network.arrays.flush()
+        active = network._active_routers
+        if self._vector_pass and len(active) >= MIN_BATCH:
+            self._allocate_swept(cycle)
+        else:
+            routers = network.routers
+            maybe_sleep = network.maybe_sleep_router
+            for rid in tuple(active):
+                rt = routers[rid]
+                rt.allocate(cycle, routing, network)
+                if rt.scheduled:
+                    maybe_sleep(rt, cycle)
+        marker = network.movements + network.injected_packets + network.ejected_packets
+        if marker != self._progress_marker:
+            self._progress_marker = marker
+            self._progress_cycle = cycle
+        elif (
+            self.outstanding_packets() > 0
+            and cycle - self._progress_cycle > self.config.deadlock_cycles
+        ):
+            from repro.engine.simulator import DeadlockError
+
+            raise DeadlockError(self._progress_cycle, self.outstanding_packets())
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.on_cycle(cycle)
+        self.cycle = cycle + 1
+
+    # ------------------------------------------------------------------
+    def _allocate_swept(self, cycle: int) -> None:
+        network = self.network
+        routers = network.routers
+        routing = self.routing
+        maybe_sleep = network.maybe_sleep_router
+        snapshot = tuple(network._active_routers)
+        # Gather: single-pending routers whose head packet is a plain
+        # in-transit/injection OFAR packet (no ring, no Valiant phase)
+        # with a free read slot.  Everything else is FALLBACK.
+        b_rid: list[int] = []
+        b_port: list[int] = []
+        b_vc: list[int] = []
+        b_pkt: list = []
+        b_dst: list[int] = []
+        b_head: list[int] = []
+        for rid in snapshot:
+            rt = routers[rid]
+            pending = rt.pending
+            if len(pending) != 1:
+                continue
+            for key in pending:
+                break
+            p, v = key
+            if rt.in_busy[p][0] > cycle:
+                continue
+            fifo = rt.in_bufs[p][v]._fifo
+            if not fifo:
+                continue
+            pkt = fifo[0]
+            if pkt.on_ring or pkt.intermediate_group != -1:
+                continue
+            b_rid.append(rid)
+            b_port.append(p)
+            b_vc.append(v)
+            b_pkt.append(pkt)
+            b_dst.append(pkt.dst)
+            b_head.append(pkt.head_cycle)
+        execute_grant = network.execute_grant
+        if not b_rid:
+            for rid in snapshot:
+                rt = routers[rid]
+                rt.allocate(cycle, routing, network)
+                if rt.scheduled:
+                    maybe_sleep(rt, cycle)
+            return
+        # Classification: one broadcasted pass over the whole batch.
+        # Every gather is one 1-D fancy index on a flat (router*port)
+        # view of the mirrors.
+        idx = self._flat_min[b_rid, b_dst]  # flat (rid, min_port) slots
+        cred = self._flat_credits[idx]  # [B, V]
+        masked = cred + self._vc_penalty[idx]  # non-data VCs sink to -2^40
+        # argmax = first maximum = lowest data-VC index on ties, exactly
+        # like the scalar first-max scan in route().
+        best_vc = masked.argmax(axis=1)
+        best_credit = masked.max(axis=1)
+        size = self.config.packet_size
+        mp_a = idx % self._num_ports
+        is_node = mp_a < self._node_ports
+        failed = self._flat_failed[idx]
+        grant = (
+            ~failed
+            & (self._flat_busy[idx] <= cycle)
+            & np.where(is_node, cred[:, 0] >= size, best_credit >= size)
+        )
+        # STALL purity for non-ejection heads: the scalar path considers
+        # misrouting only at q_min >= th_min, and the escape ring only
+        # when patience has expired AND no data VC fits the packet; a
+        # head outside both conditions returns None touching nothing.
+        cap = self._flat_cap[idx]
+        free = np.where(self._flat_mask[idx], cred, 0).sum(axis=1)
+        q_min = np.where(
+            failed | (cap == 0), 1.0, 1.0 - free / np.maximum(cap, 1)
+        )
+        head_a = np.asarray(b_head)
+        eff_head = np.where(head_a < 0, cycle, head_a)
+        ring_try = (cycle - eff_head >= self._patience) & (best_credit < size)
+        stall = is_node | ((q_min < self._th_min) & ~ring_try)
+        grant_l = grant.tolist()
+        stall_l = stall.tolist()
+        mp_l = mp_a.tolist()
+        out_vc_l = np.where(is_node, 0, best_vc).tolist()
+        # Execution: same ascending router-id order as the reference
+        # sweep, merge-walking the (snapshot-ordered) batch so planned
+        # routers need no per-router lookup.
+        k = 0
+        B = len(b_rid)
+        next_planned = b_rid[0]
+        for rid in snapshot:
+            rt = routers[rid]
+            if rid != next_planned:
+                rt.allocate(cycle, routing, network)
+                if rt.scheduled:
+                    maybe_sleep(rt, cycle)
+                continue
+            i = k
+            k += 1
+            next_planned = b_rid[k] if k < B else -1
+            if grant_l[i]:
+                pkt = b_pkt[i]
+                if pkt.head_cycle < 0:
+                    # First head evaluation: route() would stamp the
+                    # head-wait clock and the minimal-output memo.
+                    pkt.head_cycle = cycle
+                    pkt.cache_rid = rid
+                    pkt.cache_ig = -1
+                    pkt.cache_port = mp_l[i]
+                execute_grant(
+                    rt, b_port[i], b_vc[i], mp_l[i], out_vc_l[i],
+                    KIND_MIN, cycle,
+                )
+                if rt.scheduled:
+                    maybe_sleep(rt, cycle)
+            elif stall_l[i]:
+                pkt = b_pkt[i]
+                if pkt.head_cycle < 0:
+                    pkt.head_cycle = cycle
+                    pkt.cache_rid = rid
+                    pkt.cache_ig = -1
+                    pkt.cache_port = mp_l[i]
+                # maybe_sleep is a no-op here: the read slot is free, so
+                # the reference loop keeps polling too.
+            else:
+                rt.allocate(cycle, routing, network)
+                if rt.scheduled:
+                    maybe_sleep(rt, cycle)
+
+
+__all__ = ["ArraySimulator", "MIN_BATCH"]

@@ -1,0 +1,148 @@
+"""Flat struct-of-arrays mirrors of the network's allocation state.
+
+The object graph stays canonical — the snapshot codec, the digest and
+all counters read it, never these arrays.  The arrays are *derived*
+state: dense ``[router, port(, vc)]`` mirrors of exactly the fields the
+per-cycle classification pass reads (sender-side credits, output/input
+serialization clocks, fault flags), kept in lockstep by
+:class:`~repro.engine.array_backend.network.ArrayNetwork` at every
+mutation point and rebuilt wholesale by :meth:`ArrayState.resync` after
+a snapshot restore.
+
+Layout: rectangular arrays over ``R = num_routers``, ``P = max ports``
+(including physical-ring ports) and ``V = max VCs per channel``.  Slots
+that do not correspond to a real channel/VC read as failed / zero
+capacity / non-data, so vectorized scans never pick them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.network import Network
+
+
+class ArrayState:
+    """Dense numpy mirrors of one network's allocation-relevant state."""
+
+    def __init__(self, network: "Network") -> None:
+        self.network = network
+        routers = network.routers
+        self.num_routers = len(routers)
+        self.num_ports = max(len(rt.out) for rt in routers)
+        self.num_vcs = max(
+            (ch.num_vcs for rt in routers for ch in rt.out if ch is not None),
+            default=1,
+        )
+        R, P, V = self.num_routers, self.num_ports, self.num_vcs
+        # Static structure (never mutated after construction).
+        self.data_mask = np.zeros((R, P, V), dtype=bool)
+        self.data_cap = np.zeros((R, P), dtype=np.int64)
+        # Dynamic mirrors.
+        self.credits = np.zeros((R, P, V), dtype=np.int64)
+        self.busy = np.zeros((R, P), dtype=np.int64)  # output busy_until
+        self.in_busy = np.zeros((R, P), dtype=np.int64)  # read slot 0
+        self.failed = np.ones((R, P), dtype=bool)  # nonexistent = failed
+        # Flat 1-D views (same memory) for scatter-style batch writes.
+        self.busy_flat = self.busy.reshape(-1)
+        self.in_busy_flat = self.in_busy.reshape(-1)
+        self.credits_flat = self.credits.reshape(-1)
+        # Write buffer: mutations are appended here as (flat index,
+        # value) pairs by the network wrappers — cheap Python appends on
+        # the hot path — and applied in one vectorized scatter per cycle
+        # by :meth:`flush` before the classification pass reads the
+        # mirrors.  Between flushes the object graph alone is current.
+        self._busy_w: list[int] = []
+        self._busy_v: list[int] = []
+        self._in_w: list[int] = []
+        self._in_v: list[int] = []
+        self._cred_w: list[int] = []
+        self._cred_v: list[int] = []
+        # Credit-return events carry the OutputChannel object; this maps
+        # it back to its *flat* (router*P + port) coordinate.
+        self.chan_index: dict[int, int] = {}
+        for rt in routers:
+            for port, ch in enumerate(rt.out):
+                if ch is None:
+                    continue
+                self.chan_index[id(ch)] = rt.rid * P + port
+                self.data_cap[rt.rid, port] = ch.data_capacity
+                for v in ch.data_vcs:
+                    self.data_mask[rt.rid, port, v] = True
+        self.resync()
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Apply buffered mirror writes in one scatter per plane.
+
+        Output/input serialization clocks are plain scatters (a channel
+        is granted at most once per cycle, so no index repeats within a
+        buffer); credit deltas use ``np.add.at`` because a debit and a
+        return may hit the same VC in one cycle.
+        """
+        if self._busy_w:
+            self.busy_flat[self._busy_w] = self._busy_v
+            self._busy_w.clear()
+            self._busy_v.clear()
+        if self._in_w:
+            self.in_busy_flat[self._in_w] = self._in_v
+            self._in_w.clear()
+            self._in_v.clear()
+        if self._cred_w:
+            np.add.at(self.credits_flat, self._cred_w, self._cred_v)
+            self._cred_w.clear()
+            self._cred_v.clear()
+
+    # ------------------------------------------------------------------
+    def resync(self) -> None:
+        """Rebuild every dynamic mirror from the object graph.
+
+        Called at construction and after ``apply_state`` overlays a
+        snapshot (restores rewrite credits/busy clocks in place).
+        """
+        for buf in (
+            self._busy_w, self._busy_v, self._in_w, self._in_v,
+            self._cred_w, self._cred_v,
+        ):
+            buf.clear()
+        credits = self.credits
+        busy = self.busy
+        in_busy = self.in_busy
+        failed = self.failed
+        credits[:] = 0
+        busy[:] = 0
+        in_busy[:] = 0
+        failed[:] = True
+        for rt in self.network.routers:
+            rid = rt.rid
+            for port, ch in enumerate(rt.out):
+                if ch is None:
+                    continue
+                failed[rid, port] = ch.failed
+                busy[rid, port] = ch.busy_until
+                for v, c in enumerate(ch.credits):
+                    credits[rid, port, v] = c
+            for port, slots in enumerate(rt.in_busy):
+                in_busy[rid, port] = slots[0]
+
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        """Assert every mirror equals the object graph (tests/debug)."""
+        self.flush()
+        for rt in self.network.routers:
+            rid = rt.rid
+            for port, ch in enumerate(rt.out):
+                if ch is None:
+                    continue
+                assert self.failed[rid, port] == ch.failed, (rid, port)
+                assert self.busy[rid, port] == ch.busy_until, (rid, port)
+                for v, c in enumerate(ch.credits):
+                    assert self.credits[rid, port, v] == c, (rid, port, v)
+            for port, slots in enumerate(rt.in_busy):
+                assert self.in_busy[rid, port] == slots[0], (rid, port)
+
+
+__all__ = ["ArrayState"]

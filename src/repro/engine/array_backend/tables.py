@@ -1,0 +1,88 @@
+"""Vectorized topology tables for the array engine.
+
+The dragonfly's minimal-output oracle is a pure closed form
+(:meth:`~repro.topology.dragonfly.Dragonfly.min_output_port`); the
+object engine tabulates (router, destination) pairs lazily as they
+occur.  The array engine instead materializes the *complete* table in
+one broadcasted numpy expression, so the per-cycle classification pass
+can resolve every head packet's minimal port with a single fancy-index
+gather.
+
+The closed form reproduced here (palmtree arrangement, see
+``dragonfly.py``):
+
+- same router       -> node port ``dst % p``;
+- same group        -> local port toward the destination router;
+- different group   -> the group pair's owner link: global port ``k``
+  when this router owns it, else the local port toward the owner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.dragonfly import Dragonfly
+
+
+def min_port_table(topo: Dragonfly, dtype=np.int16) -> np.ndarray:
+    """``table[router, dst_node]`` = first-hop minimal output port.
+
+    Shape ``(num_routers, num_nodes)``; int16 holds the largest port
+    index of any practical h (h=16 has 64 ports).  h=6 costs ~12 MB.
+    """
+    h, p, a, G = topo.h, topo.p, topo.a, topo.num_groups
+    node_ports = topo.node_ports
+    rids = np.arange(topo.num_routers, dtype=np.int64)[:, None]
+    nodes = np.arange(topo.num_nodes, dtype=np.int64)[None, :]
+    dst_router = nodes // p
+    g = rids // a
+    r = rids % a
+    dst_g = dst_router // a
+    dst_r = dst_router % a
+
+    def local_port(from_idx, to_idx):
+        # local slot j serves peer j if j < from else peer j + 1
+        return node_ports + np.where(to_idx < from_idx, to_idx, to_idx - 1)
+
+    # Inter-group: the (d-1) decomposition names the owner router/slot.
+    d = (dst_g - g) % G
+    owner_r = (d - 1) // h
+    k = (d - 1) % h
+    inter = np.where(
+        r == owner_r,
+        node_ports + topo.local_ports + k,  # global_port(k)
+        local_port(r, owner_r),
+    )
+    same_group = np.where(
+        dst_router == rids,
+        nodes % p,  # ejection port
+        local_port(r, dst_r),
+    )
+    table = np.where(dst_g == g, same_group, inter)
+    return table.astype(dtype)
+
+
+def group_port_table(topo: Dragonfly, dtype=np.int16) -> np.ndarray:
+    """``table[router, dst_group]`` = minimal port toward ``dst_group``.
+
+    The Valiant-phase analogue of :func:`min_port_table`
+    (``min_output_port_to_group``).  Entries for a router's own group
+    are -1 (the oracle is undefined there).
+    """
+    h = topo.h
+    node_ports = topo.node_ports
+    rids = np.arange(topo.num_routers, dtype=np.int64)[:, None]
+    groups = np.arange(topo.num_groups, dtype=np.int64)[None, :]
+    g = rids // topo.a
+    r = rids % topo.a
+    d = (groups - g) % topo.num_groups
+    owner_r = (d - 1) // h
+    k = (d - 1) % h
+    to_owner = node_ports + np.where(owner_r < r, owner_r, owner_r - 1)
+    table = np.where(
+        r == owner_r, node_ports + topo.local_ports + k, to_owner
+    )
+    return np.where(d == 0, -1, table).astype(dtype)
+
+
+__all__ = ["group_port_table", "min_port_table"]

@@ -1,0 +1,157 @@
+"""Engine backends: one run API, swappable engine implementations.
+
+A *backend* is a named strategy for turning a :class:`~repro.engine.
+runspec.RunSpec` into a live :class:`~repro.engine.simulator.Simulator`
+and driving it.  The run layer (:mod:`repro.engine.runner`, the
+orchestrator, the campaign runner, the workload runner) never
+constructs a simulator class directly; everything funnels through
+:func:`resolve_backend`, so which engine executes a point is a
+per-RunSpec detail (``spec.backend``), not a hard-coded import.
+
+The contract every backend must honor is *bit-for-bit equivalence*:
+for any spec, every backend produces the identical ``state_digest()``
+at every cycle, the identical LoadPoint bytes, and the identical
+``determinism_fingerprint.py`` output as the reference ``"object"``
+backend.  That is why ``RunSpec.backend`` is excluded from the result
+fingerprint — a cached result is valid for every backend.
+
+Registered backends:
+
+- ``"object"`` — the reference engine (:class:`~repro.engine.
+  simulator.Simulator` over the pure-Python object graph).
+- ``"array"``  — the numpy struct-of-arrays engine
+  (:mod:`repro.engine.array_backend`), registered lazily on first use.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.runspec import RunSpec
+    from repro.engine.simulator import Simulator
+
+
+@runtime_checkable
+class EngineBackend(Protocol):
+    """What the run layer requires of an engine implementation.
+
+    ``simulator()`` is the raw constructor hook (the runner's transient
+    / burst / workload builders attach their own generators);
+    ``build()`` is the full steady-state builder (generator wired, ready
+    to warm up).  ``step``/``state_digest`` make the per-cycle contract
+    explicit: one call advances exactly one cycle, and equal digests at
+    equal cycles mean behaviorally identical engines — the property the
+    cross-backend equivalence suite asserts cycle by cycle.
+    """
+
+    #: Registry key; also the value ``RunSpec.backend`` carries.
+    name: str
+
+    def simulator(self, config, **kwargs) -> "Simulator":
+        """A fresh, generator-less simulator for ``config``."""
+        ...
+
+    def build(self, spec: "RunSpec") -> "Simulator":
+        """A fresh simulator wired for one steady-state spec."""
+        ...
+
+    def step(self, sim: "Simulator") -> None:
+        """Advance ``sim`` exactly one cycle."""
+        ...
+
+    def state_digest(self, sim: "Simulator") -> str:
+        """Behavioral content hash of ``sim`` (see repro.snapshot)."""
+        ...
+
+
+class ObjectBackend:
+    """The reference engine: plain Python objects, one router at a time."""
+
+    name = "object"
+
+    def simulator(self, config, **kwargs) -> "Simulator":
+        from repro.engine.simulator import Simulator
+
+        return Simulator(config, **kwargs)
+
+    def build(self, spec: "RunSpec") -> "Simulator":
+        from repro.engine.runner import build_steady_sim
+
+        return build_steady_sim(spec, backend=self)
+
+    def step(self, sim: "Simulator") -> None:
+        sim.step()
+
+    def state_digest(self, sim: "Simulator") -> str:
+        return sim.state_digest()
+
+
+_BACKENDS: dict[str, EngineBackend] = {}
+
+#: Process-wide default applied when specs are *constructed* without an
+#: explicit backend request (CLI --backend, campaign ``backend:``).
+_DEFAULT_BACKEND = "object"
+
+
+def register_backend(backend: EngineBackend) -> None:
+    """Add ``backend`` to the registry (replacing any same-named one)."""
+    _BACKENDS[backend.name] = backend
+
+
+def available_backends() -> list[str]:
+    """Registered backend names (triggers lazy registration)."""
+    _ensure_registered()
+    return sorted(_BACKENDS)
+
+
+def _ensure_registered() -> None:
+    if "array" not in _BACKENDS:
+        # Lazy: the array backend pulls in its table/state machinery,
+        # which object-only runs never need.
+        import repro.engine.array_backend  # noqa: F401  (self-registers)
+
+
+def get_backend(name: str) -> EngineBackend:
+    """Backend instance by registry name."""
+    if name not in _BACKENDS:
+        _ensure_registered()
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine backend {name!r}; available: {sorted(_BACKENDS)}"
+        ) from None
+
+
+def resolve_backend(spec: "RunSpec") -> EngineBackend:
+    """The single entry point mapping a spec to its engine.
+
+    Everything that builds a simulator for a :class:`RunSpec` — the
+    steady-state runner, the workload runner, checkpoint resume,
+    snapshot forks — resolves here, so ``spec.backend`` is honored
+    uniformly and an unknown name fails loudly in one place.
+    """
+    return get_backend(spec.backend)
+
+
+def set_default_backend(name: str) -> None:
+    """Install the process-wide default for newly constructed specs.
+
+    Spec *construction* helpers (``Scale.spec``, the campaign expander,
+    the CLI) stamp :func:`default_backend` into RunSpecs that carry no
+    explicit request; the stamped value then travels with the spec
+    through pickling into orchestrator workers.  Validates eagerly so a
+    typo in ``--backend`` fails before any work is scheduled.
+    """
+    global _DEFAULT_BACKEND
+    get_backend(name)  # validate
+    _DEFAULT_BACKEND = name
+
+
+def default_backend() -> str:
+    """The current process-wide default backend name."""
+    return _DEFAULT_BACKEND
+
+
+register_backend(ObjectBackend())

@@ -16,10 +16,12 @@ Two derived encodings matter:
 - :meth:`RunSpec.to_json` / :meth:`RunSpec.from_json` — a lossless
   round-trip used for provenance inside store entries.
 
-The optional ``telemetry`` field is the one exception to "everything is
-identity": it requests in-run observation (:mod:`repro.telemetry`) and
-is excluded from both encodings, because a sampler never changes what
-the simulation computes.
+Two fields are exceptions to "everything is identity": ``telemetry``
+requests in-run observation (:mod:`repro.telemetry`) and ``backend``
+selects the engine implementation (:mod:`repro.engine.backend`); both
+are excluded from the encodings, because neither changes what the
+simulation computes — samplers never perturb, and every registered
+backend is proven bit-for-bit identical to the reference engine.
 """
 
 from __future__ import annotations
@@ -58,12 +60,38 @@ class RunSpec:
     # fingerprint.  The key is *omitted* when None, which keeps every
     # pre-existing single-tenant fingerprint unchanged.
     workload: WorkloadSpec | None = None
+    # Windowed-convergence measurement (saturating sweeps).  When set,
+    # the runner measures in ``measure``-cycle windows until consecutive
+    # windows' throughputs agree (or ``max_windows`` elapse) instead of
+    # one fixed window.  This changes the reported numbers, so like
+    # ``workload`` it IS identity: fingerprinted when set, the key
+    # omitted when None so fixed-window fingerprints are unchanged.
+    max_windows: int | None = None
+    # Engine backend selection, NOT identity: every registered backend
+    # is proven bit-for-bit identical to the reference object engine
+    # (tests/test_array_backend.py, determinism_fingerprint --backend),
+    # so like ``telemetry`` it is excluded from ``to_jsonable()``/
+    # ``fingerprint()`` — results computed by one backend are cache hits
+    # for every other.
+    backend: str = "object"
 
     def __post_init__(self) -> None:
         if self.load < 0:
             raise ValueError(f"load must be >= 0, got {self.load}")
         if self.warmup < 0 or self.measure < 0:
             raise ValueError("warmup and measure must be >= 0")
+        if self.max_windows is not None:
+            if self.max_windows < 1:
+                raise ValueError(
+                    f"max_windows must be >= 1, got {self.max_windows}"
+                )
+            if self.workload is not None:
+                raise ValueError(
+                    "windowed convergence (max_windows) is a steady-state "
+                    "protocol; workload specs measure one fixed window"
+                )
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ValueError(f"backend must be a non-empty string, got {self.backend!r}")
         if self.workload is not None:
             # Canonical encoding: the jobs carry the patterns and loads,
             # so the single-tenant fields must hold fixed sentinel
@@ -82,10 +110,12 @@ class RunSpec:
         warmup: int = 2_000,
         measure: int = 2_000,
         telemetry: TelemetryConfig | None = None,
+        backend: str = "object",
     ) -> "RunSpec":
         """Canonical constructor for multi-job specs."""
         return cls(
-            config, "workload", 0.0, warmup, measure, telemetry, workload
+            config, "workload", 0.0, warmup, measure, telemetry, workload,
+            backend=backend,
         )
 
     # ------------------------------------------------------------------
@@ -114,13 +144,18 @@ class RunSpec:
         }
         if self.workload is not None:
             out["workload"] = self.workload.to_jsonable()
+        if self.max_windows is not None:
+            out["max_windows"] = self.max_windows
         return out
 
     @classmethod
     def from_jsonable(cls, data: dict) -> "RunSpec":
         if not isinstance(data, dict):
             raise ValueError("RunSpec JSON must be an object")
-        known = {"config", "pattern_spec", "load", "warmup", "measure", "workload"}
+        known = {
+            "config", "pattern_spec", "load", "warmup", "measure",
+            "workload", "max_windows",
+        }
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown RunSpec keys: {sorted(unknown)}")
@@ -134,6 +169,7 @@ class RunSpec:
             workload=WorkloadSpec.from_jsonable(workload)
             if workload is not None
             else None,
+            max_windows=data.get("max_windows"),
         )
 
     def to_json(self) -> str:

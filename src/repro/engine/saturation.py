@@ -16,9 +16,10 @@ module provides:
 
 from __future__ import annotations
 
+from repro.engine.backend import default_backend
 from repro.engine.config import SimulationConfig
 from repro.engine.metrics import LoadPoint
-from repro.engine.runner import _build_steady_sim, run_steady_state
+from repro.engine.runner import _measure_windows, build_steady_sim, run_spec
 from repro.engine.runspec import RunSpec
 
 
@@ -32,7 +33,10 @@ def accepted_ratio(
     """Accepted/offered throughput ratio at one load (1.0 = keeping up)."""
     if load <= 0.0:
         raise ValueError("load must be positive")
-    point = run_steady_state(config, pattern_spec, load, warmup, measure)
+    point = run_spec(
+        RunSpec(config, pattern_spec, load, warmup, measure,
+                backend=default_backend())
+    )
     return point.throughput / load
 
 
@@ -82,29 +86,24 @@ def run_until_stable(
     (or ``max_windows`` elapse); returns the final window's LoadPoint.
 
     The simulator comes from the run layer's shared builder
-    (:func:`~repro.engine.runner._build_steady_sim`) via an ordinary
-    :class:`RunSpec`, so a saturation probe at ``(config, pattern,
-    load)`` observes the *same* trajectory as a sweep point there —
-    same pattern/generator seed derivation, per-source recording
-    included.  (It used to hand-build its simulator with private RNG
-    salts, making probe points incomparable to sweep points.)  Only the
-    windowed-convergence loop is specific to this function; with
-    ``max_windows=1`` the result is bit-identical to
-    :func:`~repro.engine.runner.run_spec` at ``warmup=measure=window``.
+    (:func:`~repro.engine.runner.build_steady_sim`) via an ordinary
+    :class:`RunSpec` with ``max_windows`` set, so a saturation probe at
+    ``(config, pattern, load)`` observes the *same* trajectory as a
+    sweep point there — same pattern/generator seed derivation,
+    per-source recording included.  (It used to hand-build its
+    simulator with private RNG salts, making probe points incomparable
+    to sweep points.)  The measurement loop itself is the runner's
+    :func:`~repro.engine.runner._measure_windows` — the same protocol
+    ``repro sweep --saturating`` and the campaign ``{saturating,
+    points, max_windows}`` shorthand request — so with the default
+    ``rel_tol`` this call is bit-identical to ``run_spec`` of that
+    spec; with ``max_windows=1`` it is bit-identical to ``run_spec``
+    at fixed ``warmup=measure=window``.
     """
-    spec = RunSpec(config, pattern_spec, load, warmup=window, measure=window)
-    sim = _build_steady_sim(spec)
+    spec = RunSpec(
+        config, pattern_spec, load, warmup=window, measure=window,
+        max_windows=max_windows, backend=default_backend(),
+    )
+    sim = build_steady_sim(spec)
     sim.warm_up(window)
-    previous: float | None = None
-    point = None
-    for _ in range(max_windows):
-        sim.metrics.reset(sim.cycle)
-        sim.run(window)
-        point = sim.metrics.load_point(load, sim.cycle)
-        if previous is not None:
-            scale = max(previous, point.throughput, 1e-9)
-            if abs(point.throughput - previous) / scale <= rel_tol:
-                return point
-        previous = point.throughput
-    assert point is not None
-    return point
+    return _measure_windows(sim, spec, rel_tol=rel_tol)

@@ -22,6 +22,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.analysis.results import Series
+from repro.engine.backend import default_backend, set_default_backend
 from repro.engine.config import SimulationConfig
 from repro.engine.orchestrator import Orchestrator
 from repro.engine.runner import run_spec
@@ -65,10 +66,15 @@ class Scale:
 
     def spec(self, routing: str, pattern: str, load: float,
              **config_overrides) -> RunSpec:
-        """One steady-state :class:`RunSpec` at this scale's windows."""
+        """One steady-state :class:`RunSpec` at this scale's windows.
+
+        The spec is stamped with the process-wide default engine backend
+        (``--backend`` via :func:`orchestrator_from_args`), so the
+        choice travels with the spec into orchestrator workers.
+        """
         return RunSpec(
             self.config(routing, **config_overrides), pattern, load,
-            self.warmup, self.measure,
+            self.warmup, self.measure, backend=default_backend(),
         )
 
 
@@ -163,10 +169,17 @@ def sweep(
 # Shared CLI options
 # ----------------------------------------------------------------------
 
-def orchestration_options() -> argparse.ArgumentParser:
-    """The argparse *parent* carrying the shared sweep-execution flags."""
-    parent = argparse.ArgumentParser(add_help=False)
-    group = parent.add_argument_group("sweep execution")
+def add_run_args(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the shared run-execution flags to ``parser``.
+
+    This is THE definition of the run layer's command-line surface:
+    drivers (via :func:`cli_scale`), ``repro sweep``/``repro figure``,
+    and ``repro campaign run`` all call it, so the flag set cannot
+    drift between entry points.  Parse results feed
+    :func:`orchestrator_from_args`, which interprets every flag
+    (including ``--backend``) in one place.
+    """
+    group = parser.add_argument_group("sweep execution")
     group.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="worker processes for grid points (default: in-process sequential)",
@@ -217,16 +230,40 @@ def orchestration_options() -> argparse.ArgumentParser:
              "resumes from its last checkpoint instead of cycle 0 "
              f"(implies a store, default dir {DEFAULT_STORE!r})",
     )
-    return parent
+    group.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="engine backend executing each point (object | array); "
+             "backends are bit-for-bit identical, so results and store "
+             "keys do not depend on this choice (default: object)",
+    )
+    return parser
+
+
+def orchestration_options() -> argparse.ArgumentParser:
+    """The argparse *parent* carrying the shared sweep-execution flags."""
+    return add_run_args(argparse.ArgumentParser(add_help=False))
 
 
 def orchestrator_from_args(args: argparse.Namespace) -> Orchestrator | None:
-    """Build the orchestrator an option namespace asks for (None = legacy)."""
+    """Interpret an :func:`add_run_args` namespace (None = legacy).
+
+    Besides building the orchestrator, this installs the requested
+    engine backend as the process-wide default
+    (:func:`repro.engine.backend.set_default_backend`), so every spec
+    constructed afterwards — ``Scale.spec``, campaign expansion, the
+    CLI — carries it.
+    """
     from repro.analysis.store import ResultStore
     from repro.engine.tracing import ConsoleProgress
 
     from repro.telemetry.config import TelemetryConfig
 
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        try:
+            set_default_backend(backend)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
     snapshot_every = getattr(args, "snapshot_every", None)
     store_dir = args.store or (
         DEFAULT_STORE if (args.resume or snapshot_every is not None) else None

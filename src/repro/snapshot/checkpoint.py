@@ -110,6 +110,12 @@ def run_spec_checkpointed(
     """
     if snapshot_every < 1:
         raise ValueError("snapshot_every must be >= 1")
+    if spec.max_windows is not None:
+        raise ValueError(
+            "checkpointed execution runs a fixed warmup+measure budget; "
+            "windowed-convergence specs (max_windows) cannot resume "
+            "mid-protocol — run them without --snapshot-every"
+        )
     from repro.engine.runner import _build_steady_sim
 
     workload = spec.workload is not None

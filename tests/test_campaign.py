@@ -194,6 +194,47 @@ class TestValidation:
         campaign = CampaignSpec.from_mapping(data)
         assert campaign.combination["load"] == TINY.loads(saturating=0.4, points=5)
 
+    def test_load_grid_inline_max_windows(self):
+        data = mapping()
+        data["combination"]["load"] = {
+            "saturating": 0.4, "points": 3, "max_windows": 9,
+        }
+        campaign = CampaignSpec.from_mapping(data)
+        assert campaign.max_windows == 9
+        assert all(pt.spec.max_windows == 9 for pt in campaign.expand())
+
+    def test_max_windows_key_propagates_to_specs(self):
+        campaign = CampaignSpec.from_mapping(mapping(max_windows=6))
+        assert all(pt.spec.max_windows == 6 for pt in campaign.expand())
+
+    def test_max_windows_validation(self):
+        with pytest.raises(CampaignError, match="positive int"):
+            CampaignSpec.from_mapping(mapping(max_windows=0))
+        with pytest.raises(CampaignError, match="steady"):
+            data = mapping(kind="transient", max_windows=4)
+            data["combination"] = {
+                "routing": ["pb"],
+                "transition": [{"before": "UN", "after": "ADV+h", "load": 0.2}],
+            }
+            CampaignSpec.from_mapping(data)
+
+    def test_backend_key_propagates_to_specs(self):
+        campaign = CampaignSpec.from_mapping(mapping(backend="array"))
+        points = campaign.expand()
+        assert all(pt.spec.backend == "array" for pt in points)
+        # Backend never forks the store key: same grid on the default
+        # backend fingerprints identically.
+        default = CampaignSpec.from_mapping(mapping()).expand()
+        assert [pt.spec.fingerprint() for pt in points] == [
+            pt.spec.fingerprint() for pt in default
+        ]
+
+    def test_backend_must_be_registered(self):
+        with pytest.raises(CampaignError, match="unknown"):
+            CampaignSpec.from_mapping(mapping(backend="cuda"))
+        with pytest.raises(CampaignError, match="backend"):
+            CampaignSpec.from_mapping(mapping(backend=3))
+
     def test_seeds_and_replications_exclusive(self):
         with pytest.raises(CampaignError, match="mutually exclusive"):
             CampaignSpec.from_mapping(mapping(seeds=[1, 2], replications=2))

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.engine.config import SimulationConfig
-from repro.engine.runner import _pattern_rng, run_steady_state
+from repro.engine.runner import _pattern_rng, run_spec
+from repro.engine.runspec import RunSpec
 from repro.engine.simulator import Simulator
 from repro.traffic.generators import BernoulliTraffic
 from repro.traffic.patterns import make_pattern
@@ -63,47 +64,47 @@ class TestRelativePerformance:
 
     def test_min_collapses_under_adversarial(self):
         cfg = SimulationConfig.small(h=2, routing="min")
-        pt = run_steady_state(cfg, "ADV+2", 0.3, warmup=600, measure=600)
+        pt = run_spec(RunSpec(cfg, "ADV+2", 0.3, warmup=600, measure=600))
         # MIN is bounded by 1/(2h^2) = 0.125 plus scheduling slack.
         assert pt.throughput < 0.2
 
     def test_ofar_beats_valiant_under_adversarial(self):
-        val = run_steady_state(
+        val = run_spec(RunSpec(
             SimulationConfig.small(h=2, routing="val"), "ADV+2", 0.4, 600, 600
-        )
-        ofar = run_steady_state(
+        ))
+        ofar = run_spec(RunSpec(
             SimulationConfig.small(h=2, routing="ofar"), "ADV+2", 0.4, 600, 600
-        )
+        ))
         assert ofar.throughput > val.throughput
 
     def test_ofar_beats_pb_under_adversarial(self):
-        pb = run_steady_state(
+        pb = run_spec(RunSpec(
             SimulationConfig.small(h=2, routing="pb"), "ADV+2", 0.45, 600, 600
-        )
-        ofar = run_steady_state(
+        ))
+        ofar = run_spec(RunSpec(
             SimulationConfig.small(h=2, routing="ofar"), "ADV+2", 0.45, 600, 600
-        )
+        ))
         assert ofar.throughput > pb.throughput
 
     def test_ofar_latency_competitive_with_min_uniform(self):
         """§VI-A: OFAR latency at low uniform load is close to MIN's."""
-        mn = run_steady_state(
+        mn = run_spec(RunSpec(
             SimulationConfig.small(h=2, routing="min"), "UN", 0.1, 600, 600
-        )
-        ofar = run_steady_state(
+        ))
+        ofar = run_spec(RunSpec(
             SimulationConfig.small(h=2, routing="ofar"), "UN", 0.1, 600, 600
-        )
+        ))
         assert ofar.avg_latency < 1.4 * mn.avg_latency
 
     def test_valiant_throughput_pattern_independent(self):
         """VAL randomizes everything: UN vs ADV differ little."""
         cfg = SimulationConfig.small(h=2, routing="val")
-        un = run_steady_state(cfg, "UN", 0.3, 600, 600)
-        adv = run_steady_state(cfg, "ADV+1", 0.3, 600, 600)
+        un = run_spec(RunSpec(cfg, "UN", 0.3, 600, 600))
+        adv = run_spec(RunSpec(cfg, "ADV+1", 0.3, 600, 600))
         assert abs(un.throughput - adv.throughput) < 0.08
 
     def test_escape_ring_rarely_used_at_moderate_load(self):
         """§VII: the ring resolves deadlocks, it does not carry traffic."""
         cfg = SimulationConfig.small(h=2, routing="ofar")
-        pt = run_steady_state(cfg, "UN", 0.3, 600, 600)
+        pt = run_spec(RunSpec(cfg, "UN", 0.3, 600, 600))
         assert pt.ring_fraction < 0.01

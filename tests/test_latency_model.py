@@ -6,7 +6,8 @@ import pytest
 
 from repro.analysis.latency_model import LatencyModel
 from repro.engine.config import SimulationConfig
-from repro.engine.runner import run_steady_state
+from repro.engine.runner import run_spec
+from repro.engine.runspec import RunSpec
 from repro.engine.simulator import Simulator
 
 
@@ -74,7 +75,7 @@ class TestLowLoadPlateau:
         """Measured latency at 5% load sits within ~20% of zero-load."""
         model = LatencyModel(cfg)
         expected = model.expected_uniform("min", samples=4_000)
-        pt = run_steady_state(cfg, "UN", 0.05, warmup=500, measure=800)
+        pt = run_spec(RunSpec(cfg, "UN", 0.05, warmup=500, measure=800))
         assert pt.avg_latency == pytest.approx(expected, rel=0.2)
         assert pt.avg_latency >= expected * 0.98  # queueing only adds
 

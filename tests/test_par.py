@@ -3,7 +3,8 @@
 import pytest
 
 from repro.engine.config import SimulationConfig
-from repro.engine.runner import run_steady_state
+from repro.engine.runner import run_spec
+from repro.engine.runspec import RunSpec
 from repro.engine.simulator import Simulator
 from repro.topology.dragonfly import PortKind
 
@@ -101,8 +102,8 @@ class TestEndToEnd:
     def test_par_beats_min_under_adversarial(self):
         cfg_par = SimulationConfig.small(h=2, routing="par", local_vcs=4)
         cfg_min = SimulationConfig.small(h=2, routing="min")
-        par = run_steady_state(cfg_par, "ADV+2", 0.35, warmup=600, measure=600)
-        mn = run_steady_state(cfg_min, "ADV+2", 0.35, warmup=600, measure=600)
+        par = run_spec(RunSpec(cfg_par, "ADV+2", 0.35, warmup=600, measure=600))
+        mn = run_spec(RunSpec(cfg_min, "ADV+2", 0.35, warmup=600, measure=600))
         assert par.throughput > 1.5 * mn.throughput
 
     def test_par_vc_order_respected(self, monkeypatch):

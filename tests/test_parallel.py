@@ -7,6 +7,7 @@ from repro.engine.parallel import (
     run_load_sweep_parallel,
 )
 from repro.engine.runner import run_load_sweep
+from repro.engine.runspec import RunSpec
 
 
 def cfg(routing="min"):
@@ -76,9 +77,9 @@ class TestGrid:
         assert pts[1].offered_load == 0.3
 
     def test_grid_matches_direct(self):
-        from repro.engine.runner import run_steady_state
+        from repro.engine.runner import run_spec
 
         tasks = [(cfg("pb"), "ADV+1", 0.25)]
         par = run_grid_parallel(tasks, warmup=200, measure=200, workers=2)
-        direct = run_steady_state(cfg("pb"), "ADV+1", 0.25, 200, 200)
+        direct = run_spec(RunSpec(cfg("pb"), "ADV+1", 0.25, 200, 200))
         assert par[0] == direct

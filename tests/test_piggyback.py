@@ -124,10 +124,11 @@ class TestInjectionDecision:
 
     def test_pb_misroutes_more_than_ugal_under_adversarial(self):
         """Under ADV traffic PB's remote flags trigger Valiant routing."""
-        from repro.engine.runner import run_steady_state
+        from repro.engine.runner import run_spec
+        from repro.engine.runspec import RunSpec
 
         cfg = SimulationConfig.small(h=2, routing="pb")
-        pt = run_steady_state(cfg, "ADV+2", 0.35, warmup=600, measure=600)
+        pt = run_spec(RunSpec(cfg, "ADV+2", 0.35, warmup=600, measure=600))
         # With flags working, most packets take the Valiant path (2
         # global hops) rather than suffering minimal congestion.
         assert pt.avg_global_hops > 1.4

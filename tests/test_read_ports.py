@@ -3,7 +3,8 @@
 import pytest
 
 from repro.engine.config import SimulationConfig
-from repro.engine.runner import run_steady_state
+from repro.engine.runner import run_spec
+from repro.engine.runspec import RunSpec
 from repro.engine.simulator import Simulator
 from repro.network.router import KIND_MIN, OutputChannel, Router
 from repro.topology.dragonfly import PortKind
@@ -125,6 +126,6 @@ class TestEndToEnd:
             global_vcs=1, global_buffer=96,     # 2 x 48 consolidated
             injection_vcs=1, injection_buffer=48,
         )
-        a = run_steady_state(classic, "ADV+2", 0.4, warmup=600, measure=600)
-        b = run_steady_state(lean, "ADV+2", 0.4, warmup=600, measure=600)
+        a = run_spec(RunSpec(classic, "ADV+2", 0.4, warmup=600, measure=600))
+        b = run_spec(RunSpec(lean, "ADV+2", 0.4, warmup=600, measure=600))
         assert b.throughput > 0.85 * a.throughput

@@ -5,7 +5,8 @@ import pytest
 
 from repro.analysis.bounds import local_link_advh_bound, min_adversarial_bound
 from repro.engine.config import SimulationConfig
-from repro.engine.runner import run_steady_state
+from repro.engine.runner import run_spec
+from repro.engine.runspec import RunSpec
 from repro.engine.simulator import Simulator
 from repro.network.network import Network
 from repro.topology.dragonfly import Dragonfly
@@ -53,9 +54,9 @@ class TestLargerScales:
 
     def test_h4_short_simulation(self):
         cfg = SimulationConfig.small(h=4, routing="ofar")
-        from repro.engine.runner import run_steady_state
+        from repro.engine.runner import run_spec
 
-        pt = run_steady_state(cfg, "UN", 0.2, warmup=200, measure=200)
+        pt = run_spec(RunSpec(cfg, "UN", 0.2, warmup=200, measure=200))
         assert pt.throughput == pytest.approx(0.2, abs=0.04)
 
     def test_paper_h6_topology_constructs(self):
@@ -80,7 +81,7 @@ class TestLawsAcrossScales:
         """MIN under ADV saturates at ~1/(2h^2) x allocator efficiency
         at every size — the law, not an artifact of one h."""
         cfg = SimulationConfig.small(h=h, routing="min")
-        pt = run_steady_state(cfg, "ADV+1", 0.4, warmup=600, measure=600)
+        pt = run_spec(RunSpec(cfg, "ADV+1", 0.4, warmup=600, measure=600))
         bound = min_adversarial_bound(h)
         assert pt.throughput <= bound * 1.3
         assert pt.throughput >= bound * 0.4
@@ -88,5 +89,5 @@ class TestLawsAcrossScales:
     @pytest.mark.parametrize("h", [2, 3])
     def test_ofar_beats_local_bound_at_every_h(self, h):
         cfg = SimulationConfig.small(h=h, routing="ofar")
-        pt = run_steady_state(cfg, f"ADV+{h}", 0.45, warmup=800, measure=800)
+        pt = run_spec(RunSpec(cfg, f"ADV+{h}", 0.45, warmup=800, measure=800))
         assert pt.throughput > local_link_advh_bound(h) * (1.05 if h > 2 else 0.8)

@@ -180,20 +180,22 @@ class TestWarmup:
     def test_deterministic_given_seed(self):
         """Two simulators with identical configs produce identical
         trajectories."""
-        from repro.engine.runner import run_steady_state
+        from repro.engine.runner import run_spec
+        from repro.engine.runspec import RunSpec
 
         cfg = SimulationConfig.small(h=2, routing="ofar", seed=11)
-        a = run_steady_state(cfg, "ADV+2", 0.3, warmup=200, measure=200)
-        b = run_steady_state(cfg, "ADV+2", 0.3, warmup=200, measure=200)
+        a = run_spec(RunSpec(cfg, "ADV+2", 0.3, warmup=200, measure=200))
+        b = run_spec(RunSpec(cfg, "ADV+2", 0.3, warmup=200, measure=200))
         assert a.throughput == b.throughput
         assert a.avg_latency == b.avg_latency
         assert a.ejected_packets == b.ejected_packets
 
     def test_different_seeds_differ(self):
-        from repro.engine.runner import run_steady_state
+        from repro.engine.runner import run_spec
+        from repro.engine.runspec import RunSpec
 
         cfg1 = SimulationConfig.small(h=2, routing="ofar", seed=11)
         cfg2 = SimulationConfig.small(h=2, routing="ofar", seed=12)
-        a = run_steady_state(cfg1, "UN", 0.3, warmup=200, measure=200)
-        b = run_steady_state(cfg2, "UN", 0.3, warmup=200, measure=200)
+        a = run_spec(RunSpec(cfg1, "UN", 0.3, warmup=200, measure=200))
+        b = run_spec(RunSpec(cfg2, "UN", 0.3, warmup=200, measure=200))
         assert (a.avg_latency, a.ejected_packets) != (b.avg_latency, b.ejected_packets)

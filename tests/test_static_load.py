@@ -81,7 +81,8 @@ class TestPredictsSimulator:
         """The static bound must upper-bound measured MIN throughput and
         be loose by at most the known allocator inefficiency."""
         from repro.engine.config import SimulationConfig
-        from repro.engine.runner import run_steady_state
+        from repro.engine.runner import run_spec
+        from repro.engine.runspec import RunSpec
 
         rng = random.Random(3)
         pattern_spec, offset = "ADV+2", 2
@@ -89,7 +90,7 @@ class TestPredictsSimulator:
             topo, AdversarialPattern(topo, rng, offset), "min", samples=20_000
         )
         cfg = SimulationConfig.small(h=2, routing="min")
-        measured = run_steady_state(cfg, pattern_spec, 0.5, 600, 600).throughput
+        measured = run_spec(RunSpec(cfg, pattern_spec, 0.5, 600, 600)).throughput
         assert measured <= predicted * 1.15
         assert measured >= predicted * 0.4
 
