@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Fabric smoke: a small fleet drains one campaign, one worker is shot.
+
+The end-to-end check CI runs for :mod:`repro.fabric`:
+
+1. drain ``campaigns/tiny.yaml`` single-host into store A (reference);
+2. start N fabric worker *processes* against a fresh shared store B
+   (short lease ttl, mid-run checkpointing enabled), SIGKILL one of
+   them about a second in, and let the survivors finish;
+3. assert the campaign completed anyway: every point resolved, zero
+   failure records, zero leases left, and store B's entries identical
+   to store A's modulo the wall-clock metadata (``created`` /
+   ``wall_time``) — the spec and point blobs must match byte for byte;
+4. assert a plain single-host ``campaign run`` against store B reports
+   100% cache hits (the orchestrator accepts the fleet's results as
+   its own).
+
+Exit status 0 when every check passes; the first failed check prints
+what broke and exits 1.
+
+Usage::
+
+    PYTHONPATH=src python scripts/fabric_smoke.py [--workers 3] [--keep]
+"""
+
+import argparse
+import json
+import os
+import signal
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+CAMPAIGN = str(REPO / "campaigns" / "tiny.yaml")
+ENV = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def run_campaign(store: Path) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "campaign", "run", CAMPAIGN,
+         "--store", str(store)],
+        env=ENV, capture_output=True, text=True, timeout=600,
+    )
+    if proc.returncode != 0:
+        fail(f"campaign run exited {proc.returncode}:\n{proc.stderr}")
+    return proc.stdout
+
+
+def entries(store: Path) -> dict:
+    """fingerprint -> (spec, point), the wall-clock metadata dropped."""
+    out = {}
+    for path in sorted((store / "objects").glob("*/*.json")):
+        entry = json.loads(path.read_text())
+        out[path.stem] = (entry["spec"], entry["point"])
+    return out
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=3,
+                        help="fabric worker processes to start (default 3)")
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the scratch stores for inspection")
+    args = parser.parse_args()
+
+    scratch = Path(tempfile.mkdtemp(prefix="fabric-smoke-"))
+    store_a, store_b = scratch / "single", scratch / "fleet"
+    try:
+        print(f"[1/4] single-host reference run -> {store_a}")
+        out = run_campaign(store_a)
+        if "8 points: 8 run, 0 cached, 0 failed" not in out:
+            fail(f"reference run did not execute all 8 points:\n{out}")
+
+        print(f"[2/4] {args.workers} fabric workers -> {store_b} "
+              "(one gets SIGKILLed)")
+        procs = []
+        for i in range(args.workers):
+            procs.append(subprocess.Popen(
+                [sys.executable, "-m", "repro", "fabric", "work", CAMPAIGN,
+                 "--store", str(store_b), "--worker-id", f"smoke-w{i}",
+                 "--lease-ttl", "2", "--poll", "0.1", "--snapshot-every", "64"],
+                env=ENV, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                text=True,
+            ))
+        time.sleep(1.0)
+        victim = procs[0]
+        try:
+            victim.send_signal(signal.SIGKILL)
+            print(f"      killed worker pid {victim.pid}")
+        except ProcessLookupError:
+            print("      victim already exited (fast machine); "
+                  "survivors still prove the drain")
+        for proc in procs:
+            try:
+                proc.wait(timeout=600)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                fail(f"worker pid {proc.pid} wedged (drain never finished)")
+        for proc in procs[1:]:
+            if proc.returncode != 0:
+                fail(f"surviving worker pid {proc.pid} exited "
+                     f"{proc.returncode}:\n{proc.stdout.read()}")
+
+        print("[3/4] store checks: complete, clean, identical to single-host")
+        got, ref = entries(store_b), entries(store_a)
+        if set(got) != set(ref):
+            fail(f"fleet store has {len(got)}/{len(ref)} points")
+        if got != ref:
+            bad = [fp for fp in ref if got[fp] != ref[fp]]
+            fail(f"{len(bad)} entries differ from single-host: {bad}")
+        leases = list((store_b / "leases").glob("*.json"))
+        if leases:
+            fail(f"leases left behind: {[p.name for p in leases]}")
+        failures = list((store_b / "failures").glob("*/*.json"))
+        if failures:
+            fail(f"failure records present: {[p.name for p in failures]}")
+        checkpoints = list((store_b / "snapshots").glob("*/*.json"))
+        if checkpoints:
+            fail(f"orphaned checkpoints left: {[p.name for p in checkpoints]}")
+
+        print("[4/4] single-host resume over the fleet store is 100% cached")
+        out = run_campaign(store_b)
+        if "8 points: 0 run, 8 cached, 0 failed" not in out:
+            fail(f"resume over the fleet store re-ran points:\n{out}")
+
+        print("OK: fleet survived SIGKILL; store identical; no leases; "
+              "100% cache-hit resume")
+    finally:
+        if args.keep:
+            print(f"scratch kept at {scratch}")
+        else:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -30,13 +30,37 @@ import json
 import os
 import tempfile
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.engine.metrics import LoadPoint
 from repro.engine.runspec import RunSpec
 
 STORE_FORMAT = 1
+
+
+def write_json_atomic(path: Path, payload: dict) -> None:
+    """Write ``payload`` as JSON via tmp file + rename.
+
+    The store's one write primitive, shared by every layer that parks
+    files under the store root (entries, sidecars, snapshot checkpoints
+    via their own codec, fabric leases and worker stats): readers see
+    the old file or the new file, never a partial one.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    blob = json.dumps(payload, indent=1, sort_keys=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as f:
+            f.write(blob)
+        os.replace(tmp, path)  # atomic on POSIX: readers see old or new, never partial
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 @dataclass
@@ -170,16 +194,129 @@ class ResultStore:
     # ------------------------------------------------------------------
     @staticmethod
     def _write_atomic(path: Path, entry: dict) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        blob = json.dumps(entry, indent=1, sort_keys=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        write_json_atomic(path, entry)
+
+    # ------------------------------------------------------------------
+    # Maintenance: verify / gc / stats (the ``repro store`` CLI)
+    # ------------------------------------------------------------------
+    #: Store subdirectories that are NOT fingerprint-keyed JSON entry
+    #: kinds: leases are the fabric's live claims, workers its per-worker
+    #: stats files, telemetry holds JSONL series, snapshots full
+    #: simulator checkpoints (their own codec/format).
+    _NON_ENTRY_KINDS = ("leases", "workers", "telemetry", "snapshots")
+
+    def entry_kinds(self) -> list[str]:
+        """Every fingerprint-keyed JSON entry kind present on disk
+        (``objects`` plus sidecar kinds like ``workloads``/``failures``)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            child.name
+            for child in self.root.iterdir()
+            if child.is_dir() and child.name not in self._NON_ENTRY_KINDS
+        )
+
+    def verify(self) -> list[tuple[Path, str]]:
+        """Re-hash every cached entry; the corrupt ones, with reasons.
+
+        For each entry (``objects`` and every sidecar kind) the embedded
+        spec is re-fingerprinted and compared against the filename — the
+        same guard :meth:`get` applies lazily, applied eagerly to the
+        whole store.  ``objects`` entries additionally prove their
+        LoadPoint still parses.  A clean store returns ``[]``.
+        """
+        bad: list[tuple[Path, str]] = []
+        for kind in self.entry_kinds():
+            for path in sorted((self.root / kind).glob("*/*.json")):
+                reason = self._verify_entry(kind, path)
+                if reason is not None:
+                    bad.append((path, reason))
+        return bad
+
+    def _verify_entry(self, kind: str, path: Path) -> str | None:
         try:
-            with os.fdopen(fd, "w") as f:
-                f.write(blob)
-            os.replace(tmp, path)  # atomic on POSIX: readers see old or new, never partial
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return "unreadable or invalid JSON"
+        try:
+            if entry["format"] != STORE_FORMAT:
+                return f"unknown store format {entry['format']!r}"
+            spec = RunSpec.from_jsonable(entry["spec"])
+            if spec.fingerprint() != path.stem:
+                return "embedded spec does not hash to the filename"
+            if kind == "objects":
+                LoadPoint.from_jsonable(entry["point"])
+        except (ValueError, KeyError, TypeError) as exc:
+            return f"malformed entry: {exc}"
+        return None
+
+    def gc(self, dry_run: bool = False) -> "GCReport":
+        """Delete orphaned snapshot checkpoints and telemetry sidecars.
+
+        A *checkpoint* (``snapshots/<fp[:2]>/<fp>.json``) is mid-run
+        state for a point still being executed; once its point has a
+        result — or a recorded ``failures`` sidecar (retry budget
+        exhausted) — the checkpoint is dead weight and is removed.
+        Checkpoints for points with neither are potentially in flight
+        and are kept (reported as such).
+
+        A *telemetry series* (``telemetry/<fp[:2]>/<fp>.jsonl``) rides
+        alongside its point's result; one whose result is absent is an
+        orphan (the point was re-keyed, failed, or its entry was
+        deleted) and is removed.
+        """
+        report = GCReport(dry_run=dry_run)
+        fail_dir = self.root / "failures"
+        for path in sorted((self.root / "snapshots").glob("*/*.json")):
+            fp = path.stem
+            resolved = (
+                self.path_for(fp).exists()
+                or (fail_dir / fp[:2] / f"{fp}.json").exists()
+            )
+            if resolved:
+                report.remove_checkpoint(path, dry_run)
+            else:
+                report.kept_checkpoints += 1
+        for path in sorted((self.root / "telemetry").glob("*/*.jsonl")):
+            if not self.path_for(path.stem).exists():
+                report.remove_telemetry(path, dry_run)
+        return report
+
+    def stats_by_kind(self) -> dict[str, tuple[int, int]]:
+        """``{kind: (entry count, total bytes)}`` for every store dir."""
+        stats: dict[str, tuple[int, int]] = {}
+        if not self.root.is_dir():
+            return stats
+        for child in sorted(self.root.iterdir()):
+            if not child.is_dir():
+                continue
+            files = [p for p in child.rglob("*") if p.is_file()]
+            stats[child.name] = (len(files), sum(p.stat().st_size for p in files))
+        return stats
+
+
+@dataclass
+class GCReport:
+    """What :meth:`ResultStore.gc` removed (or would, with ``dry_run``)."""
+
+    dry_run: bool = False
+    removed_checkpoints: list[Path] = field(default_factory=list)
+    removed_telemetry: list[Path] = field(default_factory=list)
+    kept_checkpoints: int = 0  # potentially in-flight: result+failure absent
+    bytes_reclaimed: int = 0
+
+    def _remove(self, path: Path, dry_run: bool) -> None:
+        try:
+            self.bytes_reclaimed += path.stat().st_size
+            if not dry_run:
+                path.unlink()
+        except OSError:
+            pass
+
+    def remove_checkpoint(self, path: Path, dry_run: bool) -> None:
+        self.removed_checkpoints.append(path)
+        self._remove(path, dry_run)
+
+    def remove_telemetry(self, path: Path, dry_run: bool) -> None:
+        self.removed_telemetry.append(path)
+        self._remove(path, dry_run)

@@ -19,6 +19,7 @@ from repro.campaign.runner import (
     CampaignRun,
     emit,
     run_campaign,
+    run_campaign_fabric,
     validate_post,
 )
 from repro.campaign.spec import (
@@ -44,6 +45,7 @@ __all__ = [
     "load_mapping",
     "mean_ci",
     "run_campaign",
+    "run_campaign_fabric",
     "t_critical",
     "validate_post",
 ]

@@ -78,6 +78,36 @@ def run_campaign(
     return CampaignRun(campaign, points, outcomes, counts)
 
 
+def run_campaign_fabric(campaign: CampaignSpec, store, **drain_options) -> CampaignRun:
+    """Drain a campaign as one fabric worker; a failed point raises.
+
+    The ``--fabric`` path: this process joins whatever fleet is draining
+    ``campaign`` through the shared ``store`` (:mod:`repro.fabric`) and
+    returns once *every* point is resolved — its own claims counted as
+    ``done``, peers' and pre-existing results as ``cached``.  Because a
+    campaign point is an ordinary RunSpec and fingerprints are executor-
+    independent, the resulting store is interchangeable with a
+    single-host ``campaign run`` against the same directory, and the
+    emitted tables are bit-identical.
+
+    Transient campaigns have no store representation (a transient is a
+    time series, not a LoadPoint), so they cannot be fabric-drained.
+    """
+    if campaign.kind != "steady":
+        raise CampaignError(
+            "--fabric drains steady campaigns; transient campaigns have "
+            "no store representation to coordinate through"
+        )
+    from repro.fabric import drain
+
+    points = campaign.expand()
+    results, summary = drain([p.spec for p in points], store, **drain_options)
+    counts = summarize(results)
+    counts["fabric"] = summary.render()
+    outcomes = [r.require() for r in results]
+    return CampaignRun(campaign, points, outcomes, counts)
+
+
 # ----------------------------------------------------------------------
 # Emitters
 # ----------------------------------------------------------------------

@@ -16,7 +16,15 @@ Commands
   congestion, mapping);
 - ``campaign``  — declarative campaign files (``repro.campaign``):
   ``validate`` / ``expand`` / ``run`` a YAML/JSON study with config
-  inheritance, cartesian grids, seed replication and post emitters.
+  inheritance, cartesian grids, seed replication and post emitters;
+- ``fabric``    — distributed campaign draining (``repro.fabric``):
+  ``work`` runs one lease-coordinated worker against a shared store
+  (start any number, on any hosts that see the directory), ``status``
+  shows fleet progress and the live lease table, ``reap`` cleans up
+  after dead workers;
+- ``store``     — result-store maintenance (``repro.analysis.store``):
+  ``verify`` re-hashes every cached entry, ``gc`` sweeps orphaned
+  checkpoints/telemetry, ``stats`` summarizes disk usage by kind.
 
 Examples::
 
@@ -29,6 +37,10 @@ Examples::
         --out series.jsonl --heatmap
     python -m repro figure fig5 --scale medium
     python -m repro campaign run campaigns/fig3.yaml --workers 8 --resume
+    python -m repro fabric work campaigns/h6_first.yaml \
+        --store /shared/h6 --snapshot-every 2000   # on every host
+    python -m repro fabric status campaigns/h6_first.yaml --store /shared/h6
+    python -m repro store verify /shared/h6
 """
 
 from __future__ import annotations
@@ -43,12 +55,15 @@ from repro.analysis.bounds import (
     valiant_bound,
 )
 from repro.analysis.results import Table
+from repro.analysis.store import ResultStore
 from repro.engine.backend import default_backend
 from repro.engine.config import SimulationConfig
 from repro.engine.orchestrator import summarize
 from repro.engine.runner import run_burst, run_spec, run_transient
 from repro.engine.runspec import RunSpec
 from repro.experiments.common import (
+    DEFAULT_STORE,
+    fabric_options_from_args,
     get_scale,
     orchestration,
     orchestration_options,
@@ -83,9 +98,14 @@ def cmd_info(args) -> None:
 
 def cmd_sweep(args) -> None:
     cfg = _config(args)
-    # Resolve the orchestrator first: --backend installs the process
-    # default that every spec below is stamped with.
-    orchestrator = orchestrator_from_args(args)
+    # Resolve the execution context first: --backend installs the
+    # process default that every spec below is stamped with.
+    fabric = getattr(args, "fabric", False)
+    if fabric:
+        fabric_store, fabric_opts = fabric_options_from_args(args)
+        orchestrator = None
+    else:
+        orchestrator = orchestrator_from_args(args)
     loads = [float(x) for x in args.loads.split(",")]
     max_windows = args.max_windows if args.saturating else None
     specs = [
@@ -94,12 +114,18 @@ def cmd_sweep(args) -> None:
         for load in loads
     ]
     table = Table(f"{args.routing} on {args.pattern} (h={cfg.h})")
-    if orchestrator is None:
+    if orchestrator is None and not fabric:
         points = [run_spec(spec) for spec in specs]
         for pt in points:
             table.add_row(pt.as_row())
     else:
-        results = orchestrator.run(specs)
+        if fabric:
+            from repro.fabric import drain
+
+            results, summary = drain(specs, fabric_store, **fabric_opts)
+            print(summary.render())
+        else:
+            results = orchestrator.run(specs)
         points = []
         for res in results:
             if res.ok:
@@ -284,13 +310,22 @@ def _load_campaign_or_exit(args):
 def cmd_campaign_run(args) -> None:
     import os
 
-    from repro.campaign import CampaignError, emit, run_campaign
+    from repro.campaign import CampaignError, emit, run_campaign, run_campaign_fabric
 
     campaign = _load_campaign_or_exit(args)
-    run = run_campaign(campaign, orchestrator_from_args(args))
+    if getattr(args, "fabric", False):
+        store, options = fabric_options_from_args(args)
+        try:
+            run = run_campaign_fabric(campaign, store, **options)
+        except CampaignError as exc:
+            raise SystemExit(f"campaign error: {exc}") from None
+    else:
+        run = run_campaign(campaign, orchestrator_from_args(args))
     c = run.counts
     print(f"[campaign {campaign.name}] {c['total']} points: "
           f"{c['done']} run, {c['cached']} cached, {c['failed']} failed")
+    if "fabric" in c:
+        print(c["fabric"])
     try:
         tables = emit(run)
     except CampaignError as exc:
@@ -412,6 +447,158 @@ def cmd_snapshot_bisect(args) -> None:
     for path, va, vb in hit["diff"]:
         print(f"  {path}: {va!r} != {vb!r}")
     raise SystemExit(1)
+
+
+# ----------------------------------------------------------------------
+# Fabric: distributed campaign draining (repro.fabric)
+# ----------------------------------------------------------------------
+
+def _fabric_campaign_specs(args):
+    """The campaign plus its expanded RunSpec grid (steady only)."""
+    campaign = _load_campaign_or_exit(args)
+    if campaign.kind != "steady":
+        raise SystemExit(
+            "fabric error: transient campaigns have no store "
+            "representation to coordinate through"
+        )
+    return campaign, [p.spec for p in campaign.expand()]
+
+
+def cmd_fabric_work(args) -> None:
+    from repro.fabric import FabricWorker, WorkQueue
+
+    # Options first: --backend must be installed before specs are built.
+    store, options = fabric_options_from_args(args)
+    campaign, specs = _fabric_campaign_specs(args)
+    queue = WorkQueue(
+        specs, store,
+        worker_id=options.pop("worker_id"),
+        lease_ttl=options.pop("lease_ttl"),
+        max_attempts=options.pop("max_attempts"),
+    )
+    worker = FabricWorker(queue, **options)
+    print(f"[fabric] {queue.worker_id} joining '{campaign.name}': "
+          f"{len(specs)} points over {store.root} "
+          f"({queue.initial_done} already resolved)")
+    summary = worker.run()
+    print(summary.render())
+    if summary.status.failed:
+        raise SystemExit(1)
+
+
+def cmd_fabric_status(args) -> None:
+    from repro.fabric import fleet_status
+
+    campaign, specs = _fabric_campaign_specs(args)
+    store = ResultStore(args.store or DEFAULT_STORE)
+    status = fleet_status(specs, store, lease_ttl=args.lease_ttl)
+    print(f"[fabric {campaign.name}] {status.done}/{status.total} done, "
+          f"{status.failed} failed, {status.leased} leased, "
+          f"{status.stale} stale, {status.pending} pending")
+    live = status.live_workers()
+    rate = status.fleet_rate
+    if status.drained:
+        print("drained: every point has a result or a recorded failure")
+    elif rate == rate:  # NaN-safe: at least one live worker
+        eta = status.eta_seconds
+        eta_text = f"{eta:.0f}s" if eta == eta else "?"
+        print(f"fleet: {len(live)} live worker(s), {rate:.2f} pt/s, "
+              f"eta {eta_text}")
+    else:
+        print("fleet: no live workers")
+    if status.workers:
+        table = Table("workers")
+        for w in sorted(status.workers, key=lambda w: w.worker):
+            table.add(
+                worker=w.worker,
+                live="yes" if w.live(2 * status.lease_ttl) else "no",
+                done=w.done, failed=w.failed, reclaimed=w.reclaimed,
+                rate=round(w.rate, 3), last=w.last_label,
+            )
+        print(table.to_text())
+    if status.leases:
+        table = Table("leases")
+        for lease in sorted(status.leases, key=lambda le: le.fingerprint):
+            table.add(
+                point=lease.fingerprint[:12], worker=lease.worker,
+                attempt=lease.attempt, age_s=round(lease.age(), 1),
+                stale="yes" if lease.stale(status.lease_ttl) else "no",
+                label=lease.label,
+            )
+        print(table.to_text())
+
+
+def cmd_fabric_reap(args) -> None:
+    from repro.fabric import reap
+
+    _, specs = _fabric_campaign_specs(args)
+    store = ResultStore(args.store or DEFAULT_STORE)
+    report = reap(specs, store, lease_ttl=args.lease_ttl,
+                  max_attempts=args.max_attempts)
+    for lease in report.dropped_leases:
+        print(f"dropped stale lease {lease.fingerprint[:12]} "
+              f"(held by {lease.worker}, attempt {lease.attempt}) "
+              f"-> point back to pending")
+    for fp in report.failed_points:
+        print(f"recorded failure for {fp[:12]} (attempt budget exhausted)")
+    for worker in report.pruned_workers:
+        print(f"pruned dead worker stats for {worker}")
+    gc = report.gc
+    print(f"reap: {len(report.dropped_leases)} lease(s) dropped, "
+          f"{len(report.failed_points)} point(s) failed, "
+          f"{len(report.pruned_workers)} worker record(s) pruned; "
+          f"gc removed {len(gc.removed_checkpoints)} checkpoint(s) and "
+          f"{len(gc.removed_telemetry)} telemetry series "
+          f"({gc.bytes_reclaimed} bytes), kept {gc.kept_checkpoints} in flight")
+
+
+# ----------------------------------------------------------------------
+# Store maintenance (repro.analysis.store)
+# ----------------------------------------------------------------------
+
+def cmd_store_verify(args) -> None:
+    store = ResultStore(args.dir)
+    total = sum(
+        1 for kind in store.entry_kinds()
+        for _ in (store.root / kind).glob("*/*.json")
+    )
+    bad = store.verify()
+    if not bad:
+        print(f"{total} entries verified in {store.root}, all clean")
+        return
+    for path, reason in bad:
+        print(f"CORRUPT {path}: {reason}")
+    print(f"{len(bad)} corrupt of {total} entries in {store.root}")
+    raise SystemExit(1)
+
+
+def cmd_store_gc(args) -> None:
+    store = ResultStore(args.dir)
+    report = store.gc(dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    for path in report.removed_checkpoints:
+        print(f"{verb} orphaned checkpoint {path}")
+    for path in report.removed_telemetry:
+        print(f"{verb} orphaned telemetry {path}")
+    print(f"gc: {verb} {len(report.removed_checkpoints)} checkpoint(s) and "
+          f"{len(report.removed_telemetry)} telemetry series "
+          f"({report.bytes_reclaimed} bytes); "
+          f"kept {report.kept_checkpoints} potentially in-flight checkpoint(s)")
+
+
+def cmd_store_stats(args) -> None:
+    store = ResultStore(args.dir)
+    stats = store.stats_by_kind()
+    if not stats:
+        print(f"empty or missing store at {store.root}")
+        return
+    table = Table(f"store {store.root}")
+    for kind, (count, size) in stats.items():
+        table.add(kind=kind, files=count, bytes=size)
+    table.add(kind="total",
+              files=sum(c for c, _ in stats.values()),
+              bytes=sum(b for _, b in stats.values()))
+    print(table.to_text())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -574,6 +761,86 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="load, inherit and type-check a campaign file")
     campaign_common(q)
     q.set_defaults(func=cmd_campaign_validate)
+
+    p = sub.add_parser(
+        "fabric",
+        help="distributed campaign draining: work / status / reap",
+        description="Lease-based distributed sweeps (repro.fabric): start "
+                    "'fabric work' for the same campaign and store on any "
+                    "number of hosts that see the store directory; workers "
+                    "coordinate through lease files alone — the store is "
+                    "the only shared state, there is no server.",
+    )
+    fab_sub = p.add_subparsers(dest="fabric_action", required=True)
+
+    q = fab_sub.add_parser(
+        "work",
+        help="run one fabric worker until the campaign is drained",
+        parents=[orchestration_options()])
+    campaign_common(q)
+    q.add_argument("--poll", type=float, default=1.0, metavar="SECONDS",
+                   help="seconds between queue re-scans while peers hold "
+                        "every remaining point (default 1)")
+    q.add_argument("--max-points", type=int, default=None, metavar="N",
+                   help="stop after resolving N points (default: drain "
+                        "the whole campaign)")
+    q.set_defaults(func=cmd_fabric_work)
+
+    def fabric_common(q, attempts=False):
+        campaign_common(q)
+        q.add_argument("--store", default=None, metavar="DIR",
+                       help=f"shared store directory (default {DEFAULT_STORE!r})")
+        q.add_argument("--lease-ttl", type=float, default=60.0,
+                       metavar="SECONDS",
+                       help="staleness threshold for leases (default 60; "
+                            "match the workers' setting)")
+        if attempts:
+            q.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                           help="fleet-wide attempt budget per point "
+                                "(default 3; match the workers' setting)")
+
+    q = fab_sub.add_parser(
+        "status", help="fleet progress, per-worker stats and live leases")
+    fabric_common(q)
+    q.set_defaults(func=cmd_fabric_status)
+
+    q = fab_sub.add_parser(
+        "reap",
+        help="clean up after dead workers (stale leases, orphaned files)")
+    fabric_common(q, attempts=True)
+    q.set_defaults(func=cmd_fabric_reap)
+
+    p = sub.add_parser(
+        "store",
+        help="result-store maintenance: verify / gc / stats",
+        description="Maintenance for result-store directories "
+                    "(repro.analysis.store): re-hash every cached entry "
+                    "against its filename, sweep orphaned snapshot "
+                    "checkpoints and telemetry series, and summarize disk "
+                    "usage by entry kind.",
+    )
+    store_sub = p.add_subparsers(dest="store_action", required=True)
+
+    q = store_sub.add_parser(
+        "verify",
+        help="re-hash every cached entry (exit 1 if any is corrupt)")
+    q.add_argument("dir", nargs="?", default=DEFAULT_STORE,
+                   help=f"store directory (default {DEFAULT_STORE!r})")
+    q.set_defaults(func=cmd_store_verify)
+
+    q = store_sub.add_parser(
+        "gc", help="delete orphaned snapshot checkpoints and telemetry")
+    q.add_argument("dir", nargs="?", default=DEFAULT_STORE,
+                   help=f"store directory (default {DEFAULT_STORE!r})")
+    q.add_argument("--dry-run", action="store_true",
+                   help="report what would be removed without deleting")
+    q.set_defaults(func=cmd_store_gc)
+
+    q = store_sub.add_parser(
+        "stats", help="file counts and bytes per store kind")
+    q.add_argument("dir", nargs="?", default=DEFAULT_STORE,
+                   help=f"store directory (default {DEFAULT_STORE!r})")
+    q.set_defaults(func=cmd_store_stats)
 
     p = sub.add_parser("offsets", help="ADV offset study (Fig. 2)")
     p.add_argument("--scale", default="small")

@@ -363,6 +363,13 @@ class Orchestrator:
                 total: int, started: float) -> None:
         if result.status == STATUS_DONE and self.store is not None:
             self.store.put(result.spec, result.point, wall_time=result.wall_time)
+        elif result.status == STATUS_FAILED and self.snapshot_every is not None:
+            # A point that exhausted its retry budget will never resume:
+            # its mid-run checkpoint is dead weight, not a resume seam.
+            # (run_spec_checkpointed only clears on success.)
+            from repro.snapshot.checkpoint import clear_checkpoint
+
+            clear_checkpoint(self.store.root, result.spec)
         results[index] = result
         self._emit(results, total, started, result)
 

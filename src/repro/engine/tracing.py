@@ -147,6 +147,14 @@ class SweepProgress:
     grid size.  ``rate`` is resolved points per second of wall time and
     ``eta_seconds`` the remaining-work extrapolation (0.0 once done,
     NaN before the first point resolves).
+
+    Fleet-drained sweeps (:mod:`repro.fabric`) fill in the fleet
+    fields: ``worker`` names the emitting worker, ``fleet_workers``
+    counts the live workers draining the same store, and ``fleet_rate``
+    is their combined points per second — which then drives the ETA,
+    because the remaining work is shared.  Single-host runs keep the
+    defaults (one anonymous worker, NaN fleet rate) and behave exactly
+    as before.
     """
 
     total: int
@@ -157,6 +165,9 @@ class SweepProgress:
     last_label: str  # RunSpec.label() of the point just resolved
     last_status: str  # "done" | "cached" | "failed"
     last_wall_time: float  # seconds spent on that point
+    worker: str = ""  # emitting fabric worker id ("" = single-host)
+    fleet_workers: int = 1  # live workers draining the same store
+    fleet_rate: float = float("nan")  # fleet-wide points/sec (NaN = unknown)
 
     @property
     def resolved(self) -> int:
@@ -168,7 +179,7 @@ class SweepProgress:
 
     @property
     def eta_seconds(self) -> float:
-        rate = self.rate
+        rate = self.fleet_rate if self.fleet_rate == self.fleet_rate else self.rate
         if rate != rate or rate == 0:
             return float("nan")
         return (self.total - self.resolved) / rate
@@ -176,12 +187,19 @@ class SweepProgress:
     def render(self) -> str:
         eta = self.eta_seconds
         eta_text = f"{eta:.0f}s" if eta == eta else "?"
-        return (
+        line = (
             f"[sweep {self.resolved}/{self.total}] "
             f"done={self.done} cached={self.cached} failed={self.failed} "
             f"{self.rate:.2f} pt/s eta {eta_text} | "
             f"{self.last_label}: {self.last_status} in {self.last_wall_time:.2f}s"
         )
+        if self.fleet_workers > 1 or self.worker:
+            fleet = (
+                f"{self.fleet_rate:.2f} pt/s fleet"
+                if self.fleet_rate == self.fleet_rate else "rate ?"
+            )
+            line += f" | {self.fleet_workers} worker(s), {fleet}"
+        return line
 
 
 # An observer is any callable taking one SweepProgress.

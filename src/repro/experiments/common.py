@@ -236,12 +236,120 @@ def add_run_args(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
              "backends are bit-for-bit identical, so results and store "
              "keys do not depend on this choice (default: object)",
     )
+    fabric = parser.add_argument_group(
+        "distributed fabric",
+        "cooperatively drain the grid with other hosts through one "
+        "shared store directory (repro.fabric); run the same command "
+        "on every host",
+    )
+    fabric.add_argument(
+        "--fabric", action="store_true",
+        help="join (or start) the fleet draining this grid: claim points "
+             "via store leases, skip points the store already has, and "
+             "wait for peers' in-flight points before reporting "
+             f"(implies a store, default dir {DEFAULT_STORE!r})",
+    )
+    fabric.add_argument(
+        "--lease-ttl", type=float, default=60.0, metavar="SECONDS",
+        help="seconds without a heartbeat before a point's lease is "
+             "considered stale and reclaimable (default 60)",
+    )
+    fabric.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="fleet-wide execution attempts per point before it is "
+             "recorded as failed (default 3)",
+    )
+    fabric.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="this worker's identity in leases and status tables "
+             "(default <hostname>-<pid>)",
+    )
     return parser
 
 
 def orchestration_options() -> argparse.ArgumentParser:
     """The argparse *parent* carrying the shared sweep-execution flags."""
     return add_run_args(argparse.ArgumentParser(add_help=False))
+
+
+def _install_backend_from_args(args: argparse.Namespace) -> None:
+    """``--backend`` becomes the process-wide default (or SystemExit)."""
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        try:
+            set_default_backend(backend)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+
+
+def fabric_options_from_args(args: argparse.Namespace):
+    """``(store, drain kwargs)`` for the ``--fabric`` execution path.
+
+    Validates flag compatibility (``--workers``/``--no-cache``/
+    ``--timeout`` conflict with cooperative draining), installs
+    ``--backend`` as the process default, and resolves the shared store
+    (``--store``, default :data:`DEFAULT_STORE`).  The returned kwargs
+    feed :func:`repro.fabric.drain` (or, popped apart, a
+    :class:`~repro.fabric.WorkQueue` + :class:`~repro.fabric.FabricWorker`
+    pair for the long-lived ``repro fabric work`` command).
+    """
+    from repro.analysis.store import ResultStore
+    from repro.engine.tracing import ConsoleProgress
+    from repro.telemetry.config import TelemetryConfig
+
+    if args.workers is not None:
+        raise SystemExit(
+            "--fabric runs one worker per process; for more workers run "
+            "the same command again (on this host or any other sharing "
+            "the store) instead of --workers"
+        )
+    if args.no_cache:
+        raise SystemExit(
+            "--fabric treats the store as the fleet's ground truth "
+            "(cached = done); --no-cache would make workers repeat each "
+            "other's points"
+        )
+    if args.timeout is not None:
+        raise SystemExit(
+            "--fabric has no per-point timeout (points run in-process); "
+            "stuck workers are handled by lease expiry (--lease-ttl) "
+            "and the fleet-wide --max-attempts budget"
+        )
+    _install_backend_from_args(args)
+    telemetry = (
+        TelemetryConfig(interval=args.telemetry)
+        if getattr(args, "telemetry", None) is not None else None
+    )
+    store = ResultStore(args.store or DEFAULT_STORE)
+    options = dict(
+        worker_id=args.worker_id,
+        lease_ttl=args.lease_ttl,
+        max_attempts=args.max_attempts,
+        snapshot_every=getattr(args, "snapshot_every", None),
+        telemetry=telemetry,
+        telemetry_dir=getattr(args, "telemetry_dir", None),
+        poll=getattr(args, "poll", 1.0),
+        max_points=getattr(args, "max_points", None),
+        observer=ConsoleProgress() if args.progress else None,
+    )
+    return store, options
+
+
+def fabric_run_from_args(args: argparse.Namespace, specs):
+    """Interpret an :func:`add_run_args` namespace as one fabric worker.
+
+    The ``--fabric`` counterpart of :func:`orchestrator_from_args`:
+    drains ``specs`` cooperatively (:func:`repro.fabric.drain`) honoring
+    ``--snapshot-every``, ``--telemetry``, ``--progress``,
+    ``--lease-ttl``, ``--max-attempts`` and ``--worker-id``.  Returns
+    ``(results, summary)`` — orchestrator
+    :class:`~repro.engine.orchestrator.PointResult` values in spec
+    order plus the worker's :class:`~repro.fabric.FabricSummary`.
+    """
+    from repro.fabric import drain
+
+    store, options = fabric_options_from_args(args)
+    return drain(specs, store, **options)
 
 
 def orchestrator_from_args(args: argparse.Namespace) -> Orchestrator | None:
@@ -258,12 +366,15 @@ def orchestrator_from_args(args: argparse.Namespace) -> Orchestrator | None:
 
     from repro.telemetry.config import TelemetryConfig
 
-    backend = getattr(args, "backend", None)
-    if backend is not None:
-        try:
-            set_default_backend(backend)
-        except ValueError as exc:
-            raise SystemExit(str(exc)) from None
+    if getattr(args, "fabric", False):
+        # Commands that support cooperative draining branch to
+        # fabric_run_from_args before ever building an orchestrator;
+        # reaching here means this command cannot honor the flag.
+        raise SystemExit(
+            "--fabric is supported on 'repro sweep' and 'repro campaign "
+            "run' (and 'repro fabric work'); this command runs single-host"
+        )
+    _install_backend_from_args(args)
     snapshot_every = getattr(args, "snapshot_every", None)
     store_dir = args.store or (
         DEFAULT_STORE if (args.resume or snapshot_every is not None) else None

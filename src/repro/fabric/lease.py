@@ -1,0 +1,264 @@
+"""The lease protocol: per-point mutual exclusion over a shared directory.
+
+A lease is one JSON file, ``<store>/leases/<fingerprint>.json``.  Its
+existence *is* the claim — acquisition is ``open(O_CREAT | O_EXCL)``,
+which the filesystem arbitrates atomically (POSIX local filesystems and
+NFSv3+; the one primitive the whole fabric needs).  The file body is
+bookkeeping for observers and for recovery:
+
+- ``worker`` / ``host`` / ``pid`` — who holds it (``fabric status``
+  renders the live lease table from a directory listing);
+- ``heartbeat`` — epoch seconds of the last renewal.  A holder renews
+  every ``ttl/3`` seconds; a lease whose heartbeat is older than the
+  ttl is **stale** and any worker may reclaim it (the holder crashed,
+  was SIGKILLed, or lost its machine);
+- ``attempt`` — which execution attempt this lease covers.  Reclaiming
+  a stale lease carries ``attempt + 1`` forward, so a point that keeps
+  killing its workers burns a bounded budget across the whole fleet and
+  is then recorded as failed (a ``failures`` store sidecar) instead of
+  being retried forever.
+
+Failure modes are resolved toward *at-least-once* execution, which is
+safe here and nowhere else: results are deterministic in the spec and
+written atomically under a content hash, so the rare double execution
+(a slow-but-alive holder reclaimed as stale) writes byte-identical
+entries.  The protocol therefore needs no fencing — ownership checks
+on renew/release are an efficiency courtesy, not a correctness
+requirement.  What *is* guaranteed: a point with a store entry is never
+executed again (claims check the store first), and a released or
+reclaimed-to-failure point leaves no lease file behind.
+
+Clock discipline: staleness compares one host's ``time.time()`` against
+another's heartbeat, so keep ``ttl`` well above the fleet's clock skew
+(seconds of skew against the 60 s default is harmless).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.analysis.store import write_json_atomic
+
+#: Store subdirectory holding live leases (flat: one file per claimed
+#: fingerprint, so a directory listing is the live lease table).
+LEASE_DIR = "leases"
+
+#: Store sidecar kind recording points that exhausted their attempt
+#: budget (written through ResultStore.put_sidecar, spec embedded).
+FAILURE_KIND = "failures"
+
+#: Default lease time-to-live in seconds; a holder heartbeats at ttl/3.
+DEFAULT_TTL = 60.0
+
+
+def default_worker_id() -> str:
+    """``<hostname>-<pid>`` — unique per fabric worker process."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One claimed point, as recorded in its lease file."""
+
+    fingerprint: str
+    worker: str
+    attempt: int  # 1-based execution attempt this lease covers
+    claimed: float  # epoch seconds this lease (not the point) was claimed
+    heartbeat: float  # epoch seconds of the last renewal
+    label: str = ""  # RunSpec.label(), for status tables
+    host: str = ""
+    pid: int = 0
+
+    def age(self, now: float | None = None) -> float:
+        """Seconds since the last heartbeat."""
+        return (time.time() if now is None else now) - self.heartbeat
+
+    def stale(self, ttl: float, now: float | None = None) -> bool:
+        return self.age(now) > ttl
+
+    def to_jsonable(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "worker": self.worker,
+            "attempt": self.attempt,
+            "claimed": self.claimed,
+            "heartbeat": self.heartbeat,
+            "label": self.label,
+            "host": self.host,
+            "pid": self.pid,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "Lease":
+        return cls(
+            fingerprint=data["fingerprint"],
+            worker=data["worker"],
+            attempt=int(data["attempt"]),
+            claimed=float(data["claimed"]),
+            heartbeat=float(data["heartbeat"]),
+            label=data.get("label", ""),
+            host=data.get("host", ""),
+            pid=int(data.get("pid", 0)),
+        )
+
+
+def lease_path(store_root: str | os.PathLike, fingerprint: str) -> Path:
+    return Path(store_root) / LEASE_DIR / f"{fingerprint}.json"
+
+
+def read_lease(path: str | os.PathLike) -> Lease | None:
+    """The lease recorded at ``path``, or None when absent/unreadable.
+
+    A corrupt lease file (killed writer mid-create on a non-atomic
+    filesystem) reads as None; callers treat that as "claimed by nobody
+    we can identify" and reclaim it like a stale lease.
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+        return Lease.from_jsonable(data)
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+class LeaseManager:
+    """Claim / renew / release leases under one store root, as one worker."""
+
+    def __init__(
+        self,
+        store_root: str | os.PathLike,
+        worker_id: str | None = None,
+        ttl: float = DEFAULT_TTL,
+    ) -> None:
+        if ttl <= 0:
+            raise ValueError("lease ttl must be positive")
+        self.store_root = Path(store_root)
+        self.worker_id = worker_id if worker_id is not None else default_worker_id()
+        self.ttl = ttl
+
+    # ------------------------------------------------------------------
+    def path(self, fingerprint: str) -> Path:
+        return lease_path(self.store_root, fingerprint)
+
+    def current(self, fingerprint: str) -> Lease | None:
+        """The live lease for ``fingerprint``, or None when unclaimed."""
+        return read_lease(self.path(fingerprint))
+
+    def try_claim(
+        self, fingerprint: str, label: str = "", attempt: int = 1
+    ) -> Lease | None:
+        """Claim ``fingerprint`` via atomic exclusive create.
+
+        Returns the new lease, or None when another worker holds the
+        file (fresh *or* stale — staleness is the caller's policy, see
+        :meth:`reclaim`).
+        """
+        path = self.path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        now = time.time()
+        lease = Lease(
+            fingerprint=fingerprint,
+            worker=self.worker_id,
+            attempt=attempt,
+            claimed=now,
+            heartbeat=now,
+            label=label,
+            host=socket.gethostname(),
+            pid=os.getpid(),
+        )
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            return None
+        try:
+            with os.fdopen(fd, "w") as f:
+                f.write(json.dumps(lease.to_jsonable(), indent=1, sort_keys=True))
+        except BaseException:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            raise
+        return lease
+
+    def reclaim(self, stale: Lease, label: str = "") -> Lease | None:
+        """Take over a stale lease, carrying the attempt budget forward.
+
+        Unlink-then-claim: racing reclaimers both unlink (idempotent)
+        and then race the exclusive create — exactly one wins.  Returns
+        the winner's lease with ``attempt = stale.attempt + 1``, or
+        None when another worker won the race.
+        """
+        try:
+            os.unlink(self.path(stale.fingerprint))
+        except OSError:
+            pass
+        return self.try_claim(
+            stale.fingerprint, label=label or stale.label, attempt=stale.attempt + 1
+        )
+
+    def renew(self, lease: Lease, attempt: int | None = None) -> Lease | None:
+        """Refresh the heartbeat; None means the lease was lost.
+
+        ``attempt`` rewrites the attempt count in place — the holder's
+        own retry path (a point that raised mid-run) burns budget
+        through the same counter a reclaim does, so "attempts" means
+        one thing fleet-wide.
+
+        Losing a lease (file gone, or rewritten by a reclaimer that
+        judged us dead) is not fatal to the run in flight — the result
+        write is idempotent — but the holder must stop renewing so it
+        does not clobber the new holder's heartbeats.
+        """
+        on_disk = self.current(lease.fingerprint)
+        if on_disk is None or on_disk.worker != self.worker_id:
+            return None
+        renewed = replace(
+            lease,
+            heartbeat=time.time(),
+            attempt=lease.attempt if attempt is None else attempt,
+        )
+        write_json_atomic(self.path(lease.fingerprint), renewed.to_jsonable())
+        return renewed
+
+    def release(self, lease: Lease) -> bool:
+        """Drop our claim; True when we removed our own lease file.
+
+        Never removes a lease another worker holds (the point was
+        reclaimed from under us) — their release cleans it up.
+        """
+        on_disk = self.current(lease.fingerprint)
+        if on_disk is not None and on_disk.worker != self.worker_id:
+            return False
+        try:
+            os.unlink(self.path(lease.fingerprint))
+            return True
+        except OSError:
+            return False
+
+    # ------------------------------------------------------------------
+    def live_leases(self) -> list[Lease]:
+        """Every readable lease under the store, sorted by claim time."""
+        lease_dir = self.store_root / LEASE_DIR
+        leases = [
+            lease
+            for path in sorted(lease_dir.glob("*.json"))
+            if (lease := read_lease(path)) is not None
+        ]
+        return sorted(leases, key=lambda lease: lease.claimed)
+
+
+__all__ = [
+    "DEFAULT_TTL",
+    "FAILURE_KIND",
+    "LEASE_DIR",
+    "Lease",
+    "LeaseManager",
+    "default_worker_id",
+    "lease_path",
+    "read_lease",
+]

@@ -1,0 +1,417 @@
+"""WorkQueue: a grid of RunSpecs, with the store as the coordinator.
+
+There is no queue *state* anywhere — the queue is a pure function of
+the shared store directory, re-evaluated on every claim:
+
+- a point whose fingerprint has a **result entry** is done (cached =
+  done is the same rule the orchestrator's resume path applies, so a
+  fabric worker joining a half-finished campaign, or rejoining after a
+  crash, pays nothing to catch up);
+- a point with a **failure record** (``failures`` sidecar — the fleet
+  exhausted its attempt budget) is resolved-as-failed: reported, never
+  retried, never wedging the drain;
+- a point with a **fresh lease** is someone else's; with a **stale**
+  one it is reclaimable (attempt count carried forward); with none it
+  is claimable.
+
+That makes every worker a peer: the first claim wins by atomic create,
+everyone else moves on to the next point.  :func:`fleet_status` renders
+the same scan as an observability snapshot (per-worker throughput from
+the ``workers/`` stats files, the live lease table, fleet ETA), and
+:func:`reap` is the operator's broom: drop stale leases, convert
+budget-exhausted ones to failure records, and sweep orphaned
+checkpoints/telemetry via :meth:`ResultStore.gc`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.store import GCReport, ResultStore, write_json_atomic
+from repro.engine.runspec import RunSpec
+from repro.fabric.lease import (
+    DEFAULT_TTL,
+    FAILURE_KIND,
+    Lease,
+    LeaseManager,
+)
+
+#: Store subdirectory holding per-worker stats files (one JSON file per
+#: fabric worker, atomically rewritten after every resolved point).
+WORKERS_DIR = "workers"
+
+#: Fleet-wide execution attempts per point before it is recorded failed.
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One successfully claimed point: the spec plus the lease held."""
+
+    spec: RunSpec
+    lease: Lease
+
+
+@dataclass(frozen=True)
+class WorkerStats:
+    """One worker's self-reported progress (``workers/<id>.json``)."""
+
+    worker: str
+    host: str = ""
+    pid: int = 0
+    started: float = 0.0
+    heartbeat: float = 0.0
+    done: int = 0
+    failed: int = 0
+    reclaimed: int = 0
+    rate: float = 0.0  # this worker's resolved points per second
+    last_label: str = ""
+    active: bool = True  # False once the worker exited cleanly
+
+    def live(self, ttl: float, now: float | None = None) -> bool:
+        """Still heartbeating (within ``ttl``) and not exited."""
+        if not self.active:
+            return False
+        return ((time.time() if now is None else now) - self.heartbeat) <= ttl
+
+    def to_jsonable(self) -> dict:
+        return {
+            "worker": self.worker, "host": self.host, "pid": self.pid,
+            "started": self.started, "heartbeat": self.heartbeat,
+            "done": self.done, "failed": self.failed,
+            "reclaimed": self.reclaimed, "rate": self.rate,
+            "last_label": self.last_label, "active": self.active,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "WorkerStats":
+        return cls(**{k: data[k] for k in cls.__dataclass_fields__ if k in data})
+
+
+def worker_stats_path(store_root, worker_id: str) -> Path:
+    return Path(store_root) / WORKERS_DIR / f"{worker_id}.json"
+
+
+def read_worker_stats(store_root) -> list[WorkerStats]:
+    """Every readable worker stats file under the store."""
+    out = []
+    for path in sorted(Path(store_root, WORKERS_DIR).glob("*.json")):
+        try:
+            out.append(WorkerStats.from_jsonable(json.loads(path.read_text())))
+        except (OSError, ValueError, KeyError, TypeError):
+            continue
+    return out
+
+
+@dataclass
+class QueueStatus:
+    """One scan of the fleet's shared state, for status lines and ETA."""
+
+    total: int
+    done: int  # results present in the store
+    failed: int  # failure records (budget exhausted), result absent
+    leased: int  # fresh leases on unresolved points
+    stale: int  # stale leases on unresolved points
+    cached: int = 0  # resolved before this queue/scan started
+    leases: list[Lease] = field(default_factory=list)
+    workers: list[WorkerStats] = field(default_factory=list)
+    lease_ttl: float = DEFAULT_TTL
+
+    @property
+    def pending(self) -> int:
+        return self.total - self.done - self.failed
+
+    @property
+    def drained(self) -> bool:
+        return self.pending == 0
+
+    def live_workers(self) -> list[WorkerStats]:
+        return [w for w in self.workers if w.live(2 * self.lease_ttl)]
+
+    @property
+    def fleet_rate(self) -> float:
+        """Fleet-wide resolved points per second (NaN with no live worker)."""
+        live = self.live_workers()
+        if not live:
+            return float("nan")
+        return sum(w.rate for w in live)
+
+    @property
+    def eta_seconds(self) -> float:
+        rate = self.fleet_rate
+        if rate != rate or rate == 0:
+            return float("nan")
+        return self.pending / rate
+
+
+class WorkQueue:
+    """Claimable view of one spec grid over one shared store.
+
+    Parameters
+    ----------
+    specs:
+        The grid (e.g. a campaign's expanded RunSpecs).  Order is the
+        claim preference; every worker scans in the same order, and the
+        lease race spreads them across the frontier.
+    store:
+        The shared :class:`ResultStore` — results, leases, failure
+        records and checkpoints all live under its root.
+    worker_id:
+        This process's identity in lease files (default host-pid).
+    lease_ttl:
+        Seconds without a heartbeat before a lease is reclaimable.
+    max_attempts:
+        Fleet-wide execution attempts per point; the attempt that would
+        exceed it records a failure instead.
+    """
+
+    def __init__(
+        self,
+        specs: list[RunSpec],
+        store: ResultStore,
+        *,
+        worker_id: str | None = None,
+        lease_ttl: float = DEFAULT_TTL,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.specs = list(specs)
+        self.store = store
+        self.max_attempts = max_attempts
+        self.leases = LeaseManager(store.root, worker_id, ttl=lease_ttl)
+        self._fps = [spec.fingerprint() for spec in self.specs]
+        self._resolved: set[str] = set()  # monotone: resolved stays resolved
+        self.initial_done = sum(1 for fp in self._fps if self._is_resolved(fp))
+
+    @property
+    def worker_id(self) -> str:
+        return self.leases.worker_id
+
+    @property
+    def lease_ttl(self) -> float:
+        return self.leases.ttl
+
+    # ------------------------------------------------------------------
+    def _failure_path(self, fp: str) -> Path:
+        return self.store.sidecar_path(FAILURE_KIND, fp)
+
+    def _is_resolved(self, fp: str) -> bool:
+        if fp in self._resolved:
+            return True
+        if self.store.path_for(fp).exists() or self._failure_path(fp).exists():
+            self._resolved.add(fp)
+            return True
+        return False
+
+    def drained(self) -> bool:
+        """Every point resolved (result or recorded failure)."""
+        return all(self._is_resolved(fp) for fp in self._fps)
+
+    # ------------------------------------------------------------------
+    def claim(self) -> Claim | None:
+        """The next runnable point, leased to this worker — or None.
+
+        None means nothing is claimable *right now*: every unresolved
+        point is freshly leased to someone else (poll again; reclaim
+        kicks in if their heartbeats stop), or the grid is drained
+        (check :meth:`drained`).  Budget-exhausted stale leases found
+        during the scan are converted to failure records in passing, so
+        a poisoned point blocks nobody.
+        """
+        for spec, fp in zip(self.specs, self._fps):
+            if self._is_resolved(fp):
+                continue
+            lease = self.leases.current(fp)
+            if lease is None:
+                got = self.leases.try_claim(fp, label=spec.label())
+                if got is not None:
+                    return Claim(spec, got)
+                continue  # lost the race; that point is being handled
+            if lease.stale(self.lease_ttl):
+                if lease.attempt >= self.max_attempts:
+                    self.record_failure(
+                        spec,
+                        attempts=lease.attempt,
+                        worker=lease.worker,
+                        error=(
+                            f"lease expired mid-run on attempt {lease.attempt}/"
+                            f"{self.max_attempts} (last holder {lease.worker}); "
+                            "attempt budget exhausted"
+                        ),
+                        stale_lease=lease,
+                    )
+                    continue
+                got = self.leases.reclaim(lease, label=spec.label())
+                if got is not None:
+                    return Claim(spec, got)
+        return None
+
+    def record_failure(
+        self,
+        spec: RunSpec,
+        attempts: int,
+        worker: str,
+        error: str,
+        stale_lease: Lease | None = None,
+    ) -> None:
+        """Resolve a point as failed: sidecar record, no lease, no
+        checkpoint left behind.
+
+        Skipped if a result landed in the meantime (another worker beat
+        the failure to it) — the store always wins.
+        """
+        fp = spec.fingerprint()
+        if not self.store.path_for(fp).exists():
+            self.store.put_sidecar(
+                FAILURE_KIND, spec,
+                {
+                    "error": error,
+                    "attempts": attempts,
+                    "worker": worker,
+                    "recorded": time.time(),
+                },
+            )
+        # The dead point's mid-run checkpoint is dead weight now.
+        from repro.snapshot.checkpoint import clear_checkpoint
+
+        clear_checkpoint(self.store.root, spec)
+        if stale_lease is not None:
+            try:
+                os.unlink(self.leases.path(fp))
+            except OSError:
+                pass
+        self._resolved.add(fp)
+
+    # ------------------------------------------------------------------
+    def status(self) -> QueueStatus:
+        return _scan_status(
+            self._fps, self.store, self.lease_ttl, cached=self.initial_done
+        )
+
+
+# ----------------------------------------------------------------------
+# Fleet observability + the reaper
+# ----------------------------------------------------------------------
+
+def _scan_status(
+    fps: list[str], store: ResultStore, lease_ttl: float, cached: int = 0
+) -> QueueStatus:
+    done = failed = leased = stale = 0
+    fp_set = set(fps)
+    fail_root = Path(store.root) / FAILURE_KIND
+    manager = LeaseManager(store.root, worker_id="status", ttl=lease_ttl)
+    now = time.time()
+    for fp in fps:
+        if store.path_for(fp).exists():
+            done += 1
+        elif (fail_root / fp[:2] / f"{fp}.json").exists():
+            failed += 1
+    leases = [lease for lease in manager.live_leases() if lease.fingerprint in fp_set]
+    for lease in leases:
+        if lease.stale(lease_ttl, now):
+            stale += 1
+        else:
+            leased += 1
+    return QueueStatus(
+        total=len(fps), done=done, failed=failed, leased=leased, stale=stale,
+        cached=cached, leases=leases, workers=read_worker_stats(store.root),
+        lease_ttl=lease_ttl,
+    )
+
+
+def fleet_status(
+    specs: list[RunSpec], store: ResultStore, lease_ttl: float = DEFAULT_TTL
+) -> QueueStatus:
+    """One coherent snapshot of a fleet draining ``specs`` via ``store``."""
+    return _scan_status([s.fingerprint() for s in specs], store, lease_ttl)
+
+
+@dataclass
+class ReapReport:
+    """What :func:`reap` cleaned up."""
+
+    dropped_leases: list[Lease] = field(default_factory=list)  # stale, back to pending
+    failed_points: list[str] = field(default_factory=list)  # budget-exhausted fps
+    pruned_workers: list[str] = field(default_factory=list)  # dead stats files
+    gc: GCReport = field(default_factory=GCReport)
+
+
+def reap(
+    specs: list[RunSpec],
+    store: ResultStore,
+    lease_ttl: float = DEFAULT_TTL,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+) -> ReapReport:
+    """Clean up after dead workers, in one pass.
+
+    - stale leases whose attempt budget is exhausted become failure
+      records (their checkpoints cleared);
+    - other stale leases are dropped — the point returns to *pending*
+      (note the attempt count restarts; a live fleet's own reclaim path
+      preserves it, so ``reap`` is for after the dust settles);
+    - worker stats files that stopped heartbeating are pruned;
+    - orphaned checkpoints/telemetry are swept (:meth:`ResultStore.gc`).
+
+    Fresh leases and in-flight checkpoints are untouched: reap is safe
+    to run while a fleet is still draining.
+    """
+    queue = WorkQueue(
+        specs, store, worker_id="reaper",
+        lease_ttl=lease_ttl, max_attempts=max_attempts,
+    )
+    report = ReapReport()
+    for spec, fp in zip(queue.specs, queue._fps):
+        lease = queue.leases.current(fp)
+        if lease is None or not lease.stale(lease_ttl):
+            continue
+        if queue._is_resolved(fp) or lease.attempt >= max_attempts:
+            if not queue._is_resolved(fp):
+                queue.record_failure(
+                    spec, attempts=lease.attempt, worker=lease.worker,
+                    error=(
+                        f"reaped: lease expired on attempt {lease.attempt}/"
+                        f"{max_attempts} (last holder {lease.worker})"
+                    ),
+                )
+                report.failed_points.append(fp)
+            try:
+                os.unlink(queue.leases.path(fp))
+            except OSError:
+                pass
+        else:
+            try:
+                os.unlink(queue.leases.path(fp))
+                report.dropped_leases.append(lease)
+            except OSError:
+                pass
+    now = time.time()
+    for stats in read_worker_stats(store.root):
+        if not stats.live(2 * lease_ttl, now):
+            try:
+                os.unlink(worker_stats_path(store.root, stats.worker))
+                report.pruned_workers.append(stats.worker)
+            except OSError:
+                pass
+    report.gc = store.gc()
+    return report
+
+
+__all__ = [
+    "Claim",
+    "DEFAULT_MAX_ATTEMPTS",
+    "QueueStatus",
+    "ReapReport",
+    "WorkQueue",
+    "WorkerStats",
+    "WORKERS_DIR",
+    "fleet_status",
+    "read_worker_stats",
+    "reap",
+    "worker_stats_path",
+    "write_json_atomic",
+]

@@ -1,0 +1,366 @@
+"""FabricWorker: the claim -> run -> write -> release loop.
+
+One :class:`FabricWorker` is one peer in a fleet.  It executes points
+through the orchestrator's own per-point worker path — the exact
+functions a single-host sweep runs, including ``--snapshot-every``
+mid-run checkpointing — so a fabric-drained campaign's store entries
+are byte-identical (spec + point) to a single-host orchestrator run.
+Spot-style preemption falls out: a SIGKILLed worker's lease expires,
+another worker reclaims it, and ``run_spec_checkpointed`` resumes the
+point from its last checkpoint with a bit-identical final result.
+
+While a point runs, a daemon heartbeat thread renews the lease every
+``ttl/3`` seconds (touching nothing in the simulation — observation
+never perturbs applies to coordination too).  A point that *raises* is
+retried in place with the lease's attempt count bumped, until the
+fleet-wide budget is exhausted and the point is recorded as a
+``failures`` sidecar — a poisoned point costs its budget, never the
+drain.
+
+Progress reporting reuses :class:`~repro.engine.tracing.SweepProgress`
+with the fleet fields filled in: after every point this worker resolves
+it re-scans the shared state and emits done/cached/failed counts for
+the *whole fleet*, the live worker count, and the fleet-rate ETA.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from repro.analysis.store import ResultStore
+from repro.engine.orchestrator import (
+    STATUS_CACHED,
+    STATUS_DONE,
+    STATUS_FAILED,
+    PointResult,
+    _execute_spec_checkpointed,
+    _execute_spec_telemetry,
+)
+from repro.engine.runspec import RunSpec
+from repro.engine.tracing import ProgressObserver, SweepProgress
+from repro.fabric.lease import FAILURE_KIND, Lease
+from repro.fabric.queue import (
+    Claim,
+    QueueStatus,
+    WorkerStats,
+    WorkQueue,
+    worker_stats_path,
+    write_json_atomic,
+)
+
+
+class _Heartbeat(threading.Thread):
+    """Renews one lease (and the worker stats file) while a point runs."""
+
+    def __init__(self, queue: WorkQueue, lease: Lease, interval: float, touch) -> None:
+        super().__init__(daemon=True, name=f"lease-hb-{lease.fingerprint[:8]}")
+        self.queue = queue
+        self.lease = lease  # latest renewal (read after stop())
+        self.interval = interval
+        self.touch = touch
+        self.lost = threading.Event()
+        # NB: not "_stop" — Thread itself uses that name internally.
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self.interval):
+            renewed = self.queue.leases.renew(self.lease)
+            if renewed is None:
+                # Reclaimed from under us (we looked dead).  Keep
+                # computing — the result write is idempotent — but stop
+                # touching the new holder's lease.
+                self.lost.set()
+                return
+            self.lease = renewed
+            self.touch()
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=5.0)
+
+
+@dataclass
+class FabricSummary:
+    """What one worker's :meth:`FabricWorker.run` did, plus the fleet's
+    final state."""
+
+    worker: str
+    executed: int  # points this worker completed (results written)
+    failed: int  # failures this worker recorded
+    reclaimed: int  # stale leases this worker took over
+    wall: float  # seconds in the drain loop
+    status: QueueStatus  # final fleet scan (drained unless max_points hit)
+    completed: set[str] = field(default_factory=set)  # fps this worker ran
+
+    def render(self) -> str:
+        s = self.status
+        return (
+            f"[fabric {self.worker}] executed {self.executed} "
+            f"(+{self.reclaimed} reclaimed), failed {self.failed} "
+            f"in {self.wall:.1f}s | fleet: {s.done}/{s.total} done, "
+            f"{s.failed} failed, {s.leased} leased"
+        )
+
+
+class FabricWorker:
+    """One cooperating worker process draining a :class:`WorkQueue`.
+
+    Parameters mirror the orchestrator where they overlap:
+
+    snapshot_every:
+        Checkpoint each in-flight point to the store every N cycles
+        (``run_spec_checkpointed``); a reclaimed point resumes from its
+        last checkpoint on whichever worker picks it up.
+    telemetry / telemetry_dir:
+        As on :class:`~repro.engine.orchestrator.Orchestrator`; series
+        land under ``<store>/telemetry`` by default.
+    poll:
+        Seconds between queue re-scans when nothing is claimable but
+        other workers still hold live leases.
+    max_points:
+        Stop after resolving this many points (tests and canaries);
+        None drains until the queue reports done.
+    observer:
+        :class:`SweepProgress` callback, fleet fields populated.
+    execute:
+        Test hook: replaces the per-point execution callable
+        ``(RunSpec) -> LoadPoint`` (the fault-injection seam, exactly
+        like the orchestrator's ``worker=``).
+    """
+
+    def __init__(
+        self,
+        queue: WorkQueue,
+        *,
+        snapshot_every: int | None = None,
+        telemetry=None,
+        telemetry_dir=None,
+        poll: float = 1.0,
+        max_points: int | None = None,
+        observer: ProgressObserver | None = None,
+        execute=None,
+    ) -> None:
+        if snapshot_every is not None and snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+        if poll <= 0:
+            raise ValueError("poll must be positive")
+        self.queue = queue
+        self.store: ResultStore = queue.store
+        self.poll = poll
+        self.max_points = max_points
+        self.observer = observer
+        self.snapshot_every = snapshot_every
+        if telemetry_dir is None:
+            telemetry_dir = self.store.root / "telemetry"
+        tdir = str(telemetry_dir)
+        if execute is not None:
+            self._execute = execute
+        elif snapshot_every is not None:
+            self._execute = functools.partial(
+                _execute_spec_checkpointed,
+                str(self.store.root), snapshot_every, tdir, telemetry,
+            )
+        else:
+            self._execute = functools.partial(
+                _execute_spec_telemetry, tdir, telemetry, str(self.store.root),
+            )
+        self.executed = 0
+        self.failed = 0
+        self.reclaimed = 0
+        self.completed: set[str] = set()
+        self._started = time.monotonic()
+        self._hb_interval = max(0.05, queue.lease_ttl / 3.0)
+
+    @property
+    def worker_id(self) -> str:
+        return self.queue.worker_id
+
+    # ------------------------------------------------------------------
+    def run(self) -> FabricSummary:
+        """Drain until the queue is done (or ``max_points`` resolved)."""
+        self._started = time.monotonic()
+        self._touch_stats()
+        try:
+            while True:
+                if (
+                    self.max_points is not None
+                    and self.executed + self.failed >= self.max_points
+                ):
+                    break
+                claim = self.queue.claim()
+                if claim is None:
+                    if self.queue.drained():
+                        break
+                    # Unresolved points are leased to live peers: wait
+                    # for them (or for their leases to go stale).
+                    self._touch_stats()
+                    time.sleep(self.poll)
+                    continue
+                if claim.lease.attempt > 1:
+                    self.reclaimed += 1
+                self._run_claim(claim)
+        finally:
+            self._touch_stats(active=False)
+        return FabricSummary(
+            worker=self.worker_id,
+            executed=self.executed,
+            failed=self.failed,
+            reclaimed=self.reclaimed,
+            wall=time.monotonic() - self._started,
+            status=self.queue.status(),
+            completed=set(self.completed),
+        )
+
+    # ------------------------------------------------------------------
+    def _run_claim(self, claim: Claim) -> None:
+        spec, lease = claim.spec, claim.lease
+        while True:
+            heartbeat = _Heartbeat(self.queue, lease, self._hb_interval,
+                                   self._touch_stats)
+            heartbeat.start()
+            t0 = time.monotonic()
+            try:
+                point = self._execute(spec)
+            except Exception:
+                heartbeat.stop()
+                wall = time.monotonic() - t0
+                error = traceback.format_exc()
+                if lease.attempt >= self.queue.max_attempts:
+                    self.queue.record_failure(
+                        spec, attempts=lease.attempt,
+                        worker=self.worker_id, error=error,
+                    )
+                    self.queue.leases.release(heartbeat.lease)
+                    self.failed += 1
+                    self._after_point(spec, STATUS_FAILED, wall)
+                    return
+                bumped = self.queue.leases.renew(
+                    heartbeat.lease, attempt=lease.attempt + 1
+                )
+                if bumped is None:
+                    return  # lost the lease; the retry is someone else's now
+                lease = bumped
+                continue
+            heartbeat.stop()
+            wall = time.monotonic() - t0
+            self.store.put(spec, point, wall_time=wall)
+            self.queue.leases.release(heartbeat.lease)
+            self.executed += 1
+            self.completed.add(spec.fingerprint())
+            self._after_point(spec, STATUS_DONE, wall)
+            return
+
+    # ------------------------------------------------------------------
+    def _touch_stats(self, active: bool = True) -> None:
+        """Atomically rewrite this worker's ``workers/<id>.json``."""
+        elapsed = time.monotonic() - self._started
+        resolved = self.executed + self.failed
+        stats = WorkerStats(
+            worker=self.worker_id,
+            started=time.time() - elapsed,
+            heartbeat=time.time(),
+            done=self.executed,
+            failed=self.failed,
+            reclaimed=self.reclaimed,
+            rate=resolved / elapsed if elapsed > 0 else 0.0,
+            active=active,
+        )
+        write_json_atomic(
+            worker_stats_path(self.store.root, self.worker_id),
+            stats.to_jsonable(),
+        )
+
+    def _after_point(self, spec: RunSpec, status: str, wall: float) -> None:
+        self._touch_stats()
+        if self.observer is None:
+            return
+        scan = self.queue.status()
+        self.observer(SweepProgress(
+            total=scan.total,
+            done=max(0, scan.done - self.queue.initial_done),
+            cached=self.queue.initial_done,
+            failed=scan.failed,
+            elapsed=time.monotonic() - self._started,
+            last_label=spec.label(),
+            last_status=status,
+            last_wall_time=wall,
+            worker=self.worker_id,
+            fleet_workers=max(1, len(scan.live_workers())),
+            fleet_rate=scan.fleet_rate,
+        ))
+
+
+# ----------------------------------------------------------------------
+# One-call drain (the ``--fabric`` entry point)
+# ----------------------------------------------------------------------
+
+def drain(
+    specs: list[RunSpec],
+    store: ResultStore,
+    *,
+    worker_id: str | None = None,
+    lease_ttl: float | None = None,
+    max_attempts: int | None = None,
+    snapshot_every: int | None = None,
+    telemetry=None,
+    telemetry_dir=None,
+    poll: float = 1.0,
+    max_points: int | None = None,
+    observer: ProgressObserver | None = None,
+    execute=None,
+) -> tuple[list[PointResult], FabricSummary]:
+    """Join (or start) the fleet draining ``specs``; gather the results.
+
+    Runs one :class:`FabricWorker` in this process until the whole grid
+    is resolved — including points other hosts are still executing —
+    then reads every point back from the shared store.  Results come
+    back as orchestrator :class:`PointResult` values in spec order:
+    ``done`` for points this process executed, ``cached`` for points
+    served by the store (pre-existing or drained by peers), ``failed``
+    for points whose fleet-wide attempt budget was exhausted (the
+    failure record's error and attempt count attached).
+    """
+    from repro.fabric.queue import DEFAULT_MAX_ATTEMPTS
+    from repro.fabric.lease import DEFAULT_TTL
+
+    queue = WorkQueue(
+        specs, store, worker_id=worker_id,
+        lease_ttl=DEFAULT_TTL if lease_ttl is None else lease_ttl,
+        max_attempts=DEFAULT_MAX_ATTEMPTS if max_attempts is None else max_attempts,
+    )
+    worker = FabricWorker(
+        queue,
+        snapshot_every=snapshot_every,
+        telemetry=telemetry,
+        telemetry_dir=telemetry_dir,
+        poll=poll,
+        max_points=max_points,
+        observer=observer,
+        execute=execute,
+    )
+    summary = worker.run()
+    results = []
+    for spec in specs:
+        point = store.get(spec)
+        if point is not None:
+            status = STATUS_DONE if spec.fingerprint() in summary.completed \
+                else STATUS_CACHED
+            results.append(PointResult(
+                spec, status, point,
+                attempts=1 if status == STATUS_DONE else 0,
+            ))
+            continue
+        failure = store.get_sidecar(FAILURE_KIND, spec) or {}
+        results.append(PointResult(
+            spec, STATUS_FAILED,
+            error=failure.get("error", "point unresolved after fabric drain"),
+            attempts=int(failure.get("attempts", 0)),
+        ))
+    return results, summary
+
+
+__all__ = ["FabricSummary", "FabricWorker", "drain"]

@@ -196,6 +196,10 @@ def _sigkill_once_worker(store_root, every, flag_path, resume_log, spec):
     return run_spec_checkpointed(spec, store_root, every)
 
 
+def _always_fail_worker(spec):
+    raise RuntimeError("boom")
+
+
 class TestOrchestratorCheckpointing:
     def test_snapshot_every_requires_store(self):
         with pytest.raises(ValueError, match="store"):
@@ -235,3 +239,17 @@ class TestOrchestratorCheckpointing:
             assert int(fh.read()) == 64
         # and the completed point cleaned up its checkpoint slot
         assert not checkpoint_path(store.root, spec.fingerprint()).exists()
+
+    def test_failed_point_checkpoint_cleared(self, tmp_path):
+        # A point that exhausts its retry budget will never resume; its
+        # mid-run checkpoint must not accumulate in the store forever.
+        spec = steady_spec()
+        store = ResultStore(tmp_path)
+        path = checkpoint_path(store.root, spec.fingerprint())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{}")
+        orch = Orchestrator(workers=0, store=store, retries=0,
+                            snapshot_every=64, worker=_always_fail_worker)
+        results = orch.run([spec])
+        assert results[0].status == "failed"
+        assert not path.exists()

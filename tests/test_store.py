@@ -82,3 +82,83 @@ class TestResultStore:
 
     def test_empty_store_len(self, tmp_path):
         assert len(ResultStore(tmp_path / "nowhere")) == 0
+
+
+class TestStoreMaintenance:
+    """verify / gc / stats — the ``repro store`` CLI's backing API."""
+
+    def test_verify_clean_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for s in (spec(load=0.1), spec(load=0.2)):
+            store.put(s, run_spec(s))
+        store.put_sidecar("failures", spec(load=0.3), {"error": "boom"})
+        assert store.verify() == []
+
+    def test_verify_flags_corrupt_and_foreign(self, tmp_path):
+        store = ResultStore(tmp_path)
+        a, b = spec(load=0.1), spec(load=0.2)
+        good = store.put(a, run_spec(a))
+        hijacked = store.path_for(b.fingerprint())
+        hijacked.parent.mkdir(parents=True, exist_ok=True)
+        hijacked.write_text(good.read_text())  # b's slot records a's spec
+        good.write_text("{ not json")
+        findings = dict(store.verify())
+        assert findings[good] == "unreadable or invalid JSON"
+        assert findings[hijacked] == "embedded spec does not hash to the filename"
+
+    def test_verify_empty_store(self, tmp_path):
+        assert ResultStore(tmp_path / "nowhere").verify() == []
+
+    def _checkpoint(self, store, fp):
+        path = store.root / "snapshots" / fp[:2] / f"{fp}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{}")
+        return path
+
+    def _telemetry(self, store, fp):
+        path = store.root / "telemetry" / fp[:2] / f"{fp}.jsonl"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{}\n")
+        return path
+
+    def test_gc_sweeps_orphans_keeps_inflight(self, tmp_path):
+        store = ResultStore(tmp_path)
+        done, failed, inflight = spec(load=0.1), spec(load=0.2), spec(load=0.3)
+        store.put(done, run_spec(done))
+        store.put_sidecar("failures", failed, {"error": "boom"})
+        orphan_a = self._checkpoint(store, done.fingerprint())
+        orphan_b = self._checkpoint(store, failed.fingerprint())
+        kept = self._checkpoint(store, inflight.fingerprint())
+        tele_live = self._telemetry(store, done.fingerprint())
+        tele_orphan = self._telemetry(store, inflight.fingerprint())
+        report = store.gc()
+        assert sorted(report.removed_checkpoints) == sorted([orphan_a, orphan_b])
+        assert report.removed_telemetry == [tele_orphan]
+        assert report.kept_checkpoints == 1
+        assert not orphan_a.exists() and not orphan_b.exists()
+        assert kept.exists(), "potentially in-flight checkpoint must survive"
+        assert tele_live.exists()
+        assert report.bytes_reclaimed > 0
+
+    def test_gc_dry_run_removes_nothing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        done = spec(load=0.1)
+        store.put(done, run_spec(done))
+        orphan = self._checkpoint(store, done.fingerprint())
+        report = store.gc(dry_run=True)
+        assert report.removed_checkpoints == [orphan]
+        assert orphan.exists()
+
+    def test_stats_by_kind(self, tmp_path):
+        store = ResultStore(tmp_path)
+        a, b = spec(load=0.1), spec(load=0.2)
+        store.put(a, run_spec(a))
+        store.put(b, run_spec(b))
+        store.put_sidecar("failures", spec(load=0.3), {"error": "x"})
+        stats = store.stats_by_kind()
+        assert stats["objects"][0] == 2
+        assert stats["failures"][0] == 1
+        assert all(size > 0 for _, size in stats.values())
+
+    def test_stats_empty_store(self, tmp_path):
+        assert ResultStore(tmp_path / "nowhere").stats_by_kind() == {}
