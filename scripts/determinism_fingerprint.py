@@ -335,6 +335,89 @@ def workload_section(mode: str, workers: int = 2) -> dict:
     return _workload_doc(result)
 
 
+def scenario_spec():
+    """The cluster scenario every mode fingerprints: five Poisson jobs
+    through EASY backfill over random-nodes placement, two random link
+    failures (repaired 300 cycles later) on an h=2 OFAR machine."""
+    from repro.cluster.spec import (
+        ArrivalSpec, FaultScheduleSpec, JobMix, ScenarioSpec,
+    )
+
+    scenario = ScenarioSpec(
+        arrivals=ArrivalSpec(kind="poisson", rate=0.01, jobs=5),
+        mix=JobMix(sizes=((4, 1.0), (8, 1.0)), durations=((400, 1.0),),
+                   loads=((0.25, 1.0),)),
+        scheduler="easy",
+        placement="random-nodes",
+        faults=FaultScheduleSpec(rate=0.004, count=2, repair=300, seed=3),
+        horizon=1200,
+        seed=9,
+        blast_window=150,
+    )
+    cfg = SimulationConfig.small(h=2, routing="ofar", seed=19)
+    return RunSpec.for_scenario(cfg, scenario, backend=BACKEND)
+
+
+def _scenario_doc(result) -> str:
+    """Canonical JSON of the full ScenarioResult (NaN-preserving)."""
+    return json.dumps(result.to_jsonable(), sort_keys=True)
+
+
+def scenario_section(mode: str, workers: int = 2) -> str:
+    """Fingerprint the cluster scenario under ``mode``; every mode must
+    emit the identical string (scheduling, per-job points, blast table
+    and all)."""
+    from repro.cluster.runner import (
+        SIDECAR_KIND, ScenarioResult, run_scenario, run_scenario_cached,
+        run_scenario_with_telemetry,
+    )
+
+    spec = scenario_spec()
+    if mode == "orchestrated":
+        from repro.analysis.store import ResultStore
+        from repro.engine.orchestrator import Orchestrator
+
+        with tempfile.TemporaryDirectory() as tmp:
+            store = ResultStore(tmp)
+            orch = Orchestrator(workers=workers, store=store, retries=0)
+            total = orch.run_points([spec])[0]
+            payload = store.get_sidecar(SIDECAR_KIND, spec)
+            assert payload is not None, "worker did not persist the sidecar"
+            fresh = ScenarioResult.from_jsonable(payload)
+            if _point_dict(total) != _point_dict(fresh.total):
+                sys.exit("orchestrated scenario total diverged from the sidecar")
+            resumed = run_scenario_cached(spec, store)
+            if _scenario_doc(fresh) != _scenario_doc(resumed):
+                sys.exit("cache-hit scenario result diverged from fresh run")
+            result = resumed
+    elif mode == "telemetry":
+        from repro.telemetry.config import TelemetryConfig
+
+        result, series = run_scenario_with_telemetry(
+            spec, TelemetryConfig(interval=50, per_link=True)
+        )
+        assert series is not None and series.samples, "sampler produced nothing"
+        assert any(s.job_flow for s in series.samples), "no per-job flow sampled"
+    elif mode == "snapshot":
+        # The checkpoint path: run the scenario through periodic
+        # mid-run snapshots (saved + reloaded from disk), then read the
+        # result back from the persisted sidecar.
+        from repro.analysis.store import ResultStore
+        from repro.snapshot.checkpoint import run_spec_checkpointed
+
+        with tempfile.TemporaryDirectory() as tmp:
+            store = ResultStore(tmp)
+            total = run_spec_checkpointed(spec, store.root, snapshot_every=150)
+            payload = store.get_sidecar(SIDECAR_KIND, spec)
+            assert payload is not None, "checkpointed run did not persist the sidecar"
+            result = ScenarioResult.from_jsonable(payload)
+            if _point_dict(total) != _point_dict(result.total):
+                sys.exit("checkpointed scenario total diverged from the sidecar")
+    else:
+        result = run_scenario(spec)
+    return _scenario_doc(result)
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(
         description="emit the engine behavior fingerprint as JSON"
@@ -361,6 +444,13 @@ def main(argv: list[str] | None = None) -> None:
              "clean against a plain run (save/restore is bit-identical)",
     )
     parser.add_argument(
+        "--scenario", action="store_true",
+        help="emit only the cluster-scenario section (job churn, EASY "
+             "backfill and link faults through the selected mode); the "
+             "output must diff clean across plain, --orchestrated, "
+             "--telemetry and --snapshot runs",
+    )
+    parser.add_argument(
         "--backend", choices=available_backends(), default="object",
         help="engine backend executing every run; backends are bit-for-bit "
              "identical, so any choice must emit the same fingerprint",
@@ -371,6 +461,15 @@ def main(argv: list[str] | None = None) -> None:
     if sum((args.orchestrated, args.telemetry, args.snapshot)) > 1:
         sys.exit("--orchestrated, --telemetry and --snapshot are separate "
                  "checks; pick one")
+
+    if args.scenario:
+        mode = ("orchestrated" if args.orchestrated else
+                "telemetry" if args.telemetry else
+                "snapshot" if args.snapshot else "plain")
+        doc = {"scenario": scenario_section(mode, args.workers)}
+        json.dump(doc, sys.stdout, indent=1, sort_keys=True)
+        sys.stdout.write("\n")
+        return
 
     if args.orchestrated:
         from repro.analysis.store import ResultStore
@@ -398,6 +497,7 @@ def main(argv: list[str] | None = None) -> None:
         "drain": drain_and_counters(telemetry=args.telemetry,
                                     snapshot=args.snapshot),
         "workload": workload_section(mode, args.workers),
+        "scenario": scenario_section(mode, args.workers),
     }
     json.dump(doc, sys.stdout, indent=1, sort_keys=True)
     sys.stdout.write("\n")

@@ -5,7 +5,7 @@ This is the long-form companion to the benchmark suite: it runs each
 experiment at a chosen scale, writes one CSV per figure plus the exact
 SimulationConfig JSON used, and prints the tables as it goes.
 
-The fig3/fig4/fig6 jobs are declarative: they load the checked-in
+The fig2/fig3/fig4/fig5/fig6 jobs are declarative: they load the checked-in
 campaign files under ``campaigns/`` and save the campaign's emitted
 tables, so the reproduce-a-figure recipe lives in reviewable YAML
 rather than in this script.  (Their replicated-seed ``aggregate``
@@ -30,8 +30,6 @@ from repro.engine.config import SimulationConfig
 from repro.experiments import (
     ablations,
     congestion,
-    fig2_offsets,
-    fig5_advh,
     fig7_bursts,
     fig8_ring,
     fig9_reduced_vcs,
@@ -80,10 +78,10 @@ def main() -> None:
         return job
 
     jobs = {
-        "fig2": lambda: save("fig2_offsets", fig2_offsets.run(scale)),
+        "fig2": campaign_job("fig2", "fig2_offsets", "table"),
         "fig3": campaign_job("fig3", "fig3_uniform", "series_table"),
         "fig4": campaign_job("fig4", "fig4_adv2", "series_table"),
-        "fig5": lambda: save("fig5_advh", fig5_advh.run(scale)[0]),
+        "fig5": campaign_job("fig5", "fig5_advh", "series_table"),
         "fig6": campaign_job("fig6", "fig6_transient", "table"),
         "fig7": lambda: save("fig7_bursts", fig7_bursts.run(scale)),
         "fig8": lambda: save("fig8_ring", fig8_ring.run(scale)),

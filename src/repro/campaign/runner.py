@@ -30,8 +30,11 @@ class CampaignRun:
     """A finished campaign: the grid, its outcomes, and run statistics.
 
     ``outcomes`` aligns with ``points``: a
-    :class:`~repro.engine.metrics.LoadPoint` per steady point, a
-    :class:`~repro.engine.runner.TransientResult` per transient point.
+    :class:`~repro.engine.metrics.LoadPoint` per steady or scenario
+    point, a :class:`~repro.engine.runner.TransientResult` per transient
+    point.  Scenario campaigns additionally carry the full per-point
+    :class:`~repro.cluster.runner.ScenarioResult` list (job rows, blast
+    radii) in ``scenario_results``, which the scenario emitters consume.
     ``counts`` is the orchestrator summary (done/cached/failed) — the
     resume contract surfaces here: a second run of the same campaign
     against the same store reports 100% ``cached``.
@@ -41,6 +44,7 @@ class CampaignRun:
     points: list[CampaignPoint]
     outcomes: list
     counts: dict
+    scenario_results: list | None = None
 
 
 def run_campaign(
@@ -67,6 +71,21 @@ def run_campaign(
         return CampaignRun(campaign, points, outcomes, counts)
 
     specs = [p.spec for p in points]
+    if campaign.kind == "scenario":
+        if orchestrator is None:
+            from repro.cluster.runner import run_scenario
+
+            scenario_results = [run_scenario(s) for s in specs]
+            counts = {"total": len(points), "done": len(points), "cached": 0,
+                      "failed": 0, "wall_time": 0.0}
+        else:
+            results = orchestrator.run(specs)
+            counts = summarize(results)
+            for r in results:
+                r.require()
+            scenario_results = _scenario_sidecars(specs, orchestrator.store)
+        outcomes = [r.total for r in scenario_results]
+        return CampaignRun(campaign, points, outcomes, counts, scenario_results)
     if orchestrator is None:
         outcomes = [run_spec(s) for s in specs]
         counts = {"total": len(points), "done": len(points), "cached": 0,
@@ -76,6 +95,21 @@ def run_campaign(
     counts = summarize(results)
     outcomes = [r.require() for r in results]
     return CampaignRun(campaign, points, outcomes, counts)
+
+
+def _scenario_sidecars(specs, store) -> list:
+    """The full ScenarioResult per spec, via the store's sidecars.
+
+    Orchestrated and fabric-drained scenario points persist their
+    ScenarioResult as a ``scenarios`` sidecar the moment they finish;
+    this reads those back (recomputing in-process only if a sidecar is
+    missing — e.g. a main-store cache hit that predates the sidecar).
+    """
+    from repro.cluster.runner import run_scenario, run_scenario_cached
+
+    if store is None:
+        return [run_scenario(s) for s in specs]
+    return [run_scenario_cached(s, store) for s in specs]
 
 
 def run_campaign_fabric(campaign: CampaignSpec, store, **drain_options) -> CampaignRun:
@@ -92,20 +126,31 @@ def run_campaign_fabric(campaign: CampaignSpec, store, **drain_options) -> Campa
 
     Transient campaigns have no store representation (a transient is a
     time series, not a LoadPoint), so they cannot be fabric-drained.
+    Scenario campaigns drain like steady ones — each worker persists the
+    point's full ScenarioResult as a store sidecar, which the emitters
+    read back after the drain.
     """
-    if campaign.kind != "steady":
+    if campaign.kind == "transient":
         raise CampaignError(
-            "--fabric drains steady campaigns; transient campaigns have "
-            "no store representation to coordinate through"
+            "--fabric drains steady and scenario campaigns; transient "
+            "campaigns have no store representation to coordinate through"
         )
     from repro.fabric import drain
 
     points = campaign.expand()
-    results, summary = drain([p.spec for p in points], store, **drain_options)
+    specs = [p.spec for p in points]
+    results, summary = drain(specs, store, **drain_options)
     counts = summarize(results)
     counts["fabric"] = summary.render()
-    outcomes = [r.require() for r in results]
-    return CampaignRun(campaign, points, outcomes, counts)
+    for r in results:
+        r.require()
+    scenario_results = None
+    if campaign.kind == "scenario":
+        scenario_results = _scenario_sidecars(specs, store)
+        outcomes = [r.total for r in scenario_results]
+    else:
+        outcomes = [r.require() for r in results]
+    return CampaignRun(campaign, points, outcomes, counts, scenario_results)
 
 
 # ----------------------------------------------------------------------
@@ -238,11 +283,80 @@ def emit_summary(run: CampaignRun) -> Table:
     return table
 
 
+def _require_scenario(run: CampaignRun, emitter: str) -> list:
+    if run.campaign.kind != "scenario" or run.scenario_results is None:
+        raise CampaignError(f"{emitter!r} is a scenario-campaign emitter")
+    return run.scenario_results
+
+
+def _point_prefix(run: CampaignRun, point: CampaignPoint) -> dict:
+    multi_seed = len(run.campaign.seeds) > 1
+    return {k: v for k, v in point.coords if multi_seed or k != "seed"}
+
+
+def emit_scenario_table(run: CampaignRun) -> Table:
+    """Per-point scheduling outcomes: churn, waits, slowdowns, fairness."""
+    results = _require_scenario(run, "scenario_table")
+    table = Table(f"{run.campaign.name} — scenario outcomes")
+    for point, res in zip(run.points, results):
+        slowdowns = [j.slowdown for j in res.jobs if j.slowdown is not None]
+        waits = [j.wait for j in res.jobs if j.wait is not None]
+        row = _point_prefix(run, point)
+        row.update({
+            "jobs": len(res.jobs),
+            "started": len(res.jobs) - res.queued,
+            "completed": sum(1 for j in res.jobs if j.completed),
+            "queued": res.queued,
+            "makespan": res.makespan,
+            "util": round(res.mean_utilization, 3),
+            "mean_wait": round(sum(waits) / len(waits), 1) if waits else None,
+            "mean_slowdown": (round(sum(slowdowns) / len(slowdowns), 3)
+                              if slowdowns else None),
+            "max_slowdown": round(max(slowdowns), 3) if slowdowns else None,
+            "fairness": round(res.fairness, 3),
+            "thr": round(res.total.throughput, 4),
+            "avg_lat": round(res.total.avg_latency, 1),
+        })
+        table.add_row(row)
+    return table
+
+
+def emit_blast_radius(run: CampaignRun) -> Table:
+    """One row per (point, fault): latency blast ratio across the jobs
+    live at the failure — the MIN-vs-OFAR fault-resilience comparison."""
+    results = _require_scenario(run, "blast_radius")
+    table = Table(f"{run.campaign.name} — fault blast radius")
+
+    def mean_of(values: list[float]):
+        finite = [v for v in values if v == v]  # NaN-safe
+        return round(sum(finite) / len(finite), 3) if finite else None
+
+    for point, res in zip(run.points, results):
+        by_fault: dict[tuple, list] = {}
+        for b in res.blast:
+            by_fault.setdefault((b.cycle, b.router, b.port), []).append(b)
+        for (cycle, router, port), rows in sorted(by_fault.items()):
+            row = _point_prefix(run, point)
+            row.update({
+                "fault_cycle": cycle,
+                "router": router,
+                "port": port,
+                "jobs_hit": len(rows),
+                "before": mean_of([b.before for b in rows]),
+                "after": mean_of([b.after for b in rows]),
+                "blast_ratio": mean_of([b.ratio for b in rows]),
+            })
+            table.add_row(row)
+    return table
+
+
 EMITTERS = {
     "table": emit_table,
     "aggregate": emit_aggregate,
     "series_table": emit_series_table,
     "summary": emit_summary,
+    "scenario_table": emit_scenario_table,
+    "blast_radius": emit_blast_radius,
 }
 
 

@@ -45,12 +45,13 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.cluster.spec import ScenarioSpec
 from repro.engine.backend import default_backend
 from repro.engine.config import SimulationConfig, ThresholdConfig
 from repro.engine.runspec import RunSpec
 from repro.experiments.common import Scale, get_scale
 
-KINDS = ("steady", "transient")
+KINDS = ("steady", "transient", "scenario")
 
 #: Axes with run-level (not SimulationConfig) meaning.
 RUN_AXES = ("routing", "pattern", "load", "transition")
@@ -58,6 +59,7 @@ RUN_AXES = ("routing", "pattern", "load", "transition")
 _KNOWN_KEYS = {
     "name", "description", "kind", "scale", "config", "combination",
     "seeds", "replications", "windows", "backend", "max_windows", "post",
+    "scenario",
 }
 _WINDOW_KEYS = {"warmup", "measure", "transient_warmup", "transient_post"}
 
@@ -223,6 +225,7 @@ class CampaignSpec:
     transient_post: int = 2_500
     backend: str | None = None  # None = the process default backend
     max_windows: int | None = None  # windowed convergence (steady only)
+    scenario: ScenarioSpec | None = None  # cluster scenario (scenario kind)
     post: tuple[str, ...] = ()
 
     # ------------------------------------------------------------------
@@ -260,8 +263,14 @@ class CampaignSpec:
             raise CampaignError(
                 "'seed' cannot be a combination axis; use 'seeds:' or 'replications:'"
             )
-        required = (("routing", "transition") if kind == "transient"
-                    else ("routing", "pattern", "load"))
+        required = {
+            "transient": ("routing", "transition"),
+            # A scenario campaign's traffic comes from its ScenarioSpec;
+            # the grid varies routing (and config fields), never the
+            # workload itself — identical churn under every routing.
+            "scenario": ("routing",),
+            "steady": ("routing", "pattern", "load"),
+        }[kind]
         for axis in required:
             if axis not in combination:
                 raise CampaignError(f"{kind} campaigns need a {axis!r} axis in 'combination'")
@@ -273,8 +282,15 @@ class CampaignSpec:
                     f"unknown combination axis {axis!r}: not one of {RUN_AXES} "
                     "and not a SimulationConfig field"
                 )
-        if kind == "steady" and "transition" in combination:
+        if kind != "transient" and "transition" in combination:
             raise CampaignError("'transition' is a transient-campaign axis")
+        if kind == "scenario":
+            for axis in ("pattern", "load"):
+                if axis in combination:
+                    raise CampaignError(
+                        f"{axis!r} is not a scenario-campaign axis: the "
+                        "traffic comes from the 'scenario' job mix"
+                    )
         if kind == "transient":
             for t in combination["transition"]:
                 if not isinstance(t, dict) or set(t) != {"before", "after", "load"}:
@@ -325,6 +341,26 @@ class CampaignSpec:
         if not isinstance(windows, dict) or not set(windows) <= _WINDOW_KEYS:
             raise CampaignError(f"'windows' keys must be among {sorted(_WINDOW_KEYS)}")
 
+        scenario_data = data.get("scenario")
+        scenario = None
+        if kind == "scenario":
+            if not isinstance(scenario_data, dict):
+                raise CampaignError(
+                    "scenario campaigns need a 'scenario' mapping "
+                    "(ScenarioSpec JSON form)"
+                )
+            if windows:
+                raise CampaignError(
+                    "scenario campaigns run the scenario horizon; "
+                    "'windows' does not apply"
+                )
+            try:
+                scenario = ScenarioSpec.from_jsonable(scenario_data)
+            except (ValueError, TypeError, KeyError) as exc:
+                raise CampaignError(f"bad 'scenario' section: {exc}") from None
+        elif scenario_data is not None:
+            raise CampaignError("'scenario' applies to scenario campaigns only")
+
         if max_windows is not None:
             if kind != "steady":
                 raise CampaignError(
@@ -366,6 +402,7 @@ class CampaignSpec:
             transient_post=windows.get("transient_post", scale_obj.transient_post),
             backend=backend,
             max_windows=max_windows,
+            scenario=scenario,
             post=tuple(post),
         )
 
@@ -427,6 +464,22 @@ class CampaignSpec:
                             warmup=self.transient_warmup,
                             post=self.transient_post,
                             bucket=max(10, self.transient_post // 100),
+                        ),
+                    ))
+                elif self.kind == "scenario":
+                    # The ScenarioSpec is shared by every point — same
+                    # arrivals, same schedule, same faults — while the
+                    # config (routing, seed, ...) varies, so the grid
+                    # compares routings under *identical* churn.
+                    coords = tuple(
+                        (k, named[k]) for k in names
+                    ) + (("seed", seed),)
+                    points.append(CampaignPoint(
+                        coords=coords,
+                        replication=replication,
+                        spec=RunSpec.for_scenario(
+                            config, self.scenario,
+                            backend=self.backend or default_backend(),
                         ),
                     ))
                 else:

@@ -14,6 +14,10 @@ Commands
 - ``offsets``   — Fig. 2-style ADV offset study (simulated + analytic);
 - ``figure``    — regenerate a paper figure by name (fig2..fig9, ablations,
   congestion, mapping);
+- ``scenario``  — cluster scenarios (``repro.cluster``): ``schedule``
+  compiles a churn scenario's job timeline without the network,
+  ``run`` executes it and reports per-job outcomes and fault blast
+  radii;
 - ``campaign``  — declarative campaign files (``repro.campaign``):
   ``validate`` / ``expand`` / ``run`` a YAML/JSON study with config
   inheritance, cartesian grids, seed replication and post emitters;
@@ -366,6 +370,100 @@ def cmd_campaign_validate(args) -> None:
     print(f"points     : {len(points)}")
 
 
+# ----------------------------------------------------------------------
+# Cluster scenarios (repro.cluster)
+# ----------------------------------------------------------------------
+
+def _load_scenario_or_exit(path: str):
+    import json as _json
+    from pathlib import Path
+
+    from repro.cluster.spec import ScenarioSpec
+
+    p = Path(path)
+    if not p.is_file():
+        raise SystemExit(f"scenario error: file not found: {path}")
+    text = p.read_text()
+    try:
+        if p.suffix in (".yaml", ".yml"):
+            import yaml
+
+            data = yaml.safe_load(text)
+        else:
+            data = _json.loads(text)
+        return ScenarioSpec.from_jsonable(data)
+    except (ValueError, TypeError, KeyError) as exc:
+        raise SystemExit(f"scenario error: {exc}") from None
+
+
+def cmd_scenario_schedule(args) -> None:
+    """Compile the scenario (no network simulation) and print the plan."""
+    from repro.cluster.schedule import compile_scenario
+
+    scenario = _load_scenario_or_exit(args.file)
+    topo = Dragonfly(args.h)
+    compiled = compile_scenario(scenario, topo)
+    table = Table(
+        f"{scenario.scheduler} schedule on h={args.h} "
+        f"({topo.num_nodes} nodes, horizon {scenario.horizon})"
+    )
+    for j in compiled.jobs:
+        table.add(
+            job=j.name, size=j.size, pattern=j.pattern, load=j.load,
+            arrival=j.arrival,
+            start="-" if j.start is None else j.start,
+            finish="-" if j.finish is None else j.finish,
+            wait="-" if j.wait is None else j.wait,
+            slowdown="-" if j.slowdown is None else round(j.slowdown, 3),
+        )
+    print(table.to_text())
+    queued = sum(1 for j in compiled.jobs if j.start is None)
+    print(f"{len(compiled.jobs)} jobs ({queued} never started), "
+          f"makespan {compiled.makespan}, "
+          f"mean utilization {compiled.mean_utilization:.3f}")
+
+
+def cmd_scenario_run(args) -> None:
+    """Execute the scenario on the network and print per-job outcomes."""
+    from repro.cluster.runner import run_scenario_cached
+
+    scenario = _load_scenario_or_exit(args.file)
+    cfg = _config(args)
+    spec = RunSpec.for_scenario(cfg, scenario, backend=default_backend())
+    store = ResultStore(args.store) if args.store else None
+    result = run_scenario_cached(spec, store)
+    table = Table(f"{spec.label()} — per-job outcomes")
+    for row in result.jobs:
+        cells = {
+            "job": row.name, "size": row.size, "arrival": row.arrival,
+            "start": "-" if row.start is None else row.start,
+            "finish": "-" if row.finish is None else row.finish,
+            "wait": "-" if row.wait is None else row.wait,
+            "slowdown": "-" if row.slowdown is None else round(row.slowdown, 3),
+            "completed": "yes" if row.completed else "no",
+        }
+        if row.point is not None:
+            cells["thr"] = round(row.point.throughput, 4)
+            cells["avg_lat"] = round(row.point.avg_latency, 1)
+        table.add_row(cells)
+    print(table.to_text())
+    if result.blast:
+        blast = Table("fault blast radius (per concurrent job)")
+        for b in result.blast:
+            blast.add(
+                cycle=b.cycle, router=b.router, port=b.port, job=b.job,
+                before="-" if b.before != b.before else round(b.before, 1),
+                after="-" if b.after != b.after else round(b.after, 1),
+                ratio="-" if b.ratio != b.ratio else round(b.ratio, 3),
+            )
+        print(blast.to_text())
+    print(f"makespan {result.makespan}, queued {result.queued}, "
+          f"mean utilization {result.mean_utilization:.3f}, "
+          f"fairness {result.fairness:.3f}, "
+          f"network thr {result.total.throughput:.4f} "
+          f"avg lat {result.total.avg_latency:.1f}")
+
+
 def cmd_snapshot_capture(args) -> None:
     from repro.engine.runner import build_steady_sim
     from repro.snapshot import Snapshot
@@ -454,9 +552,9 @@ def cmd_snapshot_bisect(args) -> None:
 # ----------------------------------------------------------------------
 
 def _fabric_campaign_specs(args):
-    """The campaign plus its expanded RunSpec grid (steady only)."""
+    """The campaign plus its expanded RunSpec grid (steady/scenario)."""
     campaign = _load_campaign_or_exit(args)
-    if campaign.kind != "steady":
+    if campaign.kind == "transient":
         raise SystemExit(
             "fabric error: transient campaigns have no store "
             "representation to coordinate through"
@@ -726,6 +824,38 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--check-every", type=int, default=1,
                    help="digest every N cycles (default 1)")
     q.set_defaults(func=cmd_snapshot_bisect)
+
+    p = sub.add_parser(
+        "scenario",
+        help="cluster scenarios: schedule / run a churn+fault scenario",
+        description="Cluster scenarios (repro.cluster): a YAML/JSON "
+                    "ScenarioSpec describes job arrivals, a weighted job "
+                    "mix, a scheduler (fcfs/easy), a placement policy and "
+                    "a link fault/repair schedule; 'schedule' compiles the "
+                    "job timeline without touching the network, 'run' "
+                    "executes it and reports per-job outcomes and fault "
+                    "blast radii.",
+    )
+    scen_sub = p.add_subparsers(dest="scenario_action", required=True)
+
+    q = scen_sub.add_parser(
+        "schedule", help="compile the job timeline (no network simulation)")
+    q.add_argument("file", help="ScenarioSpec YAML/JSON file")
+    q.add_argument("--h", type=int, default=2, help="dragonfly h (default 2)")
+    q.set_defaults(func=cmd_scenario_schedule)
+
+    q = scen_sub.add_parser(
+        "run", help="execute the scenario on the network")
+    q.add_argument("file", help="ScenarioSpec YAML/JSON file")
+    q.add_argument("--h", type=int, default=2, help="dragonfly h (default 2)")
+    q.add_argument("--paper", action="store_true",
+                   help="use the paper's full h=6 configuration")
+    q.add_argument("--seed", type=int, default=1)
+    q.add_argument("--routing", default="ofar",
+                   choices=["min", "val", "ugal", "pb", "par", "ofar", "ofar-l"])
+    q.add_argument("--store", default=None, metavar="DIR",
+                   help="cache the full ScenarioResult in this result store")
+    q.set_defaults(func=cmd_scenario_run)
 
     p = sub.add_parser(
         "campaign",

@@ -1,0 +1,367 @@
+"""Cluster scenario descriptions: arrivals, job mixes, faults, a scheduler.
+
+A *scenario* describes a production cluster's life over a horizon of
+cycles: jobs arrive by a seeded stochastic (or trace-derived) process,
+draw their size/duration/pattern/load from a weighted mix, wait in a
+scheduler queue when the machine is full, and links fail and get
+repaired on a schedule — all deterministically derived from the spec,
+so the same fingerprint always means the same cluster history.
+
+Like :class:`~repro.workloads.spec.WorkloadSpec`, everything here is
+pure data with a lossless JSON round-trip and participates in the
+:class:`~repro.engine.runspec.RunSpec` content fingerprint.  Nothing in
+this module imports the engine — the scheduling/compilation logic lives
+in :mod:`repro.cluster.schedule` and the execution in
+:mod:`repro.cluster.runner`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.workloads.spec import PLACEMENTS
+
+#: Arrival processes a scenario may use.
+ARRIVALS = (
+    "poisson",  # open arrivals: exponential interarrival gaps at `rate`
+    "closed",  # closed population: `jobs` slots, re-arrival after think time
+    "trace",  # explicit interarrival gaps (trace-derived)
+)
+
+#: Built-in scheduler names (see repro.cluster.schedule.SCHEDULERS for
+#: the pluggable registry behind them).
+SCHEDULER_KINDS = ("fcfs", "easy")
+
+#: Fault event actions.
+FAULT_ACTIONS = ("fail", "restore")
+
+
+def _weighted(name: str, raw) -> tuple[tuple, ...]:
+    """Normalize a weighted-choice table to a tuple of (value, weight)."""
+    out = tuple((v, float(w)) for v, w in raw)
+    if not out:
+        raise ValueError(f"{name} must have at least one entry")
+    for v, w in out:
+        if w <= 0:
+            raise ValueError(f"{name}: weight for {v!r} must be > 0")
+    return out
+
+
+@dataclass(frozen=True)
+class JobMix:
+    """Weighted distributions a scenario draws each job's shape from.
+
+    Each table is ``((value, weight), ...)``; draws use the scenario's
+    seeded RNG, so the mix realization is part of the fingerprint's
+    meaning, not an execution detail.
+    """
+
+    sizes: tuple[tuple[int, float], ...] = ((4, 1.0),)
+    durations: tuple[tuple[int, float], ...] = ((2_000, 1.0),)
+    patterns: tuple[tuple[str, float], ...] = (("UN", 1.0),)
+    loads: tuple[tuple[float, float], ...] = ((0.2, 1.0),)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "sizes",
+            tuple((int(v), w) for v, w in _weighted("sizes", self.sizes)),
+        )
+        object.__setattr__(
+            self, "durations",
+            tuple((int(v), w) for v, w in _weighted("durations", self.durations)),
+        )
+        object.__setattr__(
+            self, "patterns",
+            tuple((str(v), w) for v, w in _weighted("patterns", self.patterns)),
+        )
+        object.__setattr__(
+            self, "loads",
+            tuple((float(v), w) for v, w in _weighted("loads", self.loads)),
+        )
+        for size, _ in self.sizes:
+            if size < 1:
+                raise ValueError(f"job size must be >= 1, got {size}")
+        for dur, _ in self.durations:
+            if dur < 1:
+                raise ValueError(f"job duration must be >= 1, got {dur}")
+        for load, _ in self.loads:
+            if not 0.0 <= load <= 1.0:
+                raise ValueError(f"job load must be in [0, 1], got {load}")
+
+    def to_jsonable(self) -> dict:
+        return {
+            "sizes": [list(e) for e in self.sizes],
+            "durations": [list(e) for e in self.durations],
+            "patterns": [list(e) for e in self.patterns],
+            "loads": [list(e) for e in self.loads],
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "JobMix":
+        if not isinstance(data, dict):
+            raise ValueError("JobMix JSON must be an object")
+        unknown = set(data) - {"sizes", "durations", "patterns", "loads"}
+        if unknown:
+            raise ValueError(f"unknown JobMix keys: {sorted(unknown)}")
+        kwargs = {}
+        for key in ("sizes", "durations", "patterns", "loads"):
+            if key in data:
+                kwargs[key] = tuple(tuple(e) for e in data[key])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """How jobs enter the scenario.
+
+    - ``poisson``: up to ``jobs`` arrivals with exponential interarrival
+      gaps at ``rate`` jobs/cycle (an open system).
+    - ``closed``: a fixed population of ``jobs`` slots; each slot thinks
+      for an exponential time at ``rate`` then submits, resubmitting
+      after its job finishes (a closed system: load self-regulates).
+    - ``trace``: explicit ``interarrivals`` gaps in cycles, e.g. derived
+      from a recorded submission log.
+    """
+
+    kind: str = "poisson"
+    rate: float = 0.001
+    jobs: int = 8
+    interarrivals: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVALS:
+            raise ValueError(
+                f"arrival kind must be one of {ARRIVALS}, got {self.kind!r}"
+            )
+        if self.interarrivals is not None and not isinstance(self.interarrivals, tuple):
+            object.__setattr__(self, "interarrivals", tuple(self.interarrivals))
+        if (self.kind == "trace") != (self.interarrivals is not None):
+            raise ValueError("interarrivals are required iff kind='trace'")
+        if self.kind == "trace":
+            if not self.interarrivals:
+                raise ValueError("trace arrivals need at least one gap")
+            for gap in self.interarrivals:
+                if gap < 0:
+                    raise ValueError(f"interarrival gap must be >= 0, got {gap}")
+        else:
+            if self.rate <= 0:
+                raise ValueError(f"arrival rate must be > 0, got {self.rate}")
+            if self.jobs < 1:
+                raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+    def to_jsonable(self) -> dict:
+        out = {"kind": self.kind, "rate": self.rate, "jobs": self.jobs}
+        if self.interarrivals is not None:
+            out["interarrivals"] = list(self.interarrivals)
+        return out
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "ArrivalSpec":
+        if not isinstance(data, dict):
+            raise ValueError("ArrivalSpec JSON must be an object")
+        unknown = set(data) - {"kind", "rate", "jobs", "interarrivals"}
+        if unknown:
+            raise ValueError(f"unknown ArrivalSpec keys: {sorted(unknown)}")
+        inter = data.get("interarrivals")
+        return cls(
+            kind=data.get("kind", "poisson"),
+            rate=data.get("rate", 0.001),
+            jobs=data.get("jobs", 8),
+            interarrivals=tuple(inter) if inter is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed link event: fail or restore ``(router, port)`` at ``cycle``."""
+
+    cycle: int
+    action: str
+    router: int
+    port: int
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ValueError(f"fault cycle must be >= 0, got {self.cycle}")
+        if self.action not in FAULT_ACTIONS:
+            raise ValueError(
+                f"fault action must be one of {FAULT_ACTIONS}, got {self.action!r}"
+            )
+        if self.router < 0 or self.port < 0:
+            raise ValueError("fault router and port must be >= 0")
+
+    def to_jsonable(self) -> dict:
+        return {
+            "cycle": self.cycle,
+            "action": self.action,
+            "router": self.router,
+            "port": self.port,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "FaultEvent":
+        if not isinstance(data, dict):
+            raise ValueError("FaultEvent JSON must be an object")
+        unknown = set(data) - {"cycle", "action", "router", "port"}
+        if unknown:
+            raise ValueError(f"unknown FaultEvent keys: {sorted(unknown)}")
+        return cls(
+            cycle=data["cycle"],
+            action=data["action"],
+            router=data["router"],
+            port=data["port"],
+        )
+
+
+@dataclass(frozen=True)
+class FaultScheduleSpec:
+    """Timed fault events plus an optional seeded random failure process.
+
+    The random process draws exponential gaps at ``rate`` failures/cycle
+    from ``Random(seed)``, fails a uniformly chosen router link (never a
+    terminal port), and — when ``repair`` is set — restores it after
+    ``repair`` cycles.  At most ``count`` random failures are injected.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    rate: float = 0.0
+    count: int = 0
+    repair: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.events, tuple):
+            object.__setattr__(self, "events", tuple(self.events))
+        if self.rate < 0:
+            raise ValueError(f"fault rate must be >= 0, got {self.rate}")
+        if self.count < 0:
+            raise ValueError(f"fault count must be >= 0, got {self.count}")
+        if self.count > 0 and self.rate <= 0:
+            raise ValueError("random faults (count > 0) need rate > 0")
+        if self.repair is not None and self.repair < 1:
+            raise ValueError(f"repair time must be >= 1, got {self.repair}")
+
+    def to_jsonable(self) -> dict:
+        return {
+            "events": [e.to_jsonable() for e in self.events],
+            "rate": self.rate,
+            "count": self.count,
+            "repair": self.repair,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "FaultScheduleSpec":
+        if not isinstance(data, dict):
+            raise ValueError("FaultScheduleSpec JSON must be an object")
+        unknown = set(data) - {"events", "rate", "count", "repair", "seed"}
+        if unknown:
+            raise ValueError(f"unknown FaultScheduleSpec keys: {sorted(unknown)}")
+        return cls(
+            events=tuple(
+                FaultEvent.from_jsonable(e) for e in data.get("events", [])
+            ),
+            rate=data.get("rate", 0.0),
+            count=data.get("count", 0),
+            repair=data.get("repair"),
+            seed=data.get("seed", 0),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One cluster scenario: arrivals, mix, scheduler, faults, horizon.
+
+    ``seed`` drives the arrival process and the mix draws; ``placement``
+    and ``placement_seed`` feed the incremental placement the scheduler
+    performs (the same policies as :mod:`repro.workloads.placement`).
+    ``blast_window`` is the half-width, in cycles, of the before/after
+    window the runner samples around each link failure to measure its
+    blast radius on concurrently running jobs.
+    """
+
+    arrivals: ArrivalSpec = field(default_factory=ArrivalSpec)
+    mix: JobMix = field(default_factory=JobMix)
+    scheduler: str = "fcfs"
+    placement: str = "contiguous"
+    placement_seed: int = 0
+    faults: FaultScheduleSpec = field(default_factory=FaultScheduleSpec)
+    horizon: int = 20_000
+    seed: int = 0
+    blast_window: int = 500
+
+    def __post_init__(self) -> None:
+        # Registered schedulers may extend SCHEDULER_KINDS at runtime;
+        # validate lazily against the registry to stay pluggable.
+        from repro.cluster.schedule import SCHEDULERS
+
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"scheduler must be one of {sorted(SCHEDULERS)}, "
+                f"got {self.scheduler!r}"
+            )
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {PLACEMENTS}, got {self.placement!r}"
+            )
+        if self.horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {self.horizon}")
+        if self.blast_window < 1:
+            raise ValueError(
+                f"blast_window must be >= 1, got {self.blast_window}"
+            )
+
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> dict:
+        return {
+            "arrivals": self.arrivals.to_jsonable(),
+            "mix": self.mix.to_jsonable(),
+            "scheduler": self.scheduler,
+            "placement": self.placement,
+            "placement_seed": self.placement_seed,
+            "faults": self.faults.to_jsonable(),
+            "horizon": self.horizon,
+            "seed": self.seed,
+            "blast_window": self.blast_window,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "ScenarioSpec":
+        if not isinstance(data, dict):
+            raise ValueError("ScenarioSpec JSON must be an object")
+        known = {
+            "arrivals", "mix", "scheduler", "placement", "placement_seed",
+            "faults", "horizon", "seed", "blast_window",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown ScenarioSpec keys: {sorted(unknown)}")
+        return cls(
+            arrivals=ArrivalSpec.from_jsonable(data.get("arrivals", {})),
+            mix=JobMix.from_jsonable(data.get("mix", {})),
+            scheduler=data.get("scheduler", "fcfs"),
+            placement=data.get("placement", "contiguous"),
+            placement_seed=data.get("placement_seed", 0),
+            faults=FaultScheduleSpec.from_jsonable(data.get("faults", {})),
+            horizon=data.get("horizon", 20_000),
+            seed=data.get("seed", 0),
+            blast_window=data.get("blast_window", 500),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_jsonable(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_jsonable(json.loads(text))
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the scenario alone (the RunSpec's
+        fingerprint covers this via its own JSON form)."""
+        blob = json.dumps(
+            self.to_jsonable(), sort_keys=True, separators=(",", ":"),
+            allow_nan=False,
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()

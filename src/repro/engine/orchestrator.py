@@ -118,6 +118,29 @@ def _execute_spec_telemetry(
     the main store as usual).
     """
     cfg = spec.telemetry if spec.telemetry is not None else telemetry
+    if spec.scenario is not None:
+        from repro.cluster.runner import (
+            run_scenario,
+            run_scenario_with_telemetry,
+        )
+
+        if cfg is None:
+            result, series = run_scenario(spec), None
+        else:
+            result, series = run_scenario_with_telemetry(spec, cfg)
+        if store_root is not None:
+            from repro.analysis.store import ResultStore
+            from repro.cluster.runner import SIDECAR_KIND
+
+            ResultStore(store_root).put_sidecar(
+                SIDECAR_KIND, spec, result.to_jsonable()
+            )
+        if telemetry_dir is not None and series is not None:
+            from repro.telemetry.export import write_jsonl
+
+            fp = spec.fingerprint()
+            write_jsonl(series, Path(telemetry_dir) / fp[:2] / f"{fp}.jsonl")
+        return result.total
     if spec.workload is not None:
         from repro.workloads.runner import run_workload, run_workload_with_telemetry
 
@@ -152,7 +175,7 @@ def _execute_spec_telemetry(
 
 def _execute_spec_checkpointed(
     store_root: str, snapshot_every: int, telemetry_dir: str | None,
-    telemetry, spec: RunSpec,
+    telemetry, spec: RunSpec, should_stop=None,
 ) -> LoadPoint:
     """Default worker with mid-run checkpointing (``snapshot_every``).
 
@@ -161,14 +184,18 @@ def _execute_spec_checkpointed(
     store every N cycles, and a worker that re-attempts the point (after
     a crash, a SIGKILL, or an orchestrator retry) resumes from the last
     checkpoint instead of cycle 0 — with a bit-identical final result
-    either way.  Same telemetry and workload-sidecar behavior as
-    :func:`_execute_spec_telemetry`.
+    either way.  Same telemetry and workload/scenario-sidecar behavior
+    as :func:`_execute_spec_telemetry`.  ``should_stop`` is the graceful
+    preemption hook (see the fabric worker's SIGTERM handling): polled
+    at segment boundaries, it checkpoints and raises
+    :class:`~repro.snapshot.checkpoint.Preempted` instead of finishing.
     """
     from repro.snapshot.checkpoint import run_spec_checkpointed
 
     return run_spec_checkpointed(
         spec, store_root, snapshot_every,
         telemetry=telemetry, telemetry_dir=telemetry_dir,
+        should_stop=should_stop,
     )
 
 

@@ -112,6 +112,10 @@ def run_spec(spec: RunSpec) -> LoadPoint:
     windowed-convergence protocol (:func:`_measure_windows`) instead of
     one fixed window.
     """
+    if spec.scenario is not None:
+        from repro.cluster.runner import run_scenario
+
+        return run_scenario(spec).total
     if spec.workload is not None:
         from repro.workloads.runner import run_workload
 
@@ -142,6 +146,11 @@ def run_spec_with_telemetry(
     cfg = telemetry if telemetry is not None else spec.telemetry
     if cfg is None:
         return run_spec(spec), None
+    if spec.scenario is not None:
+        from repro.cluster.runner import run_scenario_with_telemetry
+
+        result, series = run_scenario_with_telemetry(spec, cfg)
+        return result.total, series
     if spec.workload is not None:
         from repro.workloads.runner import run_workload_with_telemetry
 

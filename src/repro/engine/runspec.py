@@ -30,6 +30,7 @@ import hashlib
 import json
 from dataclasses import dataclass
 
+from repro.cluster.spec import ScenarioSpec
 from repro.engine.config import SimulationConfig
 from repro.telemetry.config import TelemetryConfig
 from repro.workloads.spec import WorkloadSpec
@@ -67,6 +68,12 @@ class RunSpec:
     # ``workload`` it IS identity: fingerprinted when set, the key
     # omitted when None so fixed-window fingerprints are unchanged.
     max_windows: int | None = None
+    # Cluster scenario (repro.cluster): churn + faults + scheduling over
+    # the horizon.  Like ``workload`` this IS identity — the arrival
+    # process, mix, scheduler and fault schedule determine every number
+    # — and like it the key is omitted when None so every pre-existing
+    # fingerprint is unchanged.
+    scenario: ScenarioSpec | None = None
     # Engine backend selection, NOT identity: every registered backend
     # is proven bit-for-bit identical to the reference object engine
     # (tests/test_array_backend.py, determinism_fingerprint --backend),
@@ -101,6 +108,45 @@ class RunSpec:
                     "workload specs must use pattern_spec='workload' and "
                     "load=0.0 (use RunSpec.for_workload)"
                 )
+        if self.scenario is not None:
+            # Same canonical-sentinel rule as workload, plus the windows
+            # are pinned to the scenario's own horizon: one scenario,
+            # one fingerprint.
+            if self.workload is not None:
+                raise ValueError(
+                    "a spec carries a workload or a scenario, never both "
+                    "(the scenario compiles to its own workload)"
+                )
+            if self.max_windows is not None:
+                raise ValueError(
+                    "scenarios run a fixed horizon; max_windows does not "
+                    "apply"
+                )
+            if (
+                self.pattern_spec != "scenario"
+                or self.load != 0.0
+                or self.warmup != 0
+                or self.measure != self.scenario.horizon
+            ):
+                raise ValueError(
+                    "scenario specs must use pattern_spec='scenario', "
+                    "load=0.0, warmup=0 and measure == scenario.horizon "
+                    "(use RunSpec.for_scenario)"
+                )
+
+    @classmethod
+    def for_scenario(
+        cls,
+        config: SimulationConfig,
+        scenario: ScenarioSpec,
+        telemetry: TelemetryConfig | None = None,
+        backend: str = "object",
+    ) -> "RunSpec":
+        """Canonical constructor for cluster-scenario specs."""
+        return cls(
+            config, "scenario", 0.0, 0, scenario.horizon, telemetry,
+            scenario=scenario, backend=backend,
+        )
 
     @classmethod
     def for_workload(
@@ -121,6 +167,11 @@ class RunSpec:
     # ------------------------------------------------------------------
     def label(self) -> str:
         """Short human-readable tag for logs and progress lines."""
+        if self.scenario is not None:
+            return (
+                f"{self.config.routing}/scenario[{self.scenario.scheduler},"
+                f"{self.scenario.horizon}cyc] (h={self.config.h})"
+            )
         if self.workload is not None:
             return (
                 f"{self.config.routing}/workload[{len(self.workload.jobs)} jobs]"
@@ -146,6 +197,8 @@ class RunSpec:
             out["workload"] = self.workload.to_jsonable()
         if self.max_windows is not None:
             out["max_windows"] = self.max_windows
+        if self.scenario is not None:
+            out["scenario"] = self.scenario.to_jsonable()
         return out
 
     @classmethod
@@ -154,12 +207,13 @@ class RunSpec:
             raise ValueError("RunSpec JSON must be an object")
         known = {
             "config", "pattern_spec", "load", "warmup", "measure",
-            "workload", "max_windows",
+            "workload", "max_windows", "scenario",
         }
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown RunSpec keys: {sorted(unknown)}")
         workload = data.get("workload")
+        scenario = data.get("scenario")
         return cls(
             config=SimulationConfig.from_json(json.dumps(data["config"])),
             pattern_spec=data["pattern_spec"],
@@ -170,6 +224,9 @@ class RunSpec:
             if workload is not None
             else None,
             max_windows=data.get("max_windows"),
+            scenario=ScenarioSpec.from_jsonable(scenario)
+            if scenario is not None
+            else None,
         )
 
     def to_json(self) -> str:

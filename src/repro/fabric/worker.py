@@ -26,6 +26,7 @@ the *whole fleet*, the live worker count, and the fleet-rate ETA.
 from __future__ import annotations
 
 import functools
+import signal
 import threading
 import time
 import traceback
@@ -43,6 +44,7 @@ from repro.engine.orchestrator import (
 from repro.engine.runspec import RunSpec
 from repro.engine.tracing import ProgressObserver, SweepProgress
 from repro.fabric.lease import FAILURE_KIND, Lease
+from repro.snapshot.checkpoint import Preempted
 from repro.fabric.queue import (
     Claim,
     QueueStatus,
@@ -157,12 +159,21 @@ class FabricWorker:
         if telemetry_dir is None:
             telemetry_dir = self.store.root / "telemetry"
         tdir = str(telemetry_dir)
+        # Graceful (spot-style) preemption: SIGTERM sets this event; a
+        # checkpointed in-flight point saves its state and releases its
+        # lease immediately instead of waiting for lease expiry.
+        self.preempted = threading.Event()
         if execute is not None:
             self._execute = execute
         elif snapshot_every is not None:
-            self._execute = functools.partial(
+            checkpointed = functools.partial(
                 _execute_spec_checkpointed,
                 str(self.store.root), snapshot_every, tdir, telemetry,
+            )
+            # Executed in-process (never pickled), so closing over the
+            # event is fine where a partial would be needed for workers.
+            self._execute = lambda spec: checkpointed(
+                spec, should_stop=self.preempted.is_set
             )
         else:
             self._execute = functools.partial(
@@ -171,6 +182,7 @@ class FabricWorker:
         self.executed = 0
         self.failed = 0
         self.reclaimed = 0
+        self.released = 0  # points handed back on preemption
         self.completed: set[str] = set()
         self._started = time.monotonic()
         self._hb_interval = max(0.05, queue.lease_ttl / 3.0)
@@ -181,11 +193,25 @@ class FabricWorker:
 
     # ------------------------------------------------------------------
     def run(self) -> FabricSummary:
-        """Drain until the queue is done (or ``max_points`` resolved)."""
+        """Drain until the queue is done (or ``max_points`` resolved).
+
+        Installs a SIGTERM handler for the duration of the drain (main
+        thread only; restored on exit): SIGTERM requests graceful
+        preemption — the in-flight checkpointed point saves its state
+        and releases its lease, and the worker stops claiming.  Without
+        ``snapshot_every`` the current point runs to completion first.
+        """
         self._started = time.monotonic()
         self._touch_stats()
+        previous_handler = None
         try:
-            while True:
+            previous_handler = signal.signal(
+                signal.SIGTERM, lambda signum, frame: self.preempted.set()
+            )
+        except ValueError:
+            pass  # not the main thread: preemption via self.preempted only
+        try:
+            while not self.preempted.is_set():
                 if (
                     self.max_points is not None
                     and self.executed + self.failed >= self.max_points
@@ -204,6 +230,8 @@ class FabricWorker:
                     self.reclaimed += 1
                 self._run_claim(claim)
         finally:
+            if previous_handler is not None:
+                signal.signal(signal.SIGTERM, previous_handler)
             self._touch_stats(active=False)
         return FabricSummary(
             worker=self.worker_id,
@@ -225,6 +253,15 @@ class FabricWorker:
             t0 = time.monotonic()
             try:
                 point = self._execute(spec)
+            except Preempted:
+                # Graceful preemption: the point checkpointed itself;
+                # hand the lease back *now* (attempt count untouched) so
+                # a peer resumes immediately instead of after TTL.
+                heartbeat.stop()
+                self.queue.leases.release(heartbeat.lease)
+                self.released += 1
+                self._touch_stats()
+                return
             except Exception:
                 heartbeat.stop()
                 wall = time.monotonic() - t0

@@ -36,6 +36,18 @@ if TYPE_CHECKING:  # pragma: no cover
 CHECKPOINT_KIND = "snapshots"
 
 
+class Preempted(Exception):
+    """Raised by :func:`run_spec_checkpointed` when its ``should_stop``
+    callback fires: the in-flight point was checkpointed at the current
+    cycle and can resume bit-identically — the run was preempted, not
+    failed.  Carries the spec fingerprint and the checkpoint cycle."""
+
+    def __init__(self, fingerprint: str, cycle: int) -> None:
+        super().__init__(f"preempted at cycle {cycle} ({fingerprint[:12]})")
+        self.fingerprint = fingerprint
+        self.cycle = cycle
+
+
 def checkpoint_path(store_root: str | os.PathLike, fingerprint: str) -> Path:
     """``<store>/snapshots/<fp[:2]>/<fp>.json`` — the store's sharded
     layout, one slot per spec."""
@@ -91,22 +103,32 @@ def run_spec_checkpointed(
     snapshot_every: int,
     telemetry=None,
     telemetry_dir: str | os.PathLike | None = None,
+    should_stop=None,
 ) -> "LoadPoint":
     """Run one point with periodic checkpoints; resume if one exists.
 
     Checkpoints are taken at every multiple of ``snapshot_every``
     cycles.  The measurement-window bookkeeping (metrics reset, the
-    workload runner's attribution baseline, the telemetry sampler
-    attach) happens exactly once at the warm-up boundary and *travels
-    inside the checkpoint* (the baseline rides in the snapshot's
-    ``extras``, the sampler in its telemetry section), so a resume
-    lands mid-measurement with nothing replayed and nothing lost.
+    workload runner's attribution baseline, the scenario runner's
+    boundary state, the telemetry sampler attach) happens exactly once
+    at the warm-up boundary and *travels inside the checkpoint* (the
+    baseline/state rides in the snapshot's ``extras``, the sampler in
+    its telemetry section), so a resume lands mid-measurement with
+    nothing replayed and nothing lost.
 
     Workload specs additionally persist their full
     :class:`~repro.workloads.runner.WorkloadResult` as a store sidecar,
-    matching the orchestrator's default worker.  With a telemetry
-    config (``telemetry`` or ``spec.telemetry``) the series is written
-    to ``<telemetry_dir>/<fp[:2]>/<fp>.jsonl``, as usual.
+    matching the orchestrator's default worker; scenario specs persist
+    their :class:`~repro.cluster.runner.ScenarioResult` the same way.
+    With a telemetry config (``telemetry`` or ``spec.telemetry``) the
+    series is written to ``<telemetry_dir>/<fp[:2]>/<fp>.jsonl``, as
+    usual.
+
+    ``should_stop`` is the graceful-preemption hook (SIGTERM in the
+    fabric worker): a zero-arg callable polled at every segment
+    boundary.  When it returns true, the current state is checkpointed
+    unconditionally and :class:`Preempted` is raised — the point can
+    resume later, on any host, bit-identically.
     """
     if snapshot_every < 1:
         raise ValueError("snapshot_every must be >= 1")
@@ -119,12 +141,19 @@ def run_spec_checkpointed(
     from repro.engine.runner import _build_steady_sim
 
     workload = spec.workload is not None
-    if workload:
+    scenario = spec.scenario is not None
+    if scenario:
+        from repro.cluster.runner import build_scenario_sim, scenario_plan
+
+        def _build(s):
+            return build_scenario_sim(s)[0]
+    elif workload:
         from repro.workloads.runner import build_workload_sim as _build
     else:
         _build = _build_steady_sim
 
     sim = _build(spec)
+    plan = scenario_plan(spec.scenario, sim.network.topo) if scenario else None
     extras: Optional[dict] = None
     snap = load_checkpoint(store_root, spec)
     if snap is not None:
@@ -140,7 +169,11 @@ def run_spec_checkpointed(
             # "measuring" marker rides in every later checkpoint.
             sim.metrics.reset(sim.cycle)
             extras = {"measuring": True}
-            if workload:
+            if scenario:
+                from repro.cluster.runner import fresh_state
+
+                extras["scenario"] = fresh_state()
+            elif workload:
                 from repro.workloads.runner import _job_phit_baseline
 
                 extras["baseline"] = _encode_baseline(_job_phit_baseline(sim.network))
@@ -150,15 +183,35 @@ def run_spec_checkpointed(
                 TelemetrySampler(sim, tcfg).attach()
         if sim.cycle >= total:
             break
+        if should_stop is not None and should_stop():
+            Snapshot.capture(sim, spec=spec, extras=extras).save(str(path))
+            raise Preempted(spec.fingerprint(), sim.cycle)
         stop = min(total, (sim.cycle // snapshot_every + 1) * snapshot_every)
         if sim.cycle < spec.warmup:
             stop = min(stop, spec.warmup)
-        sim.run(stop - sim.cycle)
+        if scenario:
+            from repro.cluster.runner import advance_scenario
+
+            advance_scenario(sim, plan, extras["scenario"], stop)
+        else:
+            sim.run(stop - sim.cycle)
         if sim.cycle < total and sim.cycle % snapshot_every == 0:
             Snapshot.capture(sim, spec=spec, extras=extras).save(str(path))
 
     series = sim.telemetry.finish() if sim.telemetry is not None else None
-    if workload:
+    if scenario:
+        from repro.analysis.store import ResultStore
+        from repro.cluster.runner import (
+            SIDECAR_KIND as SCENARIO_KIND,
+            summarize_scenario,
+        )
+        from repro.cluster.schedule import compile_scenario
+
+        compiled = compile_scenario(spec.scenario, sim.network.topo)
+        result = summarize_scenario(sim, compiled, plan, extras["scenario"])
+        ResultStore(store_root).put_sidecar(SCENARIO_KIND, spec, result.to_jsonable())
+        point = result.total
+    elif workload:
         from repro.workloads.runner import SIDECAR_KIND, _summarize
 
         result = _summarize(sim, _decode_baseline(extras["baseline"]))
@@ -179,6 +232,7 @@ def run_spec_checkpointed(
 
 __all__ = [
     "CHECKPOINT_KIND",
+    "Preempted",
     "checkpoint_path",
     "clear_checkpoint",
     "load_checkpoint",

@@ -27,6 +27,7 @@ from typing import Iterable
 
 from repro.topology.dragonfly import Dragonfly
 from repro.traffic.generators import BernoulliTraffic, BurstTraffic, TrafficGenerator
+from repro.traffic.trace import TraceEvent, TraceTraffic
 from repro.workloads.jobpatterns import make_job_pattern
 from repro.workloads.placement import place_jobs
 from repro.workloads.spec import JobSpec, WorkloadSpec
@@ -67,8 +68,13 @@ class PlacedJob:
 
     @property
     def offered_load(self) -> float:
-        """Offered load per job node (a burst pushes at full rate)."""
-        return self.spec.load if self.spec.traffic == "bernoulli" else 1.0
+        """Offered load per job node (a burst pushes at full rate; a
+        trace's nominal rate is computed from its event density)."""
+        if self.spec.traffic == "bernoulli":
+            return self.spec.load
+        if self.spec.traffic == "trace":
+            return getattr(self.generator, "nominal_load", 1.0)
+        return 1.0
 
 
 def build_job_generator(
@@ -81,6 +87,17 @@ def build_job_generator(
     """Rank-space generator for one job (shared with the equivalence
     tests, which need the exact same construction stand-alone)."""
     seed = job_seed(base_seed, spec.name)
+    if spec.traffic == "trace":
+        # Rank-space replay: events are (job-local cycle, src rank, dst
+        # rank); CompositeTraffic maps ranks to placed nodes, so a trace
+        # recorded once replays wherever the scheduler lands the job.
+        events = [TraceEvent(c, s, d) for c, s, d in (spec.trace or ())]
+        gen = TraceTraffic(events)
+        span = (events[-1].cycle + 1) if events else 1
+        gen.nominal_load = (
+            len(events) * packet_size / (span * len(nodes)) if events else 0.0
+        )
+        return gen
     pattern = make_job_pattern(
         topo, random.Random(seed ^ 0x9E3779B9), spec.pattern, nodes
     )

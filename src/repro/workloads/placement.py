@@ -19,26 +19,39 @@ span the spectrum the interference experiments need:
 
 Jobs with an explicit ``node_list`` bypass the policy but still count
 against the free pool, so mixed explicit/placed workloads stay
-disjoint.  All policies are deterministic in (topology, workload):
-``random-nodes`` draws from ``random.Random(placement_seed)`` only.
+disjoint.  Two *pinned* jobs may share a node only when their lifetimes
+are disjoint in time (``[start, stop)`` intervals do not overlap) —
+that is how a compiled cluster scenario reuses nodes as jobs churn
+through the machine.  All policies are deterministic in (topology,
+workload): ``random-nodes`` draws from ``random.Random(placement_seed)``
+only.
 """
 
 from __future__ import annotations
 
+import math
 import random
 
 from repro.topology.dragonfly import Dragonfly
-from repro.workloads.spec import WorkloadSpec
+from repro.workloads.spec import JobSpec, WorkloadSpec
+
+
+def _lifetimes_overlap(a: JobSpec, b: JobSpec) -> bool:
+    a_stop = math.inf if a.stop is None else a.stop
+    b_stop = math.inf if b.stop is None else b.stop
+    return a.start < b_stop and b.start < a_stop
 
 
 def place_jobs(topo: Dragonfly, workload: WorkloadSpec) -> list[tuple[int, ...]]:
     """Node sets per job, in workload order (each sorted ascending).
 
     Raises :class:`ValueError` when the demand does not fit, an explicit
-    node is out of range, or two jobs claim the same node.
+    node is out of range, or two concurrently-live jobs claim the same
+    node.
     """
     num_nodes = topo.num_nodes
     used: set[int] = set()
+    claimants: dict[int, list[JobSpec]] = {}
     placed: list[tuple[int, ...] | None] = [None] * len(workload.jobs)
 
     # Explicit pins first: they constrain what the policy may hand out.
@@ -50,40 +63,74 @@ def place_jobs(topo: Dragonfly, workload: WorkloadSpec) -> list[tuple[int, ...]]
                 raise ValueError(
                     f"job {job.name!r}: node {node} out of range [0, {num_nodes})"
                 )
-            if node in used:
-                raise ValueError(
-                    f"job {job.name!r}: node {node} already claimed by another job"
-                )
+            for other in claimants.get(node, ()):
+                if _lifetimes_overlap(job, other):
+                    raise ValueError(
+                        f"job {job.name!r}: node {node} already claimed by "
+                        f"concurrent job {other.name!r}"
+                    )
+            claimants.setdefault(node, []).append(job)
             used.add(node)
         placed[i] = tuple(sorted(job.node_list))
 
-    demand = sum(job.size for job in workload.jobs)
+    # Capacity: policy-placed jobs each need their own nodes for the
+    # whole run; pinned jobs jointly occupy the union of their pins
+    # (time-sharing within it is already proven safe above).
+    demand = sum(j.size for j in workload.jobs if j.node_list is None)
+    demand += len(claimants)
     if demand > num_nodes:
         raise ValueError(
             f"workload demands {demand} nodes but the network has {num_nodes}"
         )
 
-    policy = workload.placement
     rng = random.Random(workload.placement_seed)
     for i, job in enumerate(workload.jobs):
         if placed[i] is not None:
             continue
-        if policy == "contiguous":
-            nodes = _take_lowest(num_nodes, used, job.size, job.name)
-        elif policy == "random-nodes":
-            free = [n for n in range(num_nodes) if n not in used]
-            if len(free) < job.size:
-                raise ValueError(_short(job.name, job.size, len(free)))
-            nodes = sorted(rng.sample(free, job.size))
-        elif policy == "round-robin-groups":
-            nodes = _deal_groups(topo, used, job.size, job.name)
-        elif policy == "group-exclusive":
-            nodes = _whole_groups(topo, used, job.size, job.name)
-        else:  # pragma: no cover - WorkloadSpec validates the policy name
-            raise ValueError(f"unknown placement policy {policy!r}")
-        used.update(nodes)
-        placed[i] = tuple(nodes)
+        nodes, _owned = place_one(
+            topo, workload.placement, used, job.size, job.name, rng
+        )
+        placed[i] = nodes
     return placed  # type: ignore[return-value]
+
+
+def place_one(
+    topo: Dragonfly,
+    policy: str,
+    used: set[int],
+    size: int,
+    name: str,
+    rng: random.Random,
+) -> tuple[tuple[int, ...], frozenset[int]]:
+    """Place one job of ``size`` nodes against the current free pool.
+
+    Returns ``(nodes, owned)``: the nodes the job occupies, and the full
+    set it reserves (``group-exclusive`` reserves whole groups; the two
+    sets are equal for every other policy).  ``owned`` is added to
+    ``used`` on success; a cluster scheduler frees exactly ``owned``
+    when the job departs.  Raises :class:`ValueError` when the job does
+    not fit — in that case nothing is mutated and no RNG draw is spent,
+    so "try, and queue on failure" is side-effect free.
+    """
+    num_nodes = topo.num_nodes
+    if policy == "contiguous":
+        nodes = _take_lowest(num_nodes, used, size, name)
+        owned = nodes
+    elif policy == "random-nodes":
+        free = [n for n in range(num_nodes) if n not in used]
+        if len(free) < size:
+            raise ValueError(_short(name, size, len(free)))
+        nodes = sorted(rng.sample(free, size))
+        owned = nodes
+    elif policy == "round-robin-groups":
+        nodes = _deal_groups(topo, used, size, name)
+        owned = nodes
+    elif policy == "group-exclusive":
+        nodes, owned = _whole_groups(topo, used, size, name)
+    else:  # pragma: no cover - WorkloadSpec validates the policy name
+        raise ValueError(f"unknown placement policy {policy!r}")
+    used.update(owned)
+    return tuple(nodes), frozenset(owned)
 
 
 def _short(name: str, want: int, have: int) -> str:
@@ -129,9 +176,14 @@ def _deal_groups(topo: Dragonfly, used: set[int], size: int, name: str) -> list[
     return sorted(nodes)
 
 
-def _whole_groups(topo: Dragonfly, used: set[int], size: int, name: str) -> list[int]:
-    """Whole free groups, lowest-numbered first; the job marks every
-    node of its groups as used so no other job can enter them."""
+def _whole_groups(
+    topo: Dragonfly, used: set[int], size: int, name: str
+) -> tuple[list[int], list[int]]:
+    """Whole free groups, lowest-numbered first.
+
+    Returns ``(occupied, owned)``: the job occupies the first ``size``
+    nodes of its groups but *owns* every node of them, so no other job
+    can enter.  Does not mutate ``used`` (the caller does)."""
     per_group = topo.p * topo.a
     needed = -(-size // per_group)  # ceil
     groups: list[int] = []
@@ -147,7 +199,4 @@ def _whole_groups(topo: Dragonfly, used: set[int], size: int, name: str) -> list
             f"{len(groups)} are fully free"
         )
     pool = [node for g in groups for node in topo.group_nodes(g)]
-    # The job occupies the first `size` nodes but *owns* every node of
-    # its groups: return only the occupied ones, mark the rest used.
-    used.update(pool)
-    return pool[:size]
+    return pool[:size], pool

@@ -28,7 +28,7 @@ PLACEMENTS = (
 )
 
 #: Traffic processes a job may run (see repro.traffic.generators).
-TRAFFIC_KINDS = ("bernoulli", "burst")
+TRAFFIC_KINDS = ("bernoulli", "burst", "trace")
 
 
 @dataclass(frozen=True)
@@ -45,6 +45,12 @@ class JobSpec:
     (``stop=None`` = runs forever); the composite generator feeds each
     job *job-local* cycles counted from its own start, so a job's
     traffic stream does not depend on when it is scheduled.
+
+    ``traffic="trace"`` replays a recorded offered-traffic trace: each
+    ``(cycle, src, dst)`` event is a packet injection in *job-local*
+    time and *rank space* (src/dst index into the job's placed nodes),
+    so a trace records once and replays anywhere the scheduler puts the
+    job.  The events ride inline in the spec (lossless, fingerprinted).
     """
 
     name: str
@@ -56,6 +62,7 @@ class JobSpec:
     packets_per_node: int = 1  # burst only
     start: int = 0
     stop: int | None = None
+    trace: tuple[tuple[int, int, int], ...] | None = None  # trace only
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -84,6 +91,38 @@ class JobSpec:
             raise ValueError(f"job {self.name!r}: start must be >= 0")
         if self.stop is not None and self.stop <= self.start:
             raise ValueError(f"job {self.name!r}: stop must be > start")
+        if (self.traffic == "trace") != (self.trace is not None):
+            raise ValueError(
+                f"job {self.name!r}: trace events are required iff "
+                f"traffic='trace'"
+            )
+        if self.trace is not None:
+            object.__setattr__(
+                self, "trace", tuple(tuple(ev) for ev in self.trace)
+            )
+            size = self.size
+            last = -1
+            for ev in self.trace:
+                if len(ev) != 3:
+                    raise ValueError(
+                        f"job {self.name!r}: trace events are (cycle, src, dst)"
+                    )
+                cycle, src, dst = ev
+                if cycle < last:
+                    raise ValueError(
+                        f"job {self.name!r}: trace cycles must be sorted"
+                    )
+                last = cycle
+                if cycle < 0:
+                    raise ValueError(f"job {self.name!r}: trace cycle < 0")
+                if not (0 <= src < size and 0 <= dst < size):
+                    raise ValueError(
+                        f"job {self.name!r}: trace ranks must be < {size}"
+                    )
+                if src == dst:
+                    raise ValueError(
+                        f"job {self.name!r}: trace src == dst at cycle {cycle}"
+                    )
 
     @property
     def size(self) -> int:
@@ -92,7 +131,7 @@ class JobSpec:
 
     # ------------------------------------------------------------------
     def to_jsonable(self) -> dict:
-        return {
+        out = {
             "name": self.name,
             "nodes": self.nodes,
             "node_list": list(self.node_list) if self.node_list is not None else None,
@@ -103,6 +142,10 @@ class JobSpec:
             "start": self.start,
             "stop": self.stop,
         }
+        # Omitted when None so pre-trace fingerprints are unchanged.
+        if self.trace is not None:
+            out["trace"] = [list(ev) for ev in self.trace]
+        return out
 
     @classmethod
     def from_jsonable(cls, data: dict) -> "JobSpec":
@@ -110,12 +153,13 @@ class JobSpec:
             raise ValueError("JobSpec JSON must be an object")
         known = {
             "name", "nodes", "node_list", "traffic", "pattern",
-            "load", "packets_per_node", "start", "stop",
+            "load", "packets_per_node", "start", "stop", "trace",
         }
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown JobSpec keys: {sorted(unknown)}")
         node_list = data.get("node_list")
+        trace = data.get("trace")
         return cls(
             name=data["name"],
             nodes=data.get("nodes", 0),
@@ -126,6 +170,7 @@ class JobSpec:
             packets_per_node=data.get("packets_per_node", 1),
             start=data.get("start", 0),
             stop=data.get("stop"),
+            trace=tuple(tuple(ev) for ev in trace) if trace is not None else None,
         )
 
 

@@ -418,6 +418,72 @@ class TestSigkillRecovery:
 
 
 # ----------------------------------------------------------------------
+# SIGTERM graceful preemption: checkpoint + immediate lease release
+# ----------------------------------------------------------------------
+
+_PREEMPTEE = textwrap.dedent("""
+    import json, os, signal, sys
+    sys.path.insert(0, sys.argv[3])
+    from repro.analysis.store import ResultStore
+    from repro.engine.runspec import RunSpec
+    from repro.fabric import FabricWorker, WorkQueue
+    from repro.snapshot import snapshot as snapmod
+
+    spec = RunSpec.from_jsonable(json.loads(open(sys.argv[2]).read()))
+    original = snapmod.Snapshot.save
+
+    def save_then_sigterm(self, path):
+        original(self, path)
+        snapmod.Snapshot.save = original  # the preemption flush saves too
+        os.kill(os.getpid(), signal.SIGTERM)
+
+    snapmod.Snapshot.save = save_then_sigterm
+    store = ResultStore(sys.argv[1])
+    queue = WorkQueue([spec], store, worker_id="preemptee", lease_ttl=30.0)
+    worker = FabricWorker(queue, snapshot_every=64, poll=0.05)
+    summary = worker.run()
+    print(json.dumps({"executed": summary.executed,
+                      "released": worker.released}))
+""")
+
+
+class TestSigtermPreemption:
+    def test_real_signal_checkpoints_and_releases_the_lease(self, tmp_path):
+        """A real SIGTERM mid-point: the worker's handler requests
+        graceful preemption, the point checkpoints and hands its lease
+        back immediately (no TTL wait), and the worker exits cleanly —
+        then a rescuer resumes from the checkpoint bit-identically."""
+        s = spec(load=0.3, seed=7)
+        ref = point_doc(run_spec(s))
+        store = ResultStore(tmp_path / "store")
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(s.to_jsonable()))
+        script = tmp_path / "preemptee.py"
+        script.write_text(_PREEMPTEE)
+        proc = subprocess.run(
+            [sys.executable, str(script), str(store.root), str(spec_file), SRC],
+            timeout=120, capture_output=True, text=True,
+        )
+        # Graceful: normal exit (not killed by the signal), nothing run
+        # to completion, one point handed back.
+        assert proc.returncode == 0, proc.stderr
+        out = json.loads(proc.stdout.strip().splitlines()[-1])
+        assert out == {"executed": 0, "released": 1}
+        # The lease was released immediately — not left to expire.
+        assert read_lease(lease_path(store.root, s.fingerprint())) is None
+        snap = load_checkpoint(store.root, s)
+        assert snap is not None and snap.cycle >= 64
+        # A rescuer picks the point up cold and finishes from the
+        # checkpoint; attempt count was untouched, so nothing reclaims.
+        queue = WorkQueue([s], store, worker_id="rescuer", lease_ttl=30.0)
+        summary = FabricWorker(queue, snapshot_every=64, poll=0.05).run()
+        assert (summary.executed, summary.reclaimed, summary.failed) == (1, 0, 0)
+        assert point_doc(store.get(s)) == ref, "resume must be bit-identical"
+        assert lease_files(store.root) == []
+        assert not checkpoint_path(store.root, s.fingerprint()).exists()
+
+
+# ----------------------------------------------------------------------
 # Fleet observability + reap
 # ----------------------------------------------------------------------
 

@@ -14,6 +14,13 @@ import json
 
 import pytest
 
+from repro.cluster.spec import (
+    ArrivalSpec,
+    FaultEvent,
+    FaultScheduleSpec,
+    JobMix,
+    ScenarioSpec,
+)
 from repro.engine.config import SimulationConfig
 from repro.engine.runspec import RunSpec
 from repro.telemetry.config import TelemetryConfig
@@ -58,6 +65,43 @@ CONFIGS = [
                            input_read_ports=2, congestion_control=True),
 ]
 
+ARRIVAL_SPECS = [
+    ArrivalSpec(),
+    ArrivalSpec(kind="poisson", rate=0.02, jobs=3),
+    ArrivalSpec(kind="closed", rate=0.005, jobs=6),
+    ArrivalSpec(kind="trace", interarrivals=(0, 150, 7, 2_000)),
+]
+
+JOB_MIXES = [
+    JobMix(),
+    JobMix(sizes=((4, 2.0), (8, 1.0), (16, 0.5)),
+           durations=((500, 1.0), (2_000, 3.0)),
+           patterns=(("UN", 3.0), ("ADV+2", 1.0), ("STENCIL", 0.25)),
+           loads=((0.1, 1.0), (0.45, 2.0))),
+]
+
+FAULT_SCHEDULES = [
+    FaultScheduleSpec(),
+    FaultScheduleSpec(events=(FaultEvent(100, "fail", 3, 2),
+                              FaultEvent(700, "restore", 3, 2))),
+    FaultScheduleSpec(rate=0.001, count=4, repair=250, seed=17),
+    FaultScheduleSpec(events=(FaultEvent(50, "fail", 0, 1),),
+                      rate=0.002, count=1, seed=5),
+]
+
+SCENARIO_SPECS = [
+    ScenarioSpec(),
+    ScenarioSpec(arrivals=ARRIVAL_SPECS[1], mix=JOB_MIXES[1],
+                 scheduler="easy", placement="random-nodes",
+                 placement_seed=42, faults=FAULT_SCHEDULES[2],
+                 horizon=5_000, seed=11, blast_window=200),
+    ScenarioSpec(arrivals=ARRIVAL_SPECS[3], scheduler="fcfs",
+                 placement="round-robin-groups",
+                 faults=FAULT_SCHEDULES[1], horizon=3_000, seed=2),
+    ScenarioSpec(arrivals=ARRIVAL_SPECS[2], scheduler="easy",
+                 faults=FAULT_SCHEDULES[3], horizon=1_000),
+]
+
 RUN_SPECS = [
     RunSpec(CONFIGS[0], "UN", 0.1),
     RunSpec(CONFIGS[1], "ADV+1", 0.55, warmup=123, measure=4_567),
@@ -68,6 +112,10 @@ RUN_SPECS = [
     RunSpec.for_workload(CONFIGS[0], WORKLOAD_SPECS[1], warmup=300, measure=300),
     RunSpec.for_workload(CONFIGS[3], WORKLOAD_SPECS[2], warmup=10, measure=20,
                          telemetry=TELEMETRY_CONFIGS[1]),
+    # cluster scenarios: churn + faults + scheduling over a horizon
+    RunSpec.for_scenario(CONFIGS[0], SCENARIO_SPECS[1]),
+    RunSpec.for_scenario(CONFIGS[1], SCENARIO_SPECS[2],
+                         telemetry=TELEMETRY_CONFIGS[0]),
 ]
 
 
@@ -136,6 +184,83 @@ class TestTelemetryConfigRoundTrip:
         assert TelemetryConfig.from_jsonable(tcfg.to_jsonable()) == tcfg
 
 
+class TestArrivalSpecRoundTrip:
+    @pytest.mark.parametrize("arr", ARRIVAL_SPECS, ids=lambda a: a.kind)
+    def test_lossless(self, arr):
+        assert ArrivalSpec.from_jsonable(arr.to_jsonable()) == arr
+
+    def test_trace_gaps_survive_as_tuple(self):
+        again = ArrivalSpec.from_jsonable(ARRIVAL_SPECS[3].to_jsonable())
+        assert again.interarrivals == (0, 150, 7, 2_000)
+        assert isinstance(again.interarrivals, tuple)
+
+    def test_unknown_keys_rejected(self):
+        data = ARRIVAL_SPECS[0].to_jsonable()
+        data["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown ArrivalSpec keys"):
+            ArrivalSpec.from_jsonable(data)
+
+
+class TestFaultScheduleRoundTrip:
+    @pytest.mark.parametrize("faults", FAULT_SCHEDULES,
+                             ids=["empty", "timed", "random", "mixed"])
+    def test_lossless(self, faults):
+        assert FaultScheduleSpec.from_jsonable(faults.to_jsonable()) == faults
+
+    def test_events_survive_as_fault_event_tuple(self):
+        again = FaultScheduleSpec.from_jsonable(FAULT_SCHEDULES[1].to_jsonable())
+        assert again.events == (FaultEvent(100, "fail", 3, 2),
+                                FaultEvent(700, "restore", 3, 2))
+        assert all(isinstance(e, FaultEvent) for e in again.events)
+
+    def test_unknown_keys_rejected(self):
+        data = FAULT_SCHEDULES[0].to_jsonable()
+        data["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown FaultScheduleSpec keys"):
+            FaultScheduleSpec.from_jsonable(data)
+        event = FaultEvent(1, "fail", 0, 0).to_jsonable()
+        event["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown FaultEvent keys"):
+            FaultEvent.from_jsonable(event)
+
+
+class TestScenarioSpecRoundTrip:
+    @pytest.mark.parametrize(
+        "scenario", SCENARIO_SPECS,
+        ids=[f"{s.scheduler}-{s.arrivals.kind}" for s in SCENARIO_SPECS],
+    )
+    def test_lossless(self, scenario):
+        assert ScenarioSpec.from_jsonable(scenario.to_jsonable()) == scenario
+
+    @pytest.mark.parametrize(
+        "scenario", SCENARIO_SPECS,
+        ids=[f"{s.scheduler}-{s.arrivals.kind}" for s in SCENARIO_SPECS],
+    )
+    def test_text_form_fixed_point(self, scenario):
+        text = scenario.to_json()
+        again = ScenarioSpec.from_json(text)
+        assert again == scenario
+        assert again.to_json() == text
+
+    @pytest.mark.parametrize(
+        "scenario", SCENARIO_SPECS,
+        ids=[f"{s.scheduler}-{s.arrivals.kind}" for s in SCENARIO_SPECS],
+    )
+    def test_fingerprint_invariant_under_round_trip(self, scenario):
+        trip = ScenarioSpec.from_json(scenario.to_json())
+        assert trip.fingerprint() == scenario.fingerprint()
+
+    def test_unknown_keys_rejected(self):
+        data = SCENARIO_SPECS[0].to_jsonable()
+        data["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown ScenarioSpec keys"):
+            ScenarioSpec.from_jsonable(data)
+
+    def test_bad_scheduler_rejected(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            ScenarioSpec(scheduler="lottery")
+
+
 class TestSimulationConfigRoundTrip:
     @pytest.mark.parametrize(
         "cfg", CONFIGS, ids=[f"{c.routing}-h{c.h}" for c in CONFIGS]
@@ -168,6 +293,17 @@ class TestRunSpecRoundTrip:
                           telemetry=TelemetryConfig(interval=5))
         assert watched.fingerprint() == bare.fingerprint()
         assert watched.to_jsonable() == bare.to_jsonable()
+
+    def test_scenario_participates_in_fingerprint(self):
+        a = RunSpec.for_scenario(CONFIGS[0], SCENARIO_SPECS[1])
+        tweaked = ScenarioSpec.from_jsonable(
+            {**SCENARIO_SPECS[1].to_jsonable(), "seed": 999}
+        )
+        b = RunSpec.for_scenario(CONFIGS[0], tweaked)
+        assert a.fingerprint() != b.fingerprint()
+        # and the scenario itself survives the RunSpec round trip
+        again = RunSpec.from_json(a.to_json())
+        assert again.scenario == SCENARIO_SPECS[1]
 
     def test_workload_participates_in_fingerprint(self):
         a = RUN_SPECS[4]

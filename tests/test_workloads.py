@@ -56,6 +56,18 @@ class TestJobSpec:
         with pytest.raises(ValueError):
             JobSpec(name="j", nodes=2, packets_per_node=0)
 
+    def test_stop_must_exceed_start(self):
+        # Regression: a job whose window is empty (stop <= start) would
+        # silently never emit; the spec rejects it outright instead.
+        with pytest.raises(ValueError, match="stop must be > start"):
+            JobSpec(name="j", nodes=2, start=100, stop=100)
+        with pytest.raises(ValueError, match="stop must be > start"):
+            JobSpec(name="j", nodes=2, start=100, stop=40)
+        with pytest.raises(ValueError, match="stop must be > start"):
+            JobSpec(name="j", nodes=2, stop=0)  # default start=0
+        # the boundary one-cycle window is legal
+        assert JobSpec(name="j", nodes=2, start=100, stop=101).stop == 101
+
     def test_size(self):
         assert JobSpec(name="j", nodes=5).size == 5
         assert JobSpec(name="j", node_list=(3, 1, 4)).size == 3
@@ -295,6 +307,36 @@ class TestCompositeTraffic:
         assert gen.events() == [
             (0, "start", "b"), (30, "start", "a"), (90, "stop", "a")
         ]
+
+    def test_trace_replays_in_rank_space_and_job_local_time(self, topo):
+        # (cycle, src, dst) in rank space; the composite maps ranks to
+        # the placed nodes and shifts cycles by the job's start.
+        events = ((0, 0, 1), (0, 2, 0), (5, 1, 2))
+        gen = self.composite(
+            topo,
+            JobSpec(name="t", node_list=(10, 30, 50), traffic="trace",
+                    trace=events, start=100),
+        )
+        assert gen.packets_for_cycle(0) == []
+        nodes = gen.jobs[0].nodes
+        assert gen.packets_for_cycle(100) == [
+            (nodes[0], nodes[1], 0), (nodes[2], nodes[0], 0)
+        ]
+        assert gen.packets_for_cycle(105) == [(nodes[1], nodes[2], 0)]
+        assert not gen.finished(104)  # last event still pending
+        gen.packets_for_cycle(105)
+        assert gen.finished(106)  # trace exhausted -> drains terminate
+
+    def test_trace_validation(self):
+        with pytest.raises(ValueError, match="required iff"):
+            JobSpec(name="t", nodes=2, traffic="trace")  # no events
+        with pytest.raises(ValueError, match="sorted"):
+            JobSpec(name="t", nodes=2, traffic="trace",
+                    trace=((5, 0, 1), (2, 1, 0)))
+        with pytest.raises(ValueError, match="ranks"):
+            JobSpec(name="t", nodes=2, traffic="trace", trace=((0, 0, 2),))
+        with pytest.raises(ValueError, match="src == dst"):
+            JobSpec(name="t", nodes=2, traffic="trace", trace=((0, 1, 1),))
 
     def test_job_seed_stable_across_processes(self):
         # crc32 is deterministic (unlike hash()); pin one value so an
