@@ -1,7 +1,9 @@
 #!/usr/bin/env python
 """Fabric smoke: a small fleet drains one campaign, one worker is shot.
 
-The end-to-end check CI runs for :mod:`repro.fabric`:
+The end-to-end check CI runs for :mod:`repro.fabric`, in two modes.
+
+``--mode file`` (shared-directory leases, the default):
 
 1. drain ``campaigns/tiny.yaml`` single-host into store A (reference);
 2. start N fabric worker *processes* against a fresh shared store B
@@ -15,12 +17,26 @@ The end-to-end check CI runs for :mod:`repro.fabric`:
    100% cache hits (the orchestrator accepts the fleet's results as
    its own).
 
+``--mode coordinator`` (HTTP leases, no shared filesystem):
+
+1. same single-host reference run into store A;
+2. ``repro fabric serve`` in a subprocess owning store C, then N
+   worker processes pointed at it via ``--coordinator`` with private
+   spool directories — no worker ever touches store C's disk;
+3. mid-drain, SIGKILL one worker *and* SIGKILL + restart the
+   coordinator on the same port (state recovers from disk; the
+   survivors retry through the outage);
+4. assert store C passes ``repro store verify``, matches store A byte
+   for byte, holds zero leases / failures / checkpoints, and that a
+   single-host ``campaign run`` over it is 100% cached.
+
 Exit status 0 when every check passes; the first failed check prints
 what broke and exits 1.
 
 Usage::
 
-    PYTHONPATH=src python scripts/fabric_smoke.py [--workers 3] [--keep]
+    PYTHONPATH=src python scripts/fabric_smoke.py [--mode file|coordinator]
+        [--workers 3] [--keep]
 """
 
 import argparse
@@ -28,10 +44,12 @@ import json
 import os
 import signal
 import shutil
+import socket
 import subprocess
 import sys
 import tempfile
 import time
+import urllib.request
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parents[1]
@@ -64,8 +82,175 @@ def entries(store: Path) -> dict:
     return out
 
 
+def reference_run(store: Path) -> dict:
+    out = run_campaign(store)
+    if "8 points: 8 run, 0 cached, 0 failed" not in out:
+        fail(f"reference run did not execute all 8 points:\n{out}")
+    return entries(store)
+
+
+def wait_drained(procs: list, survivors_from: int = 1) -> None:
+    for proc in procs:
+        try:
+            proc.wait(timeout=600)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            fail(f"worker pid {proc.pid} wedged (drain never finished)")
+    for proc in procs[survivors_from:]:
+        if proc.returncode != 0:
+            fail(f"surviving worker pid {proc.pid} exited "
+                 f"{proc.returncode}:\n{proc.stdout.read()}")
+
+
+def check_store(store: Path, ref: dict) -> None:
+    got = entries(store)
+    if set(got) != set(ref):
+        fail(f"fleet store has {len(got)}/{len(ref)} points")
+    if got != ref:
+        bad = [fp for fp in ref if got[fp] != ref[fp]]
+        fail(f"{len(bad)} entries differ from single-host: {bad}")
+    leases = list((store / "leases").glob("*.json"))
+    if leases:
+        fail(f"leases left behind: {[p.name for p in leases]}")
+    failures = list((store / "failures").glob("*/*.json"))
+    if failures:
+        fail(f"failure records present: {[p.name for p in failures]}")
+    checkpoints = list((store / "snapshots").glob("*/*.json"))
+    if checkpoints:
+        fail(f"orphaned checkpoints left: {[p.name for p in checkpoints]}")
+
+
+def check_cached_resume(store: Path) -> None:
+    out = run_campaign(store)
+    if "8 points: 0 run, 8 cached, 0 failed" not in out:
+        fail(f"resume over the fleet store re-ran points:\n{out}")
+
+
+def file_smoke(scratch: Path, workers: int) -> None:
+    store_a, store_b = scratch / "single", scratch / "fleet"
+    print(f"[1/4] single-host reference run -> {store_a}")
+    ref = reference_run(store_a)
+
+    print(f"[2/4] {workers} fabric workers -> {store_b} "
+          "(one gets SIGKILLed)")
+    procs = []
+    for i in range(workers):
+        procs.append(subprocess.Popen(
+            [sys.executable, "-m", "repro", "fabric", "work", CAMPAIGN,
+             "--store", str(store_b), "--worker-id", f"smoke-w{i}",
+             "--lease-ttl", "2", "--poll", "0.1", "--snapshot-every", "64"],
+            env=ENV, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True,
+        ))
+    time.sleep(1.0)
+    victim = procs[0]
+    try:
+        victim.send_signal(signal.SIGKILL)
+        print(f"      killed worker pid {victim.pid}")
+    except ProcessLookupError:
+        print("      victim already exited (fast machine); "
+              "survivors still prove the drain")
+    wait_drained(procs)
+
+    print("[3/4] store checks: complete, clean, identical to single-host")
+    check_store(store_b, ref)
+
+    print("[4/4] single-host resume over the fleet store is 100% cached")
+    check_cached_resume(store_b)
+
+    print("OK: fleet survived SIGKILL; store identical; no leases; "
+          "100% cache-hit resume")
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def spawn_coordinator(store: Path, port: int) -> subprocess.Popen:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "fabric", "serve",
+         "--store", str(store), "--port", str(port)],
+        env=ENV, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    deadline = time.monotonic() + 15.0
+    url = f"http://127.0.0.1:{port}/api/v1/ping"
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(url, timeout=1.0):
+                return proc
+        except OSError:
+            if proc.poll() is not None:
+                fail(f"coordinator exited {proc.returncode} on startup:\n"
+                     f"{proc.stdout.read()}")
+            time.sleep(0.05)
+    proc.kill()
+    fail("coordinator never answered ping")
+
+
+def coordinator_smoke(scratch: Path, workers: int) -> None:
+    store_a, store_c = scratch / "single", scratch / "coord"
+    print(f"[1/5] single-host reference run -> {store_a}")
+    ref = reference_run(store_a)
+
+    port = free_port()
+    url = f"http://127.0.0.1:{port}"
+    print(f"[2/5] coordinator on {url} -> {store_c}, "
+          f"{workers} HTTP workers with private spools")
+    server = spawn_coordinator(store_c, port)
+    procs = []
+    for i in range(workers):
+        procs.append(subprocess.Popen(
+            [sys.executable, "-m", "repro", "fabric", "work", CAMPAIGN,
+             "--coordinator", url, "--store", str(scratch / f"spool{i}"),
+             "--worker-id", f"smoke-c{i}",
+             "--lease-ttl", "2", "--poll", "0.1", "--snapshot-every", "64"],
+            env=ENV, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True,
+        ))
+    time.sleep(1.0)
+    victim = procs[0]
+    try:
+        victim.send_signal(signal.SIGKILL)
+        print(f"      killed worker pid {victim.pid}")
+    except ProcessLookupError:
+        print("      victim already exited (fast machine); "
+              "survivors still prove the drain")
+
+    print("[3/5] SIGKILL the coordinator mid-drain, restart on the "
+          "same port (state recovers from disk)")
+    server.send_signal(signal.SIGKILL)
+    server.wait(timeout=30)
+    time.sleep(1.0)  # let the survivors hit the outage and back off
+    server = spawn_coordinator(store_c, port)
+    wait_drained(procs)
+    server.terminate()
+    server.wait(timeout=30)
+
+    print("[4/5] store checks: verify clean, identical to single-host")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "store", "verify", str(store_c)],
+        env=ENV, capture_output=True, text=True, timeout=120,
+    )
+    if proc.returncode != 0:
+        fail(f"store verify failed over the coordinator store:\n"
+             f"{proc.stdout}{proc.stderr}")
+    check_store(store_c, ref)
+
+    print("[5/5] single-host resume over the coordinator store is "
+          "100% cached")
+    check_cached_resume(store_c)
+
+    print("OK: fleet survived worker SIGKILL + coordinator restart; "
+          "store identical; no leases; 100% cache-hit resume")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mode", choices=("file", "coordinator"),
+                        default="file",
+                        help="lease backend to exercise (default file)")
     parser.add_argument("--workers", type=int, default=3,
                         help="fabric worker processes to start (default 3)")
     parser.add_argument("--keep", action="store_true",
@@ -73,67 +258,11 @@ def main() -> None:
     args = parser.parse_args()
 
     scratch = Path(tempfile.mkdtemp(prefix="fabric-smoke-"))
-    store_a, store_b = scratch / "single", scratch / "fleet"
     try:
-        print(f"[1/4] single-host reference run -> {store_a}")
-        out = run_campaign(store_a)
-        if "8 points: 8 run, 0 cached, 0 failed" not in out:
-            fail(f"reference run did not execute all 8 points:\n{out}")
-
-        print(f"[2/4] {args.workers} fabric workers -> {store_b} "
-              "(one gets SIGKILLed)")
-        procs = []
-        for i in range(args.workers):
-            procs.append(subprocess.Popen(
-                [sys.executable, "-m", "repro", "fabric", "work", CAMPAIGN,
-                 "--store", str(store_b), "--worker-id", f"smoke-w{i}",
-                 "--lease-ttl", "2", "--poll", "0.1", "--snapshot-every", "64"],
-                env=ENV, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
-                text=True,
-            ))
-        time.sleep(1.0)
-        victim = procs[0]
-        try:
-            victim.send_signal(signal.SIGKILL)
-            print(f"      killed worker pid {victim.pid}")
-        except ProcessLookupError:
-            print("      victim already exited (fast machine); "
-                  "survivors still prove the drain")
-        for proc in procs:
-            try:
-                proc.wait(timeout=600)
-            except subprocess.TimeoutExpired:
-                proc.kill()
-                fail(f"worker pid {proc.pid} wedged (drain never finished)")
-        for proc in procs[1:]:
-            if proc.returncode != 0:
-                fail(f"surviving worker pid {proc.pid} exited "
-                     f"{proc.returncode}:\n{proc.stdout.read()}")
-
-        print("[3/4] store checks: complete, clean, identical to single-host")
-        got, ref = entries(store_b), entries(store_a)
-        if set(got) != set(ref):
-            fail(f"fleet store has {len(got)}/{len(ref)} points")
-        if got != ref:
-            bad = [fp for fp in ref if got[fp] != ref[fp]]
-            fail(f"{len(bad)} entries differ from single-host: {bad}")
-        leases = list((store_b / "leases").glob("*.json"))
-        if leases:
-            fail(f"leases left behind: {[p.name for p in leases]}")
-        failures = list((store_b / "failures").glob("*/*.json"))
-        if failures:
-            fail(f"failure records present: {[p.name for p in failures]}")
-        checkpoints = list((store_b / "snapshots").glob("*/*.json"))
-        if checkpoints:
-            fail(f"orphaned checkpoints left: {[p.name for p in checkpoints]}")
-
-        print("[4/4] single-host resume over the fleet store is 100% cached")
-        out = run_campaign(store_b)
-        if "8 points: 0 run, 8 cached, 0 failed" not in out:
-            fail(f"resume over the fleet store re-ran points:\n{out}")
-
-        print("OK: fleet survived SIGKILL; store identical; no leases; "
-              "100% cache-hit resume")
+        if args.mode == "file":
+            file_smoke(scratch, args.workers)
+        else:
+            coordinator_smoke(scratch, args.workers)
     finally:
         if args.keep:
             print(f"scratch kept at {scratch}")

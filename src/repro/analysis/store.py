@@ -87,6 +87,38 @@ class ResultStore:
     def __contains__(self, spec: RunSpec) -> bool:
         return self.path_for(spec.fingerprint()).exists()
 
+    # ------------------------------------------------------------------
+    # Existence probes: the store-access seam the fabric layer uses, so
+    # a remote (coordinator-backed) store can answer the same questions
+    # over a socket that this one answers with a stat.
+    # ------------------------------------------------------------------
+    def has(self, fingerprint: str) -> bool:
+        """A result entry exists for ``fingerprint`` (no parse)."""
+        return self.path_for(fingerprint).exists()
+
+    def has_sidecar(self, kind: str, fingerprint: str) -> bool:
+        """A ``kind`` sidecar exists for ``fingerprint`` (no parse)."""
+        return self.sidecar_path(kind, fingerprint).exists()
+
+    def resolved_many(
+        self, fingerprints: list[str], failure_kind: str = "failures"
+    ) -> dict[str, str | None]:
+        """Batch resolution probe: fp -> ``"result"`` | ``"failure"`` | None.
+
+        One call covers a whole grid scan; the remote store implements
+        it as a single round trip where per-point :meth:`has` calls
+        would each cost one.
+        """
+        out: dict[str, str | None] = {}
+        for fp in fingerprints:
+            if self.has(fp):
+                out[fp] = "result"
+            elif self.has_sidecar(failure_kind, fp):
+                out[fp] = "failure"
+            else:
+                out[fp] = None
+        return out
+
     def __len__(self) -> int:
         objects = self.root / "objects"
         if not objects.is_dir():

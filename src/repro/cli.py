@@ -104,7 +104,9 @@ def cmd_sweep(args) -> None:
     cfg = _config(args)
     # Resolve the execution context first: --backend installs the
     # process default that every spec below is stamped with.
-    fabric = getattr(args, "fabric", False)
+    fabric = getattr(args, "fabric", False) or bool(
+        getattr(args, "coordinator", None)
+    )
     if fabric:
         fabric_store, fabric_opts = fabric_options_from_args(args)
         orchestrator = None
@@ -317,7 +319,7 @@ def cmd_campaign_run(args) -> None:
     from repro.campaign import CampaignError, emit, run_campaign, run_campaign_fabric
 
     campaign = _load_campaign_or_exit(args)
-    if getattr(args, "fabric", False):
+    if getattr(args, "fabric", False) or getattr(args, "coordinator", None):
         store, options = fabric_options_from_args(args)
         try:
             run = run_campaign_fabric(campaign, store, **options)
@@ -562,6 +564,24 @@ def _fabric_campaign_specs(args):
     return campaign, [p.spec for p in campaign.expand()]
 
 
+def _fabric_backend(args):
+    """``(store, leases)`` for the observer commands, honoring
+    ``--coordinator`` (leases None = the file backend over --store)."""
+    coordinator = getattr(args, "coordinator", None)
+    if not coordinator:
+        return ResultStore(args.store or DEFAULT_STORE), None
+    from repro.fabric import FabricBackendError
+    from repro.fabric.coordinator import open_coordinator
+
+    try:
+        return open_coordinator(
+            coordinator, args.store or DEFAULT_STORE,
+            lease_ttl=args.lease_ttl,
+        )
+    except FabricBackendError as exc:
+        raise SystemExit(f"fabric error: {exc}") from None
+
+
 def cmd_fabric_work(args) -> None:
     from repro.fabric import FabricWorker, WorkQueue
 
@@ -573,14 +593,19 @@ def cmd_fabric_work(args) -> None:
         worker_id=options.pop("worker_id"),
         lease_ttl=options.pop("lease_ttl"),
         max_attempts=options.pop("max_attempts"),
+        leases=options.pop("leases", None),
     )
     worker = FabricWorker(queue, **options)
+    where = (
+        f"coordinator {args.coordinator} (spool {store.root})"
+        if getattr(args, "coordinator", None) else f"{store.root}"
+    )
     print(f"[fabric] {queue.worker_id} joining '{campaign.name}': "
-          f"{len(specs)} points over {store.root} "
+          f"{len(specs)} points over {where} "
           f"({queue.initial_done} already resolved)")
     summary = worker.run()
     print(summary.render())
-    if summary.status.failed:
+    if summary.backend_error or summary.status.failed:
         raise SystemExit(1)
 
 
@@ -588,13 +613,20 @@ def cmd_fabric_status(args) -> None:
     from repro.fabric import fleet_status
 
     campaign, specs = _fabric_campaign_specs(args)
-    store = ResultStore(args.store or DEFAULT_STORE)
-    status = fleet_status(specs, store, lease_ttl=args.lease_ttl)
+    store, leases = _fabric_backend(args)
+    status = fleet_status(specs, store, lease_ttl=args.lease_ttl, leases=leases)
     print(f"[fabric {campaign.name}] {status.done}/{status.total} done, "
           f"{status.failed} failed, {status.leased} leased, "
           f"{status.stale} stale, {status.pending} pending")
     live = status.live_workers()
     rate = status.fleet_rate
+    if not status.workers and not status.leases:
+        # A store with no leases and no worker records is not a broken
+        # fleet — nobody has joined (or everyone has finished and been
+        # reaped).  Say so instead of printing empty tables.
+        print(f"no fleet activity: 0 workers, 0 leases "
+              f"({status.done} point(s) already in the store, "
+              f"{status.pending} pending)")
     if status.drained:
         print("drained: every point has a result or a recorded failure")
     elif rate == rate:  # NaN-safe: at least one live worker
@@ -602,7 +634,7 @@ def cmd_fabric_status(args) -> None:
         eta_text = f"{eta:.0f}s" if eta == eta else "?"
         print(f"fleet: {len(live)} live worker(s), {rate:.2f} pt/s, "
               f"eta {eta_text}")
-    else:
+    elif status.workers or status.leases:
         print("fleet: no live workers")
     if status.workers:
         table = Table("workers")
@@ -626,13 +658,32 @@ def cmd_fabric_status(args) -> None:
         print(table.to_text())
 
 
+def cmd_fabric_watch(args) -> None:
+    from repro.fabric.watch import watch
+
+    campaign, specs = _fabric_campaign_specs(args)
+    store, leases = _fabric_backend(args)
+    try:
+        watch(campaign.name, specs, store, lease_ttl=args.lease_ttl,
+              leases=leases, interval=args.interval)
+    except KeyboardInterrupt:
+        pass
+
+
+def cmd_fabric_serve(args) -> None:
+    from repro.fabric.coordinator import serve
+
+    serve(args.store or DEFAULT_STORE, host=args.host, port=args.port,
+          verbose=args.verbose)
+
+
 def cmd_fabric_reap(args) -> None:
     from repro.fabric import reap
 
     _, specs = _fabric_campaign_specs(args)
-    store = ResultStore(args.store or DEFAULT_STORE)
+    store, leases = _fabric_backend(args)
     report = reap(specs, store, lease_ttl=args.lease_ttl,
-                  max_attempts=args.max_attempts)
+                  max_attempts=args.max_attempts, leases=leases)
     for lease in report.dropped_leases:
         print(f"dropped stale lease {lease.fingerprint[:12]} "
               f"(held by {lease.worker}, attempt {lease.attempt}) "
@@ -894,12 +945,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "fabric",
-        help="distributed campaign draining: work / status / reap",
+        help="distributed campaign draining: work / status / watch / "
+             "serve / reap",
         description="Lease-based distributed sweeps (repro.fabric): start "
                     "'fabric work' for the same campaign and store on any "
                     "number of hosts that see the store directory; workers "
                     "coordinate through lease files alone — the store is "
-                    "the only shared state, there is no server.",
+                    "the only shared state, there is no server.  For hosts "
+                    "that cannot share a directory, 'fabric serve' puts "
+                    "the same protocol behind an HTTP socket and workers "
+                    "join with --coordinator URL.",
     )
     fab_sub = p.add_subparsers(dest="fabric_action", required=True)
 
@@ -924,6 +979,9 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="staleness threshold for leases (default 60; "
                             "match the workers' setting)")
+        q.add_argument("--coordinator", default=None, metavar="URL",
+                       help="observe through a 'repro fabric serve' "
+                            "coordinator instead of a shared directory")
         if attempts:
             q.add_argument("--max-attempts", type=int, default=3, metavar="N",
                            help="fleet-wide attempt budget per point "
@@ -933,6 +991,35 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="fleet progress, per-worker stats and live leases")
     fabric_common(q)
     q.set_defaults(func=cmd_fabric_status)
+
+    q = fab_sub.add_parser(
+        "watch",
+        help="live-refreshing fleet dashboard (exits when drained)")
+    fabric_common(q)
+    q.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                   help="seconds between dashboard refreshes (default 2)")
+    q.set_defaults(func=cmd_fabric_watch)
+
+    q = fab_sub.add_parser(
+        "serve",
+        help="run the HTTP coordinator for fleets without a shared "
+             "filesystem",
+        description="Serve the lease protocol and store traffic over "
+                    "HTTP (repro.fabric.coordinator): workers connect "
+                    "with --coordinator URL; all state lives in the "
+                    "store directory on this host's disk, so a restart "
+                    "recovers the full fleet state and 'repro store' / "
+                    "'repro fabric status' work against it unchanged.")
+    q.add_argument("--store", default=None, metavar="DIR",
+                   help=f"store directory to serve (default {DEFAULT_STORE!r})")
+    q.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1; use 0.0.0.0 "
+                        "for other hosts)")
+    q.add_argument("--port", type=int, default=8642,
+                   help="bind port (default 8642)")
+    q.add_argument("-v", "--verbose", action="store_true",
+                   help="log every request to stderr")
+    q.set_defaults(func=cmd_fabric_serve)
 
     q = fab_sub.add_parser(
         "reap",

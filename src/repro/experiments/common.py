@@ -264,6 +264,13 @@ def add_run_args(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
         help="this worker's identity in leases and status tables "
              "(default <hostname>-<pid>)",
     )
+    fabric.add_argument(
+        "--coordinator", default=None, metavar="URL",
+        help="drain through a 'repro fabric serve' coordinator at URL "
+             "instead of a shared store directory (no shared filesystem "
+             "needed); --store then names this worker's local spool for "
+             "checkpoints and telemetry (implies --fabric)",
+    )
     return parser
 
 
@@ -320,7 +327,23 @@ def fabric_options_from_args(args: argparse.Namespace):
         TelemetryConfig(interval=args.telemetry)
         if getattr(args, "telemetry", None) is not None else None
     )
-    store = ResultStore(args.store or DEFAULT_STORE)
+    coordinator = getattr(args, "coordinator", None)
+    if coordinator:
+        # HTTP mode: the authoritative store lives behind the
+        # coordinator; --store names this worker's local spool.
+        from repro.fabric.coordinator import open_coordinator
+        from repro.fabric.lease import FabricBackendError
+
+        try:
+            store, leases = open_coordinator(
+                coordinator, args.store or DEFAULT_STORE,
+                worker_id=args.worker_id, lease_ttl=args.lease_ttl,
+            )
+        except FabricBackendError as exc:
+            raise SystemExit(f"fabric error: {exc}") from None
+    else:
+        store = ResultStore(args.store or DEFAULT_STORE)
+        leases = None
     options = dict(
         worker_id=args.worker_id,
         lease_ttl=args.lease_ttl,
@@ -331,6 +354,7 @@ def fabric_options_from_args(args: argparse.Namespace):
         poll=getattr(args, "poll", 1.0),
         max_points=getattr(args, "max_points", None),
         observer=ConsoleProgress() if args.progress else None,
+        leases=leases,
     )
     return store, options
 
@@ -366,13 +390,14 @@ def orchestrator_from_args(args: argparse.Namespace) -> Orchestrator | None:
 
     from repro.telemetry.config import TelemetryConfig
 
-    if getattr(args, "fabric", False):
+    if getattr(args, "fabric", False) or getattr(args, "coordinator", None):
         # Commands that support cooperative draining branch to
         # fabric_run_from_args before ever building an orchestrator;
         # reaching here means this command cannot honor the flag.
         raise SystemExit(
-            "--fabric is supported on 'repro sweep' and 'repro campaign "
-            "run' (and 'repro fabric work'); this command runs single-host"
+            "--fabric/--coordinator are supported on 'repro sweep' and "
+            "'repro campaign run' (and 'repro fabric work'); this "
+            "command runs single-host"
         )
     _install_backend_from_args(args)
     snapshot_every = getattr(args, "snapshot_every", None)

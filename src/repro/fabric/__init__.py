@@ -37,21 +37,38 @@ NFS-style shared filesystem; no coordinator process):
 Deployment story: run ``repro fabric work <campaign> --store <shared>``
 once per host (or ``repro campaign run <campaign> --fabric``); every
 process is a peer, the store directory is the entire control plane.
+
+For fleets that *cannot* mount one directory, the same protocol runs
+behind a socket: :mod:`repro.fabric.coordinator` serves the lease
+surface and the store traffic over HTTP (``repro fabric serve``), and
+workers select it with ``--coordinator URL`` — ``WorkQueue`` and
+``FabricWorker`` are identical in both modes, swapped at the lease
+backend seam (:class:`~repro.fabric.lease.LeaseManager` vs
+:class:`~repro.fabric.coordinator.client.HTTPLeaseManager`).
 """
 
 from repro.fabric.lease import (
     FAILURE_KIND,
     LEASE_DIR,
+    FabricBackendError,
     Lease,
     LeaseManager,
     lease_path,
     read_lease,
 )
-from repro.fabric.queue import Claim, QueueStatus, WorkQueue, fleet_status, reap
+from repro.fabric.queue import (
+    Claim,
+    QueueStatus,
+    WorkQueue,
+    affinity_group,
+    fleet_status,
+    reap,
+)
 from repro.fabric.worker import FabricSummary, FabricWorker, drain
 
 __all__ = [
     "Claim",
+    "FabricBackendError",
     "FabricSummary",
     "FabricWorker",
     "FAILURE_KIND",
@@ -60,6 +77,7 @@ __all__ = [
     "LeaseManager",
     "QueueStatus",
     "WorkQueue",
+    "affinity_group",
     "drain",
     "fleet_status",
     "lease_path",

@@ -1,0 +1,39 @@
+"""HTTP coordinator for fleets without a shared filesystem.
+
+Server side (:mod:`~repro.fabric.coordinator.server`): ``repro fabric
+serve`` owns a standard store directory and exposes the lease protocol
+plus store traffic over JSON/HTTP.  Client side
+(:mod:`~repro.fabric.coordinator.client`): :class:`HTTPLeaseManager`
+and :class:`RemoteStore` implement the fabric's two seams over the
+socket, so :class:`~repro.fabric.queue.WorkQueue` and
+:class:`~repro.fabric.worker.FabricWorker` run unmodified — select the
+mode with ``--coordinator URL``.
+"""
+
+from repro.fabric.coordinator.client import (
+    CoordinatorClient,
+    CoordinatorError,
+    CoordinatorUnreachable,
+    HTTPLeaseManager,
+    RemoteStore,
+    open_coordinator,
+)
+from repro.fabric.coordinator.server import (
+    API_PREFIX,
+    PROTOCOL,
+    FabricCoordinator,
+    serve,
+)
+
+__all__ = [
+    "API_PREFIX",
+    "CoordinatorClient",
+    "CoordinatorError",
+    "CoordinatorUnreachable",
+    "FabricCoordinator",
+    "HTTPLeaseManager",
+    "PROTOCOL",
+    "RemoteStore",
+    "open_coordinator",
+    "serve",
+]

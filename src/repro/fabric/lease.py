@@ -31,6 +31,14 @@ reclaimed-to-failure point leaves no lease file behind.
 Clock discipline: staleness compares one host's ``time.time()`` against
 another's heartbeat, so keep ``ttl`` well above the fleet's clock skew
 (seconds of skew against the 60 s default is harmless).
+
+This module is also the **lease backend seam**: :class:`LeaseManager`
+is the *file* backend (shared-directory fabrics), and
+:class:`repro.fabric.coordinator.client.HTTPLeaseManager` implements
+the identical method surface over an HTTP coordinator for fleets with
+no shared filesystem.  :class:`~repro.fabric.queue.WorkQueue` and
+:class:`~repro.fabric.worker.FabricWorker` talk only to this surface,
+so they run unmodified in either mode.
 """
 
 from __future__ import annotations
@@ -55,6 +63,20 @@ FAILURE_KIND = "failures"
 #: Default lease time-to-live in seconds; a holder heartbeats at ttl/3.
 DEFAULT_TTL = 60.0
 
+#: Store subdirectory holding per-worker stats files (one JSON file per
+#: fabric worker, atomically rewritten after every resolved point).
+WORKERS_DIR = "workers"
+
+
+class FabricBackendError(Exception):
+    """A lease/store backend could not complete an operation.
+
+    The file backend never raises it (filesystem errors are absorbed
+    into the protocol's None/False returns); the HTTP backend raises it
+    when the coordinator stays unreachable past its retry window, so
+    workers can fall out cleanly instead of stack-tracing.
+    """
+
 
 def default_worker_id() -> str:
     """``<hostname>-<pid>`` — unique per fabric worker process."""
@@ -73,6 +95,7 @@ class Lease:
     label: str = ""  # RunSpec.label(), for status tables
     host: str = ""
     pid: int = 0
+    group: str = ""  # affinity-group hint (see queue.affinity_group)
 
     def age(self, now: float | None = None) -> float:
         """Seconds since the last heartbeat."""
@@ -91,6 +114,7 @@ class Lease:
             "label": self.label,
             "host": self.host,
             "pid": self.pid,
+            "group": self.group,
         }
 
     @classmethod
@@ -104,6 +128,7 @@ class Lease:
             label=data.get("label", ""),
             host=data.get("host", ""),
             pid=int(data.get("pid", 0)),
+            group=data.get("group", ""),
         )
 
 
@@ -149,13 +174,23 @@ class LeaseManager:
         return read_lease(self.path(fingerprint))
 
     def try_claim(
-        self, fingerprint: str, label: str = "", attempt: int = 1
+        self,
+        fingerprint: str,
+        label: str = "",
+        attempt: int = 1,
+        group: str = "",
+        host: str | None = None,
+        pid: int | None = None,
     ) -> Lease | None:
         """Claim ``fingerprint`` via atomic exclusive create.
 
         Returns the new lease, or None when another worker holds the
         file (fresh *or* stale — staleness is the caller's policy, see
-        :meth:`reclaim`).
+        :meth:`reclaim`).  ``group`` is the claim's affinity hint
+        (recorded for observers; see ``queue.affinity_group``);
+        ``host``/``pid`` default to this process but can be overridden
+        when claiming on behalf of a remote worker (the coordinator
+        server does this).
         """
         path = self.path(fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -167,8 +202,9 @@ class LeaseManager:
             claimed=now,
             heartbeat=now,
             label=label,
-            host=socket.gethostname(),
-            pid=os.getpid(),
+            host=socket.gethostname() if host is None else host,
+            pid=os.getpid() if pid is None else pid,
+            group=group,
         )
         try:
             fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
@@ -185,7 +221,7 @@ class LeaseManager:
             raise
         return lease
 
-    def reclaim(self, stale: Lease, label: str = "") -> Lease | None:
+    def reclaim(self, stale: Lease, label: str = "", group: str = "") -> Lease | None:
         """Take over a stale lease, carrying the attempt budget forward.
 
         Unlink-then-claim: racing reclaimers both unlink (idempotent)
@@ -198,7 +234,8 @@ class LeaseManager:
         except OSError:
             pass
         return self.try_claim(
-            stale.fingerprint, label=label or stale.label, attempt=stale.attempt + 1
+            stale.fingerprint, label=label or stale.label,
+            attempt=stale.attempt + 1, group=group or stale.group,
         )
 
     def renew(self, lease: Lease, attempt: int | None = None) -> Lease | None:
@@ -240,6 +277,19 @@ class LeaseManager:
         except OSError:
             return False
 
+    def drop(self, fingerprint: str) -> bool:
+        """Administratively remove a lease file, whoever holds it.
+
+        The reaper's (and failure recorder's) primitive — never part of
+        the polite claim/renew/release cycle.  True when a file was
+        removed.
+        """
+        try:
+            os.unlink(self.path(fingerprint))
+            return True
+        except OSError:
+            return False
+
     # ------------------------------------------------------------------
     def live_leases(self) -> list[Lease]:
         """Every readable lease under the store, sorted by claim time."""
@@ -251,13 +301,57 @@ class LeaseManager:
         ]
         return sorted(leases, key=lambda lease: lease.claimed)
 
+    def leases_map(self) -> dict[str, Lease] | None:
+        """One-call fingerprint->lease view, or None when per-point
+        stats are the cheaper scan.
+
+        The file backend returns None: ``WorkQueue.claim`` then checks
+        each candidate's lease file individually (a local stat), which
+        keeps the claim race window per-point.  The HTTP backend
+        returns the coordinator's full table in one round trip.
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # Worker stats: the fleet's observability files, riding the same
+    # backend so coordinator-mode workers upload instead of writing.
+    # ------------------------------------------------------------------
+    def worker_stats_path(self, worker_id: str) -> Path:
+        return self.store_root / WORKERS_DIR / f"{worker_id}.json"
+
+    def put_worker_stats(self, worker_id: str, payload: dict) -> None:
+        """Atomically rewrite ``workers/<id>.json``."""
+        write_json_atomic(self.worker_stats_path(worker_id), payload)
+
+    def list_worker_stats(self) -> list[dict]:
+        """Every readable worker stats payload under the store."""
+        out = []
+        for path in sorted((self.store_root / WORKERS_DIR).glob("*.json")):
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if isinstance(data, dict):
+                out.append(data)
+        return out
+
+    def prune_worker(self, worker_id: str) -> bool:
+        """Remove a dead worker's stats file; True when one existed."""
+        try:
+            os.unlink(self.worker_stats_path(worker_id))
+            return True
+        except OSError:
+            return False
+
 
 __all__ = [
     "DEFAULT_TTL",
     "FAILURE_KIND",
+    "FabricBackendError",
     "LEASE_DIR",
     "Lease",
     "LeaseManager",
+    "WORKERS_DIR",
     "default_worker_id",
     "lease_path",
     "read_lease",

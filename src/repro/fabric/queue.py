@@ -21,12 +21,28 @@ the ``workers/`` stats files, the live lease table, fleet ETA), and
 :func:`reap` is the operator's broom: drop stale leases, convert
 budget-exhausted ones to failure records, and sweep orphaned
 checkpoints/telemetry via :meth:`ResultStore.gc`.
+
+The queue talks to its shared state only through two seams — the lease
+backend (:class:`~repro.fabric.lease.LeaseManager` surface: claim /
+renew / release / reclaim / drop / worker stats) and the store's
+existence probes (``has`` / ``has_sidecar`` / ``resolved_many``) — so
+the same class drains a shared-directory fabric and an HTTP-coordinated
+one (:mod:`repro.fabric.coordinator`) without modification.
+
+**Claim affinity**: every spec hashes to an :func:`affinity_group` —
+specs identical up to load and seed share a group, which is exactly the
+set of points that can share a host's warm state (forked snapshots,
+precomputed min-port tables, page-hot topology objects).  A worker's
+queue remembers the groups it has executed (``prefer_groups``) and
+scans those points first on the next claim, so a fleet self-organizes
+into group-per-host sharding without any assignment step; the group
+rides in the lease file (the ``group`` hint) for observers.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
-import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -36,16 +52,35 @@ from repro.engine.runspec import RunSpec
 from repro.fabric.lease import (
     DEFAULT_TTL,
     FAILURE_KIND,
+    WORKERS_DIR,
     Lease,
     LeaseManager,
 )
 
-#: Store subdirectory holding per-worker stats files (one JSON file per
-#: fabric worker, atomically rewritten after every resolved point).
-WORKERS_DIR = "workers"
-
 #: Fleet-wide execution attempts per point before it is recorded failed.
 DEFAULT_MAX_ATTEMPTS = 3
+
+
+def affinity_group(spec: RunSpec) -> str:
+    """The warm-state affinity group of ``spec`` (12 hex chars).
+
+    Two specs share a group exactly when they differ only in ``load``
+    and RNG seed — a load sweep's points at one configuration, or one
+    point's seed replications.  Those are the points whose expensive
+    derived state (warm forked snapshots a la ``run_transient_forked``,
+    the array backend's min-port tables, the topology object itself) a
+    single host can reuse across executions, so workers prefer claims
+    within groups they have already paid for.  Deterministic across
+    hosts: it hashes the spec's canonical JSON with the two excluded
+    axes removed.
+    """
+    doc = dict(spec.to_jsonable())
+    doc.pop("load", None)
+    config = dict(doc.get("config") or {})
+    config.pop("seed", None)
+    doc["config"] = config
+    blob = json.dumps(doc, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()[:12]
 
 
 @dataclass(frozen=True)
@@ -167,6 +202,13 @@ class WorkQueue:
     max_attempts:
         Fleet-wide execution attempts per point; the attempt that would
         exceed it records a failure instead.
+    leases:
+        The lease backend.  Default: a file
+        :class:`~repro.fabric.lease.LeaseManager` over ``store.root``
+        (the shared-directory fabric).  Pass an
+        :class:`~repro.fabric.coordinator.client.HTTPLeaseManager` to
+        coordinate through a ``repro fabric serve`` process instead;
+        ``worker_id``/``lease_ttl`` are then read off the backend.
     """
 
     def __init__(
@@ -177,16 +219,24 @@ class WorkQueue:
         worker_id: str | None = None,
         lease_ttl: float = DEFAULT_TTL,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        leases=None,
     ) -> None:
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         self.specs = list(specs)
         self.store = store
         self.max_attempts = max_attempts
-        self.leases = LeaseManager(store.root, worker_id, ttl=lease_ttl)
+        if leases is None:
+            leases = LeaseManager(store.root, worker_id, ttl=lease_ttl)
+        self.leases = leases
         self._fps = [spec.fingerprint() for spec in self.specs]
+        self._groups = [affinity_group(spec) for spec in self.specs]
+        #: Affinity groups this worker has already executed a point of;
+        #: :meth:`claim` scans these groups' points first.
+        self.prefer_groups: set[str] = set()
         self._resolved: set[str] = set()  # monotone: resolved stays resolved
-        self.initial_done = sum(1 for fp in self._fps if self._is_resolved(fp))
+        self._refresh_resolved()  # one batch probe, not one per point
+        self.initial_done = sum(1 for fp in self._fps if fp in self._resolved)
 
     @property
     def worker_id(self) -> str:
@@ -197,20 +247,45 @@ class WorkQueue:
         return self.leases.ttl
 
     # ------------------------------------------------------------------
-    def _failure_path(self, fp: str) -> Path:
-        return self.store.sidecar_path(FAILURE_KIND, fp)
-
     def _is_resolved(self, fp: str) -> bool:
         if fp in self._resolved:
             return True
-        if self.store.path_for(fp).exists() or self._failure_path(fp).exists():
+        if self.store.has(fp) or self.store.has_sidecar(FAILURE_KIND, fp):
             self._resolved.add(fp)
             return True
         return False
 
+    def _refresh_resolved(self) -> None:
+        """One batch probe for every still-pending fingerprint.
+
+        Over the file backend this is the same stat calls the per-point
+        checks would make; over the HTTP backend it is a single round
+        trip instead of one per pending point.
+        """
+        pending = [fp for fp in self._fps if fp not in self._resolved]
+        if not pending:
+            return
+        for fp, kind in self.store.resolved_many(pending, FAILURE_KIND).items():
+            if kind is not None:
+                self._resolved.add(fp)
+
     def drained(self) -> bool:
         """Every point resolved (result or recorded failure)."""
-        return all(self._is_resolved(fp) for fp in self._fps)
+        self._refresh_resolved()
+        return all(fp in self._resolved for fp in self._fps)
+
+    def _scan_order(self) -> list[tuple[RunSpec, str, str]]:
+        """(spec, fp, group) triples, affinity-preferred points first.
+
+        Within each partition the declared spec order is preserved, so
+        with no executed groups yet this is exactly the legacy scan.
+        """
+        triples = list(zip(self.specs, self._fps, self._groups))
+        if not self.prefer_groups:
+            return triples
+        preferred = [t for t in triples if t[2] in self.prefer_groups]
+        rest = [t for t in triples if t[2] not in self.prefer_groups]
+        return preferred + rest
 
     # ------------------------------------------------------------------
     def claim(self) -> Claim | None:
@@ -221,14 +296,21 @@ class WorkQueue:
         kicks in if their heartbeats stop), or the grid is drained
         (check :meth:`drained`).  Budget-exhausted stale leases found
         during the scan are converted to failure records in passing, so
-        a poisoned point blocks nobody.
+        a poisoned point blocks nobody.  Points in affinity groups this
+        worker has already executed are scanned first (warm-state
+        sharding); the group hint is recorded in the claimed lease.
         """
-        for spec, fp in zip(self.specs, self._fps):
-            if self._is_resolved(fp):
+        self._refresh_resolved()
+        lease_map = self.leases.leases_map()
+        for spec, fp, group in self._scan_order():
+            if fp in self._resolved:
                 continue
-            lease = self.leases.current(fp)
+            lease = (
+                lease_map.get(fp) if lease_map is not None
+                else self.leases.current(fp)
+            )
             if lease is None:
-                got = self.leases.try_claim(fp, label=spec.label())
+                got = self.leases.try_claim(fp, label=spec.label(), group=group)
                 if got is not None:
                     return Claim(spec, got)
                 continue  # lost the race; that point is being handled
@@ -246,7 +328,7 @@ class WorkQueue:
                         stale_lease=lease,
                     )
                     continue
-                got = self.leases.reclaim(lease, label=spec.label())
+                got = self.leases.reclaim(lease, label=spec.label(), group=group)
                 if got is not None:
                     return Claim(spec, got)
         return None
@@ -266,7 +348,7 @@ class WorkQueue:
         the failure to it) — the store always wins.
         """
         fp = spec.fingerprint()
-        if not self.store.path_for(fp).exists():
+        if not self.store.has(fp):
             self.store.put_sidecar(
                 FAILURE_KIND, spec,
                 {
@@ -281,16 +363,14 @@ class WorkQueue:
 
         clear_checkpoint(self.store.root, spec)
         if stale_lease is not None:
-            try:
-                os.unlink(self.leases.path(fp))
-            except OSError:
-                pass
+            self.leases.drop(fp)
         self._resolved.add(fp)
 
     # ------------------------------------------------------------------
     def status(self) -> QueueStatus:
         return _scan_status(
-            self._fps, self.store, self.lease_ttl, cached=self.initial_done
+            self._fps, self.store, self.lease_ttl,
+            cached=self.initial_done, leases=self.leases,
         )
 
 
@@ -299,36 +379,50 @@ class WorkQueue:
 # ----------------------------------------------------------------------
 
 def _scan_status(
-    fps: list[str], store: ResultStore, lease_ttl: float, cached: int = 0
+    fps: list[str],
+    store: ResultStore,
+    lease_ttl: float,
+    cached: int = 0,
+    leases=None,
 ) -> QueueStatus:
     done = failed = leased = stale = 0
     fp_set = set(fps)
-    fail_root = Path(store.root) / FAILURE_KIND
-    manager = LeaseManager(store.root, worker_id="status", ttl=lease_ttl)
+    if leases is None:
+        leases = LeaseManager(store.root, worker_id="status", ttl=lease_ttl)
     now = time.time()
-    for fp in fps:
-        if store.path_for(fp).exists():
+    for kind in store.resolved_many(fps, FAILURE_KIND).values():
+        if kind == "result":
             done += 1
-        elif (fail_root / fp[:2] / f"{fp}.json").exists():
+        elif kind == "failure":
             failed += 1
-    leases = [lease for lease in manager.live_leases() if lease.fingerprint in fp_set]
-    for lease in leases:
+    live = [lease for lease in leases.live_leases() if lease.fingerprint in fp_set]
+    for lease in live:
         if lease.stale(lease_ttl, now):
             stale += 1
         else:
             leased += 1
+    workers = []
+    for payload in leases.list_worker_stats():
+        try:
+            workers.append(WorkerStats.from_jsonable(payload))
+        except (KeyError, TypeError):
+            continue
     return QueueStatus(
         total=len(fps), done=done, failed=failed, leased=leased, stale=stale,
-        cached=cached, leases=leases, workers=read_worker_stats(store.root),
-        lease_ttl=lease_ttl,
+        cached=cached, leases=live, workers=workers, lease_ttl=lease_ttl,
     )
 
 
 def fleet_status(
-    specs: list[RunSpec], store: ResultStore, lease_ttl: float = DEFAULT_TTL
+    specs: list[RunSpec],
+    store: ResultStore,
+    lease_ttl: float = DEFAULT_TTL,
+    leases=None,
 ) -> QueueStatus:
     """One coherent snapshot of a fleet draining ``specs`` via ``store``."""
-    return _scan_status([s.fingerprint() for s in specs], store, lease_ttl)
+    return _scan_status(
+        [s.fingerprint() for s in specs], store, lease_ttl, leases=leases
+    )
 
 
 @dataclass
@@ -346,6 +440,7 @@ def reap(
     store: ResultStore,
     lease_ttl: float = DEFAULT_TTL,
     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    leases=None,
 ) -> ReapReport:
     """Clean up after dead workers, in one pass.
 
@@ -362,11 +457,15 @@ def reap(
     """
     queue = WorkQueue(
         specs, store, worker_id="reaper",
-        lease_ttl=lease_ttl, max_attempts=max_attempts,
+        lease_ttl=lease_ttl, max_attempts=max_attempts, leases=leases,
     )
     report = ReapReport()
+    lease_map = queue.leases.leases_map()
     for spec, fp in zip(queue.specs, queue._fps):
-        lease = queue.leases.current(fp)
+        lease = (
+            lease_map.get(fp) if lease_map is not None
+            else queue.leases.current(fp)
+        )
         if lease is None or not lease.stale(lease_ttl):
             continue
         if queue._is_resolved(fp) or lease.attempt >= max_attempts:
@@ -379,24 +478,19 @@ def reap(
                     ),
                 )
                 report.failed_points.append(fp)
-            try:
-                os.unlink(queue.leases.path(fp))
-            except OSError:
-                pass
+            queue.leases.drop(fp)
         else:
-            try:
-                os.unlink(queue.leases.path(fp))
+            if queue.leases.drop(fp):
                 report.dropped_leases.append(lease)
-            except OSError:
-                pass
     now = time.time()
-    for stats in read_worker_stats(store.root):
+    for payload in queue.leases.list_worker_stats():
+        try:
+            stats = WorkerStats.from_jsonable(payload)
+        except (KeyError, TypeError):
+            continue
         if not stats.live(2 * lease_ttl, now):
-            try:
-                os.unlink(worker_stats_path(store.root, stats.worker))
+            if queue.leases.prune_worker(stats.worker):
                 report.pruned_workers.append(stats.worker)
-            except OSError:
-                pass
     report.gc = store.gc()
     return report
 
@@ -409,6 +503,7 @@ __all__ = [
     "WorkQueue",
     "WorkerStats",
     "WORKERS_DIR",
+    "affinity_group",
     "fleet_status",
     "read_worker_stats",
     "reap",

@@ -1,0 +1,125 @@
+"""``repro fabric watch``: a live terminal dashboard over the fleet.
+
+One :func:`fleet_status` scan per refresh, rendered as a full-screen
+frame: the drain headline (done/failed/leased/pending), fleet rate and
+ETA, a per-worker table (liveness, throughput, the point each worker is
+on), and the live lease table with heartbeat ages.  Works identically
+over both lease backends — pass the file store for a shared-directory
+fleet or the coordinator client pair for an HTTP fleet; the scan is the
+same code either way.
+
+Rendering is deliberately dumb: ANSI clear-home when stdout is a tty,
+plain sequential frames otherwise (pipes, logs, tests).  The loop exits
+on its own once the grid is drained — a watch left running does not
+outlive the campaign.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.analysis.results import Table
+from repro.analysis.store import ResultStore
+from repro.engine.runspec import RunSpec
+from repro.fabric.lease import DEFAULT_TTL
+from repro.fabric.queue import QueueStatus, fleet_status
+
+#: ANSI: clear screen, cursor home.
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _fmt_eta(seconds: float) -> str:
+    if seconds != seconds:  # NaN: no live workers
+        return "?"
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+def render_frame(name: str, status: QueueStatus, now: float | None = None) -> str:
+    """One dashboard frame as plain text (also the test surface)."""
+    now = time.time() if now is None else now
+    lines = [
+        f"fabric watch · {name} · {time.strftime('%H:%M:%S', time.localtime(now))}",
+        (
+            f"  {status.done}/{status.total} done ({status.cached} cached), "
+            f"{status.failed} failed, {status.leased} leased, "
+            f"{status.stale} stale, {status.pending} pending"
+        ),
+    ]
+    live = status.live_workers()
+    rate = status.fleet_rate
+    if status.drained:
+        lines.append("  drained: every point has a result or a recorded failure")
+    elif rate == rate:
+        lines.append(
+            f"  fleet: {len(live)} live worker(s), {rate:.2f} pt/s, "
+            f"eta {_fmt_eta(status.eta_seconds)}"
+        )
+    else:
+        lines.append("  fleet: no live workers — no fleet activity")
+    if status.workers:
+        table = Table("workers")
+        for w in sorted(status.workers, key=lambda w: w.worker):
+            table.add(
+                worker=w.worker,
+                live="yes" if w.live(2 * status.lease_ttl) else "no",
+                done=w.done,
+                failed=w.failed,
+                rate=round(w.rate, 3),
+                active_point=w.last_label or "-",
+            )
+        lines.append(table.to_text())
+    if status.leases:
+        table = Table("leases")
+        for lease in sorted(status.leases, key=lambda le: le.claimed):
+            table.add(
+                point=lease.fingerprint[:12],
+                worker=lease.worker,
+                attempt=lease.attempt,
+                age_s=round(lease.age(now), 1),
+                stale="yes" if lease.stale(status.lease_ttl, now) else "no",
+                group=lease.group[:8] or "-",
+                label=lease.label,
+            )
+        lines.append(table.to_text())
+    return "\n".join(lines)
+
+
+def watch(
+    name: str,
+    specs: list[RunSpec],
+    store: ResultStore,
+    lease_ttl: float = DEFAULT_TTL,
+    leases=None,
+    interval: float = 2.0,
+    max_frames: int | None = None,
+    out=None,
+) -> QueueStatus:
+    """Refresh the dashboard every ``interval`` seconds until drained.
+
+    ``leases`` selects the backend exactly as in
+    :func:`~repro.fabric.queue.fleet_status`; ``max_frames`` bounds the
+    loop for tests.  Returns the last status scanned.
+    """
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    out = sys.stdout if out is None else out
+    clear = getattr(out, "isatty", lambda: False)()
+    frames = 0
+    while True:
+        status = fleet_status(specs, store, lease_ttl, leases=leases)
+        frame = render_frame(name, status)
+        print((_CLEAR + frame) if clear else frame, file=out, flush=True)
+        frames += 1
+        if status.drained:
+            return status
+        if max_frames is not None and frames >= max_frames:
+            return status
+        time.sleep(interval)
+
+
+__all__ = ["render_frame", "watch"]

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import functools
 import signal
+import sys
 import threading
 import time
 import traceback
@@ -43,42 +44,60 @@ from repro.engine.orchestrator import (
 )
 from repro.engine.runspec import RunSpec
 from repro.engine.tracing import ProgressObserver, SweepProgress
-from repro.fabric.lease import FAILURE_KIND, Lease
+from repro.fabric.lease import FAILURE_KIND, FabricBackendError, Lease
 from repro.snapshot.checkpoint import Preempted
 from repro.fabric.queue import (
     Claim,
     QueueStatus,
     WorkerStats,
     WorkQueue,
-    worker_stats_path,
-    write_json_atomic,
 )
 
 
 class _Heartbeat(threading.Thread):
     """Renews one lease (and the worker stats file) while a point runs."""
 
-    def __init__(self, queue: WorkQueue, lease: Lease, interval: float, touch) -> None:
+    def __init__(
+        self,
+        queue: WorkQueue,
+        lease: Lease,
+        interval: float,
+        touch,
+        on_lost=None,
+    ) -> None:
         super().__init__(daemon=True, name=f"lease-hb-{lease.fingerprint[:8]}")
         self.queue = queue
         self.lease = lease  # latest renewal (read after stop())
         self.interval = interval
         self.touch = touch
+        self.on_lost = on_lost
         self.lost = threading.Event()
         # NB: not "_stop" — Thread itself uses that name internally.
         self._halt = threading.Event()
 
     def run(self) -> None:
         while not self._halt.wait(self.interval):
-            renewed = self.queue.leases.renew(self.lease)
+            try:
+                renewed = self.queue.leases.renew(self.lease)
+            except FabricBackendError:
+                # Coordinator unreachable past the client's retry window.
+                # The lease may still be ours when it comes back — keep
+                # computing and keep trying; staleness is the fleet's
+                # problem to judge, not ours to preempt.
+                continue
             if renewed is None:
                 # Reclaimed from under us (we looked dead).  Keep
                 # computing — the result write is idempotent — but stop
                 # touching the new holder's lease.
                 self.lost.set()
+                if self.on_lost is not None:
+                    self.on_lost(self.lease)
                 return
             self.lease = renewed
-            self.touch()
+            try:
+                self.touch()
+            except FabricBackendError:
+                pass  # stats are best-effort observability
 
     def stop(self) -> None:
         self._halt.set()
@@ -97,15 +116,22 @@ class FabricSummary:
     wall: float  # seconds in the drain loop
     status: QueueStatus  # final fleet scan (drained unless max_points hit)
     completed: set[str] = field(default_factory=set)  # fps this worker ran
+    renew_failures: int = 0  # heartbeat renewals lost (lease reclaimed)
+    backend_error: str = ""  # why the drain stopped early, if it did
 
     def render(self) -> str:
         s = self.status
-        return (
+        line = (
             f"[fabric {self.worker}] executed {self.executed} "
             f"(+{self.reclaimed} reclaimed), failed {self.failed} "
             f"in {self.wall:.1f}s | fleet: {s.done}/{s.total} done, "
             f"{s.failed} failed, {s.leased} leased"
         )
+        if self.renew_failures:
+            line += f" | {self.renew_failures} lease renewal(s) lost"
+        if self.backend_error:
+            line += f" | stopped early: {self.backend_error}"
+        return line
 
 
 class FabricWorker:
@@ -183,9 +209,12 @@ class FabricWorker:
         self.failed = 0
         self.reclaimed = 0
         self.released = 0  # points handed back on preemption
+        self.renew_failures = 0  # heartbeat renewals that found the lease gone
         self.completed: set[str] = set()
         self._started = time.monotonic()
         self._hb_interval = max(0.05, queue.lease_ttl / 3.0)
+        self._renew_warned = False
+        self._last_label = ""
 
     @property
     def worker_id(self) -> str:
@@ -210,6 +239,7 @@ class FabricWorker:
             )
         except ValueError:
             pass  # not the main thread: preemption via self.preempted only
+        backend_error = ""
         try:
             while not self.preempted.is_set():
                 if (
@@ -228,19 +258,47 @@ class FabricWorker:
                     continue
                 if claim.lease.attempt > 1:
                     self.reclaimed += 1
+                self._last_label = claim.spec.label()
                 self._run_claim(claim)
+                if claim.lease.group:
+                    # Warm state for this group now lives on this host:
+                    # prefer its remaining points on the next scan.
+                    self.queue.prefer_groups.add(claim.lease.group)
+        except FabricBackendError as exc:
+            # Coordinator gone past the retry window: fall out cleanly
+            # (partial summary, no stack trace).  Leases we held expire
+            # on the coordinator's disk and are reclaimed when the
+            # fleet reconnects.
+            backend_error = str(exc) or type(exc).__name__
+            print(
+                f"[fabric {self.worker_id}] backend unreachable, "
+                f"stopping: {backend_error}",
+                file=sys.stderr,
+            )
         finally:
             if previous_handler is not None:
                 signal.signal(signal.SIGTERM, previous_handler)
-            self._touch_stats(active=False)
+            try:
+                self._touch_stats(active=False)
+            except FabricBackendError:
+                pass
+        try:
+            status = self.queue.status()
+        except FabricBackendError:
+            status = QueueStatus(
+                total=len(self.queue.specs), done=0, failed=0,
+                leased=0, stale=0, lease_ttl=self.queue.lease_ttl,
+            )
         return FabricSummary(
             worker=self.worker_id,
             executed=self.executed,
             failed=self.failed,
             reclaimed=self.reclaimed,
             wall=time.monotonic() - self._started,
-            status=self.queue.status(),
+            status=status,
             completed=set(self.completed),
+            renew_failures=self.renew_failures,
+            backend_error=backend_error,
         )
 
     # ------------------------------------------------------------------
@@ -248,7 +306,8 @@ class FabricWorker:
         spec, lease = claim.spec, claim.lease
         while True:
             heartbeat = _Heartbeat(self.queue, lease, self._hb_interval,
-                                   self._touch_stats)
+                                   self._touch_stats,
+                                   on_lost=self._note_lost_lease)
             heartbeat.start()
             t0 = time.monotonic()
             try:
@@ -292,8 +351,24 @@ class FabricWorker:
             return
 
     # ------------------------------------------------------------------
+    def _note_lost_lease(self, lease: Lease) -> None:
+        """A heartbeat renewal found our lease gone (reclaimed: we
+        looked dead).  Count it, warn once — a fleet that keeps losing
+        leases has its ttl set below its point runtime."""
+        self.renew_failures += 1
+        if not self._renew_warned:
+            self._renew_warned = True
+            print(
+                f"[fabric {self.worker_id}] lease renewal failed for "
+                f"{lease.label or lease.fingerprint[:12]} (reclaimed by a "
+                f"peer that judged us dead); finishing the point anyway — "
+                f"the result write is idempotent.  Repeated losses mean "
+                f"the lease ttl is below the point runtime.",
+                file=sys.stderr,
+            )
+
     def _touch_stats(self, active: bool = True) -> None:
-        """Atomically rewrite this worker's ``workers/<id>.json``."""
+        """Rewrite this worker's ``workers/<id>.json`` via the backend."""
         elapsed = time.monotonic() - self._started
         resolved = self.executed + self.failed
         stats = WorkerStats(
@@ -304,12 +379,10 @@ class FabricWorker:
             failed=self.failed,
             reclaimed=self.reclaimed,
             rate=resolved / elapsed if elapsed > 0 else 0.0,
+            last_label=self._last_label,
             active=active,
         )
-        write_json_atomic(
-            worker_stats_path(self.store.root, self.worker_id),
-            stats.to_jsonable(),
-        )
+        self.queue.leases.put_worker_stats(self.worker_id, stats.to_jsonable())
 
     def _after_point(self, spec: RunSpec, status: str, wall: float) -> None:
         self._touch_stats()
@@ -349,6 +422,7 @@ def drain(
     max_points: int | None = None,
     observer: ProgressObserver | None = None,
     execute=None,
+    leases=None,
 ) -> tuple[list[PointResult], FabricSummary]:
     """Join (or start) the fleet draining ``specs``; gather the results.
 
@@ -362,27 +436,53 @@ def drain(
     failure record's error and attempt count attached).
     """
     from repro.fabric.queue import DEFAULT_MAX_ATTEMPTS
-    from repro.fabric.lease import DEFAULT_TTL
+    from repro.fabric.lease import DEFAULT_TTL, default_worker_id
 
-    queue = WorkQueue(
-        specs, store, worker_id=worker_id,
-        lease_ttl=DEFAULT_TTL if lease_ttl is None else lease_ttl,
-        max_attempts=DEFAULT_MAX_ATTEMPTS if max_attempts is None else max_attempts,
-    )
-    worker = FabricWorker(
-        queue,
-        snapshot_every=snapshot_every,
-        telemetry=telemetry,
-        telemetry_dir=telemetry_dir,
-        poll=poll,
-        max_points=max_points,
-        observer=observer,
-        execute=execute,
-    )
-    summary = worker.run()
+    try:
+        queue = WorkQueue(
+            specs, store, worker_id=worker_id,
+            lease_ttl=DEFAULT_TTL if lease_ttl is None else lease_ttl,
+            max_attempts=DEFAULT_MAX_ATTEMPTS if max_attempts is None
+            else max_attempts,
+            leases=leases,
+        )
+    except FabricBackendError as exc:
+        # Backend gone before we could even scan the grid: same clean
+        # fallout as mid-drain — a summary, not a stack trace.
+        summary = FabricSummary(
+            worker=leases.worker_id if leases is not None
+            else (worker_id or default_worker_id()),
+            executed=0, failed=0, reclaimed=0, wall=0.0,
+            status=QueueStatus(
+                total=len(specs), done=0, failed=0, leased=0, stale=0,
+            ),
+            backend_error=str(exc) or type(exc).__name__,
+        )
+    else:
+        worker = FabricWorker(
+            queue,
+            snapshot_every=snapshot_every,
+            telemetry=telemetry,
+            telemetry_dir=telemetry_dir,
+            poll=poll,
+            max_points=max_points,
+            observer=observer,
+            execute=execute,
+        )
+        summary = worker.run()
     results = []
     for spec in specs:
-        point = store.get(spec)
+        try:
+            point = store.get(spec)
+        except FabricBackendError as exc:
+            # Coordinator unreachable at readback: report the points we
+            # cannot fetch as failed instead of stack-tracing out.
+            results.append(PointResult(
+                spec, STATUS_FAILED,
+                error=f"result unavailable, backend unreachable: {exc}",
+                attempts=0,
+            ))
+            continue
         if point is not None:
             status = STATUS_DONE if spec.fingerprint() in summary.completed \
                 else STATUS_CACHED
@@ -391,7 +491,10 @@ def drain(
                 attempts=1 if status == STATUS_DONE else 0,
             ))
             continue
-        failure = store.get_sidecar(FAILURE_KIND, spec) or {}
+        try:
+            failure = store.get_sidecar(FAILURE_KIND, spec) or {}
+        except FabricBackendError:
+            failure = {}
         results.append(PointResult(
             spec, STATUS_FAILED,
             error=failure.get("error", "point unresolved after fabric drain"),

@@ -83,3 +83,30 @@ class TestCommands:
         main(["figure", "fig2", "--scale", "tiny"])
         out = capsys.readouterr().out
         assert "Fig 2b" in out
+
+    def test_fabric_status_reports_no_fleet_activity(self, capsys, tmp_path):
+        import json
+
+        camp = tmp_path / "c.json"
+        camp.write_text(json.dumps({
+            "name": "t",
+            "scale": "tiny",
+            "combination": {
+                "routing": ["min"], "pattern": ["UN"], "load": [0.1],
+            },
+        }))
+        main(["fabric", "status", str(camp), "--store", str(tmp_path / "store")])
+        out = capsys.readouterr().out
+        assert "no fleet activity: 0 workers, 0 leases" in out
+        assert "1 pending" in out
+
+    def test_fabric_serve_and_watch_parse(self):
+        args = build_parser().parse_args(
+            ["fabric", "serve", "--port", "9001", "--store", "s"]
+        )
+        assert args.port == 9001
+        args = build_parser().parse_args(
+            ["fabric", "watch", "c.yaml", "--coordinator", "http://h:1"]
+        )
+        assert args.coordinator == "http://h:1"
+        assert args.interval == 2.0

@@ -132,6 +132,30 @@ class TestLeaseProtocol:
         # The old holder lost: it must not renew over the new claim.
         assert a.renew(lease) is None
 
+    def test_drop_removes_whoever_holds(self, tmp_path):
+        a, b = LeaseManager(tmp_path, "a"), LeaseManager(tmp_path, "b")
+        a.try_claim("ff00")
+        assert b.drop("ff00") is True  # administrative: no ownership check
+        assert not lease_path(tmp_path, "ff00").exists()
+        assert b.drop("ff00") is False  # already gone
+
+    def test_group_hint_round_trips(self, tmp_path):
+        a = LeaseManager(tmp_path, "a")
+        a.try_claim("ff00", group="aabbccdd1122")
+        on_disk = read_lease(lease_path(tmp_path, "ff00"))
+        assert on_disk.group == "aabbccdd1122"
+        # Reclaim preserves the group unless overridden.
+        stale = dataclasses.replace(on_disk, heartbeat=0.0)
+        got = LeaseManager(tmp_path, "b").reclaim(stale)
+        assert got.group == "aabbccdd1122"
+
+    def test_worker_stats_via_backend(self, tmp_path):
+        a = LeaseManager(tmp_path, "a")
+        a.put_worker_stats("a", {"worker": "a", "done": 2})
+        assert a.list_worker_stats() == [{"worker": "a", "done": 2}]
+        assert a.prune_worker("a") is True
+        assert a.list_worker_stats() == []
+
 
 def _race_claim(store_root, start, results):
     mgr = LeaseManager(store_root, worker_id=f"w{os.getpid()}")
@@ -264,6 +288,28 @@ class TestFabricWorker:
         results, summary = drain(specs, store, worker_id="w", poll=0.05)
         assert [r.status for r in results] == ["cached", "done"]
         assert summary.executed == 1
+
+    def test_lost_renewal_counted_logged_once_and_reported(
+        self, tmp_path, capsys
+    ):
+        specs = grid(1)
+        store = ResultStore(tmp_path)
+        queue = WorkQueue(specs, store, worker_id="w", lease_ttl=0.3)
+
+        def execute(s):
+            # A peer judged us dead and took the lease; the next
+            # heartbeat renewal (ttl/3 = 0.1s) finds it gone.
+            os.unlink(lease_path(tmp_path, s.fingerprint()))
+            time.sleep(0.45)
+            return run_spec(s)
+
+        worker = FabricWorker(queue, execute=execute, poll=0.05)
+        summary = worker.run()
+        assert summary.executed == 1  # the point still completed
+        assert summary.renew_failures == 1
+        assert "1 lease renewal(s) lost" in summary.render()
+        err = capsys.readouterr().err
+        assert err.count("lease renewal failed") == 1
 
     def test_two_workers_split_grid_store_identical(self, tmp_path):
         specs = grid(4)
